@@ -1,0 +1,340 @@
+// Command xrperf drives the XR performance-analysis framework: it dumps
+// the Table I/II catalogs, re-fits the regression models on the synthetic
+// testbed, runs any single paper experiment, or regenerates the full
+// evaluation (every table and figure of Section VIII).
+//
+// Usage:
+//
+//	xrperf devices                      Table I device catalog
+//	xrperf cnns                         Table II CNN catalog
+//	xrperf fit [-train N] [-test N]     regression fits vs paper R²
+//	xrperf experiment <id>              one experiment (fig4a…fig5b, table1…)
+//	xrperf all                          every experiment in paper order
+//	xrperf analyze [-mode local|remote] analyze one scenario
+//	xrperf export [-rows N]             dump a synthetic resource dataset as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cnn"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xrperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "devices":
+		return runDevices(out)
+	case "cnns":
+		return runCNNs(out)
+	case "fit":
+		return runFit(args[1:], out)
+	case "experiment":
+		return runExperiment(args[1:], out)
+	case "all":
+		return runAll(args[1:], out)
+	case "analyze":
+		return runAnalyze(args[1:], out)
+	case "export":
+		return runExport(args[1:], out)
+	case "report":
+		return runReport(args[1:], out)
+	case "help", "-h", "--help":
+		printUsage(out)
+		return nil
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|export|report} (ids: %s)",
+		strings.Join(experiments.IDs(), ", "))
+}
+
+func printUsage(out io.Writer) {
+	fmt.Fprintln(out, "xrperf — XR performance-analysis framework (ICDCS 2024 reproduction)")
+	fmt.Fprintln(out, "  devices                      Table I device catalog")
+	fmt.Fprintln(out, "  cnns                         Table II CNN catalog")
+	fmt.Fprintln(out, "  fit [-train N] [-test N]     fit regressions, report R² vs paper")
+	fmt.Fprintln(out, "  experiment <id> [flags]      run one experiment:", strings.Join(experiments.IDs(), " "))
+	fmt.Fprintln(out, "  all [flags]                  run every experiment in paper order")
+	fmt.Fprintln(out, "  analyze [-device XRn] [-mode local|remote] [-size px2] [-freq GHz]")
+	fmt.Fprintln(out, "  export [-rows N] [-kind K]   dump a synthetic dataset as CSV")
+	fmt.Fprintln(out, "  report [flags]               regenerate the full Markdown evaluation report")
+}
+
+func runDevices(out io.Writer) error {
+	s := &experiments.Suite{}
+	t1, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, t1.Render())
+	return nil
+}
+
+func runCNNs(out io.Writer) error {
+	// The catalog needs a fitted complexity model; a small fit suffices.
+	suite, err := experiments.NewSuite(1, 2000, 500)
+	if err != nil {
+		return err
+	}
+	t2, err := suite.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, t2.Render())
+	return nil
+}
+
+func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials *int) {
+	seed = fs.Int64("seed", 42, "bench RNG seed")
+	train = fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
+	test = fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
+	trials = fs.Int("trials", experiments.DefaultTrials, "ground-truth trials per point")
+	return
+}
+
+func buildSuite(fs *flag.FlagSet, args []string) (*experiments.Suite, error) {
+	seed, train, test, trials := suiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	suite, err := experiments.NewSuite(*seed, *train, *test)
+	if err != nil {
+		return nil, err
+	}
+	suite.Trials = *trials
+	return suite, nil
+}
+
+func runFit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	paper := fs.Bool("paper-scale", false, "use the paper's 119,465/36,083 dataset sizes")
+	seed, train, test, _ := suiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, te := *train, *test
+	if *paper {
+		tr, te = testbed.PaperTrainRows, testbed.PaperTestRows
+	}
+	suite, err := experiments.NewSuite(*seed, tr, te)
+	if err != nil {
+		return err
+	}
+	res, err := suite.FitSummary()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func runExperiment(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("experiment id required (one of: %s)", strings.Join(experiments.IDs(), ", "))
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	suite, err := buildSuite(fs, args[1:])
+	if err != nil {
+		return err
+	}
+	res, err := suite.Run(id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func runAll(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	suite, err := buildSuite(fs, args)
+	if err != nil {
+		return err
+	}
+	results, err := suite.RunAll()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintln(out, r.Render())
+	}
+	return nil
+}
+
+func runReport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	suite, err := buildSuite(fs, args)
+	if err != nil {
+		return err
+	}
+	return suite.WriteReport(out)
+}
+
+func runAnalyze(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	devName := fs.String("device", "XR1", "device name from Table I")
+	mode := fs.String("mode", "local", "inference mode: local or remote")
+	size := fs.Float64("size", 500, "frame size (pixel² unit, 300-700)")
+	freq := fs.Float64("freq", 0, "CPU frequency in GHz (0 = device max)")
+	fitted := fs.Bool("fitted", false, "use re-fitted models instead of paper coefficients")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dev, err := device.ByName(*devName)
+	if err != nil {
+		return err
+	}
+	var m pipeline.InferenceMode
+	switch *mode {
+	case "local":
+		m = pipeline.ModeLocal
+	case "remote":
+		m = pipeline.ModeRemote
+	default:
+		return fmt.Errorf("unknown mode %q (local or remote)", *mode)
+	}
+	opts := []pipeline.Option{pipeline.WithMode(m), pipeline.WithFrameSize(*size)}
+	if *freq > 0 {
+		opts = append(opts, pipeline.WithCPUFreq(*freq))
+	}
+	sc, err := pipeline.NewScenario(dev, opts...)
+	if err != nil {
+		return err
+	}
+
+	fw := core.NewWithPaperCoefficients()
+	if *fitted {
+		fw, _, err = core.NewFitted(42, experiments.DefaultTrainRows, experiments.DefaultTestRows)
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := fw.Analyze(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Render())
+	return nil
+}
+
+func runExport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	rows := fs.Int("rows", 1000, "rows to export")
+	seed := fs.Int64("seed", 42, "bench RNG seed")
+	kind := fs.String("kind", "resource", "dataset kind: resource, power, encoder, or cnn")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bench := testbed.NewBench(*seed)
+	tbl, err := exportTable(bench, *kind, *rows)
+	if err != nil {
+		return err
+	}
+	return tbl.WriteCSV(out)
+}
+
+// exportTable materializes one synthetic measurement dataset of the given
+// kind, matching the feature layouts the regressions are fitted on.
+func exportTable(bench *testbed.Bench, kind string, rows int) (*dataset.Table, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("rows must be positive, have %d", rows)
+	}
+	devs := device.TrainDevices()
+	switch kind {
+	case "resource", "power":
+		target := "resource"
+		measure := bench.Physics.TrueResource
+		if kind == "power" {
+			target = "power_w"
+			measure = bench.Physics.TruePower
+		}
+		tbl, err := dataset.New("fc_ghz", "fg_ghz", "cpu_share", target)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rows; i++ {
+			d := devs[i%len(devs)]
+			fc := 0.8 + (d.CPUGHz-0.8)*float64(i%97)/97
+			fg := 0.4 + (d.GPUGHz-0.4)*float64(i%89)/89
+			wc := float64(i%101) / 101
+			v, err := measure(d.Name, fc, fg, wc)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Append(fc, fg, wc, v); err != nil {
+				return nil, err
+			}
+		}
+		return tbl, nil
+	case "encoder":
+		tbl, err := dataset.New("iframe", "bframe", "bitrate_mbps",
+			"frame_px2", "fps", "quant", "work")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rows; i++ {
+			p := codec.EncodingParams{
+				IFrameInterval: 10 + float64(i%50),
+				BFrameInterval: float64(i % 5),
+				BitrateMbps:    1 + float64(i%9),
+				FrameSizePx2:   300 + float64(i%400),
+				FPS:            15 + float64(i%45),
+				Quantization:   10 + float64(i%35),
+			}
+			w, err := bench.Physics.TrueEncoderWork(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Append(p.IFrameInterval, p.BFrameInterval,
+				p.BitrateMbps, p.FrameSizePx2, p.FPS, p.Quantization, w); err != nil {
+				return nil, err
+			}
+		}
+		return tbl, nil
+	case "cnn":
+		tbl, err := dataset.New("depth", "size_mb", "depth_scale", "complexity")
+		if err != nil {
+			return nil, err
+		}
+		catalog := cnn.Catalog()
+		for i := 0; i < rows; i++ {
+			m := catalog[i%len(catalog)]
+			c, err := bench.Physics.TrueCNNComplexity(m.Depth, m.SizeMB, m.DepthScale)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Append(float64(m.Depth), m.SizeMB, m.DepthScale, c); err != nil {
+				return nil, err
+			}
+		}
+		return tbl, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset kind %q (resource, power, encoder, cnn)", kind)
+	}
+}

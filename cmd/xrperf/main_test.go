@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small dataset flags keep CLI tests fast.
+var fastFlags = []string{"-train", "2000", "-test", "500", "-trials", "5"}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no args must error")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Fatal("unknown command must error")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out := runCLI(t, "help")
+	for _, want := range []string{"devices", "experiment", "analyze"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("help missing %q", want)
+		}
+	}
+}
+
+func TestDevices(t *testing.T) {
+	out := runCLI(t, "devices")
+	for _, want := range []string{"XR1", "XR7", "Jetson AGX Xavier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("devices output missing %q", want)
+		}
+	}
+}
+
+func TestCNNs(t *testing.T) {
+	out := runCLI(t, "cnns")
+	for _, want := range []string{"MobileNetv1_240_Float", "YOLOv7", "C_CNN"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cnns output missing %q", want)
+		}
+	}
+}
+
+func TestFit(t *testing.T) {
+	out := runCLI(t, append([]string{"fit"}, "-train", "2000", "-test", "500")...)
+	for _, want := range []string{"Eq. 3", "Eq. 21", "paperR²"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fit output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentRequiresID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment"}, &buf); err == nil {
+		t.Fatal("missing id must error")
+	}
+	if err := run([]string{"experiment", "fig9x"}, &buf); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestExperimentFig4f(t *testing.T) {
+	out := runCLI(t, append([]string{"experiment", "fig4f"}, fastFlags...)...)
+	if !strings.Contains(out, "RoI") || !strings.Contains(out, "0.500") {
+		t.Fatalf("fig4f output unexpected:\n%s", out)
+	}
+}
+
+func TestExperimentFig4a(t *testing.T) {
+	out := runCLI(t, append([]string{"experiment", "fig4a"}, fastFlags...)...)
+	if !strings.Contains(out, "mean error") {
+		t.Fatalf("fig4a output unexpected:\n%s", out)
+	}
+}
+
+func TestAnalyzeLocalRemote(t *testing.T) {
+	local := runCLI(t, "analyze", "-device", "XR6", "-mode", "local", "-size", "400")
+	if !strings.Contains(local, "local inference") {
+		t.Fatalf("local analyze missing segment:\n%s", local)
+	}
+	remote := runCLI(t, "analyze", "-device", "XR6", "-mode", "remote", "-size", "400")
+	if !strings.Contains(remote, "remote inference") || !strings.Contains(remote, "transmission") {
+		t.Fatalf("remote analyze missing segments:\n%s", remote)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"analyze", "-device", "XR99"}, &buf); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	if err := run([]string{"analyze", "-mode", "quantum"}, &buf); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if err := run([]string{"analyze", "-freq", "99"}, &buf); err == nil {
+		t.Fatal("over-max frequency must error")
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	out := runCLI(t, "export", "-rows", "50")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 51 {
+		t.Fatalf("export lines = %d, want 51 (header + 50)", len(lines))
+	}
+	if lines[0] != "fc_ghz,fg_ghz,cpu_share,resource" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestExportKinds(t *testing.T) {
+	for kind, header := range map[string]string{
+		"resource": "fc_ghz,fg_ghz,cpu_share,resource",
+		"power":    "fc_ghz,fg_ghz,cpu_share,power_w",
+		"encoder":  "iframe,bframe,bitrate_mbps,frame_px2,fps,quant,work",
+		"cnn":      "depth,size_mb,depth_scale,complexity",
+	} {
+		out := runCLI(t, "export", "-rows", "20", "-kind", kind)
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 21 {
+			t.Fatalf("%s lines = %d", kind, len(lines))
+		}
+		if lines[0] != header {
+			t.Fatalf("%s header = %q, want %q", kind, lines[0], header)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"export", "-kind", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if err := run([]string{"export", "-rows", "0"}, &buf); err == nil {
+		t.Fatal("zero rows must error")
+	}
+}

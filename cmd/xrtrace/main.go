@@ -1,0 +1,144 @@
+// Command xrtrace runs a multi-frame XR session through the analytical
+// framework — with optional thermal throttling, battery drain, and
+// mobility — and emits either a frame-indexed CSV trace or a summary.
+//
+// Usage:
+//
+//	xrtrace -frames 600 -device XR6 -mode local -thermal -battery 3640
+//	xrtrace -frames 300 -mode remote -mobility -csv > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mobility"
+	"repro/internal/pipeline"
+	"repro/internal/session"
+	"repro/internal/wireless"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xrtrace", flag.ContinueOnError)
+	devName := fs.String("device", "XR6", "device name from Table I")
+	mode := fs.String("mode", "local", "inference mode: local or remote")
+	size := fs.Float64("size", 500, "frame size (pixel² unit)")
+	frames := fs.Int("frames", 300, "session length in frames")
+	thermal := fs.Bool("thermal", false, "enable thermal throttling")
+	batteryMAh := fs.Float64("battery", 0, "battery capacity in mAh (0 disables)")
+	mobile := fs.Bool("mobility", false, "enable random-walk mobility with vertical handoffs")
+	csvOut := fs.Bool("csv", false, "emit the full CSV trace instead of a summary")
+	seed := fs.Int64("seed", 42, "RNG seed")
+	fitted := fs.Bool("fitted", false, "use re-fitted models instead of paper coefficients")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dev, err := device.ByName(*devName)
+	if err != nil {
+		return err
+	}
+	var m pipeline.InferenceMode
+	switch *mode {
+	case "local":
+		m = pipeline.ModeLocal
+	case "remote":
+		m = pipeline.ModeRemote
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	sc, err := pipeline.NewScenario(dev,
+		pipeline.WithMode(m),
+		pipeline.WithFrameSize(*size),
+	)
+	if err != nil {
+		return err
+	}
+
+	fw := core.NewWithPaperCoefficients()
+	if *fitted {
+		fw, _, err = core.NewFitted(*seed, 20000, 6000)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := session.Config{
+		Framework: fw,
+		Scenario:  sc,
+		Frames:    *frames,
+		Seed:      *seed,
+	}
+	if *thermal {
+		th := session.DefaultThermal()
+		cfg.Thermal = &th
+	}
+	if *batteryMAh > 0 {
+		b, err := session.NewBattery(*batteryMAh, 3.85)
+		if err != nil {
+			return err
+		}
+		cfg.Battery = &b
+	}
+	if *mobile {
+		walk, err := mobility.NewWalk(1.4, 50) // walking pace
+		if err != nil {
+			return err
+		}
+		cfg.Walk = &walk
+		cfg.Zone = mobility.Zone{Technology: wireless.WiFi5GHz, RadiusM: 40}
+		cfg.HandoffKind = mobility.HandoffVertical
+	}
+
+	res, err := session.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *csvOut {
+		tbl, err := res.TraceTable()
+		if err != nil {
+			return err
+		}
+		return tbl.WriteCSV(out)
+	}
+
+	fmt.Fprintf(out, "session: %d/%d frames on %s (%s, %s inference)\n",
+		res.CompletedFrames, *frames, dev.Name, dev.Model, *mode)
+	fmt.Fprintf(out, "  mean latency:   %.1f ms/frame\n", res.MeanLatencyMs)
+	fmt.Fprintf(out, "  total energy:   %.1f mJ (%.1f mJ/frame)\n",
+		res.TotalEnergyMJ, res.TotalEnergyMJ/float64(res.CompletedFrames))
+	if cfg.Thermal != nil {
+		last := res.Trace[len(res.Trace)-1]
+		fmt.Fprintf(out, "  thermal:        %d throttled frames, final %.1f °C at %.2f GHz\n",
+			res.ThrottledFrames, last.TempC, last.CPUFreqGHz)
+	}
+	if cfg.Battery != nil {
+		last := res.Trace[len(res.Trace)-1]
+		fmt.Fprintf(out, "  battery:        %.1f%% remaining", 100*last.BatterySoC)
+		if res.Depleted {
+			fmt.Fprintf(out, " (DEPLETED at frame %d)", res.CompletedFrames)
+		} else if life, err := res.BatteryLifeFrames(*cfg.Battery); err == nil {
+			mins := float64(life) * res.MeanLatencyMs / 60000
+			fmt.Fprintf(out, " (≈%d frames ≈ %.0f min of use per charge)", life, mins)
+		}
+		fmt.Fprintln(out)
+	}
+	if cfg.Walk != nil {
+		last := res.Trace[len(res.Trace)-1]
+		fmt.Fprintf(out, "  mobility:       P(HO) ≈ %.3f per %d-frame window\n",
+			last.HandoffProb, 30)
+	}
+	return nil
+}

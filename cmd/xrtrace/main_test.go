@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestSummaryOutput(t *testing.T) {
+	out := runCLI(t, "-frames", "20", "-device", "XR1")
+	for _, want := range []string{"session: 20/20", "mean latency", "total energy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThermalAndBatterySummary(t *testing.T) {
+	out := runCLI(t, "-frames", "30", "-thermal", "-battery", "3640")
+	if !strings.Contains(out, "thermal:") || !strings.Contains(out, "battery:") {
+		t.Fatalf("missing thermal/battery lines:\n%s", out)
+	}
+}
+
+func TestMobilitySummary(t *testing.T) {
+	out := runCLI(t, "-frames", "20", "-mode", "remote", "-mobility")
+	if !strings.Contains(out, "mobility:") {
+		t.Fatalf("missing mobility line:\n%s", out)
+	}
+}
+
+func TestCSVTrace(t *testing.T) {
+	out := runCLI(t, "-frames", "10", "-csv")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("csv lines = %d, want 11", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "frame,latency_ms,energy_mj") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-device", "XR99"}, &buf); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	if err := run([]string{"-mode", "psychic"}, &buf); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if err := run([]string{"-frames", "0"}, &buf); err == nil {
+		t.Fatal("zero frames must error")
+	}
+	if err := run([]string{"-battery", "-5"}, &buf); err == nil {
+		// Negative battery is disabled (0) semantics? No: flag parses,
+		// value < 0 skips the battery block, so the run succeeds — treat
+		// as no error expected.
+		t.Log("negative battery treated as disabled")
+	}
+}

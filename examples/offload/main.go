@@ -1,0 +1,85 @@
+// Offload: a per-frame local-vs-remote decision loop driven by the
+// analytical model — the use case the paper motivates: instead of
+// measuring every configuration on a testbed, an application consults the
+// model to pick the execution target as operating conditions (frame size,
+// clock throttling, link quality) change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/wireless"
+)
+
+// condition is one operating point the session passes through.
+type condition struct {
+	label          string
+	frameSizePx2   float64
+	cpuFreqGHz     float64
+	linkThroughput float64 // Mbps; 0 keeps the default
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	phone, err := device.ByName("XR2")
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	fw := core.NewWithPaperCoefficients()
+
+	session := []condition{
+		{label: "small frames, full clock", frameSizePx2: 300, cpuFreqGHz: 2.84},
+		{label: "large frames, full clock", frameSizePx2: 700, cpuFreqGHz: 2.84},
+		{label: "large frames, thermally throttled", frameSizePx2: 700, cpuFreqGHz: 1.2},
+		{label: "large frames, throttled, congested Wi-Fi", frameSizePx2: 700, cpuFreqGHz: 1.2, linkThroughput: 8},
+		{label: "small frames, throttled", frameSizePx2: 300, cpuFreqGHz: 1.2},
+	}
+
+	fmt.Println("per-frame offload decisions (latency-optimal, energy as tiebreaker):")
+	fmt.Printf("%-42s %12s %12s %8s\n", "condition", "local(ms)", "remote(ms)", "choose")
+	for _, cond := range session {
+		opts := []pipeline.Option{
+			pipeline.WithFrameSize(cond.frameSizePx2),
+			pipeline.WithCPUFreq(cond.cpuFreqGHz),
+		}
+		sc, err := pipeline.NewScenario(phone, opts...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cond.label, err)
+		}
+		if cond.linkThroughput > 0 {
+			link, err := wireless.NewLink(wireless.WiFi5GHz, cond.linkThroughput, sc.EdgeLink.DistanceM)
+			if err != nil {
+				return fmt.Errorf("%s link: %w", cond.label, err)
+			}
+			sc.EdgeLink = link
+		}
+
+		local, remote, err := fw.CompareModes(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cond.label, err)
+		}
+		choice := "local"
+		// Prefer the faster target; on a near-tie (<5%), prefer the
+		// lower-energy one to save battery.
+		lt, rt := local.Latency.Total, remote.Latency.Total
+		switch {
+		case rt < lt*0.95:
+			choice = "remote"
+		case lt < rt*0.95:
+			choice = "local"
+		case remote.Energy.Total < local.Energy.Total:
+			choice = "remote"
+		}
+		fmt.Printf("%-42s %12.1f %12.1f %8s\n", cond.label, lt, rt, choice)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Quickstart: analyze a single XR object-detection frame on a Meta
+// Quest 2 with the paper's published model coefficients — end-to-end
+// latency, energy, and the per-segment breakdown of Fig. 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Pick the Quest 2 from the Table I catalog.
+	quest, err := device.ByName("XR6")
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+
+	// Build the reference object-detection scenario: 30 fps capture,
+	// 500 px² frames, local inference with MobileNetv2.
+	sc, err := pipeline.NewScenario(quest,
+		pipeline.WithMode(pipeline.ModeLocal),
+		pipeline.WithFrameSize(500),
+	)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+
+	// Analyze with the paper's published regression coefficients
+	// (Eqs. 3, 10, 12, 21).
+	fw := core.NewWithPaperCoefficients()
+	report, err := fw.Analyze(sc)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	fmt.Println(report.Render())
+
+	// The same scenario offloaded to the edge server.
+	sc.Mode = pipeline.ModeRemote
+	remote, err := fw.Analyze(sc)
+	if err != nil {
+		return fmt.Errorf("analyze remote: %w", err)
+	}
+	fmt.Println("--- same frame, remote inference on the edge server ---")
+	fmt.Println(remote.Render())
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun keeps the example compiling and executing end to end. The
+// example re-fits models on the synthetic testbed, so it is the slowest
+// of the example smoke tests (still well under a second).
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Cross-module integration tests: the full stack — synthetic testbed →
+// regression fitting → analytical framework → session simulation → trace
+// export — exercised end to end, plus consistency checks between the
+// analytical models and their discrete-event validators.
+package repro
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/aoi"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/queue"
+	"repro/internal/sensors"
+	"repro/internal/session"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/wireless"
+)
+
+// TestFullStackFitAnalyzeSession drives the complete workflow a
+// downstream user would run: fit models on the synthetic testbed, analyze
+// a realistic scenario, run a session with thermal/battery loops, and
+// round-trip the trace through CSV.
+func TestFullStackFitAnalyzeSession(t *testing.T) {
+	fw, report, err := core.NewFitted(11, 6000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Resource.TrainR2 < 0.7 || report.Encoder.TrainR2 < 0.7 {
+		t.Fatalf("weak fits: %+v", report)
+	}
+
+	dev, err := device.ByName("XR2") // held-out device
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sensors.NewSensor("imu-hub", 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := pipeline.NewScenario(dev,
+		pipeline.WithMode(pipeline.ModeRemote),
+		pipeline.WithFrameSize(600),
+		pipeline.WithSensors(sensors.NewArray(s1), 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency.Total <= 0 || rep.Energy.Total <= 0 || len(rep.Sensors) != 1 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+
+	battery, err := session.NewBattery(3640, 3.85) // Quest 2-class pack
+	if err != nil {
+		t.Fatal(err)
+	}
+	thermal := session.DefaultThermal()
+	res, err := session.Run(session.Config{
+		Framework: fw,
+		Scenario:  sc,
+		Frames:    120,
+		Thermal:   &thermal,
+		Battery:   &battery,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedFrames != 120 {
+		t.Fatalf("frames = %d", res.CompletedFrames)
+	}
+
+	tbl, err := res.TraceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 120 {
+		t.Fatalf("csv round-trip rows = %d", back.Len())
+	}
+}
+
+// TestModelTracksHeldOutDeviceAcrossModes checks the paper's headline
+// claim end to end: the fitted analytical model stays within a single-
+// digit error band of the bench's ground truth on a held-out device, in
+// both inference modes.
+func TestModelTracksHeldOutDeviceAcrossModes(t *testing.T) {
+	// Fit on one bench seed and measure ground truth on an independent
+	// bench (same physics, fresh monitor noise) so the check cannot be
+	// satisfied by shared noise.
+	fw, _, err := core.NewFitted(21, 8000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := testbed.NewBench(99)
+
+	dev, err := device.ByName("XR4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote} {
+		var preds, gts []float64
+		for _, size := range []float64{350, 500, 650} {
+			for _, freq := range []float64{1, 1.5, 2} {
+				sc, err := pipeline.NewScenario(dev,
+					pipeline.WithMode(mode),
+					pipeline.WithFrameSize(size),
+					pipeline.WithCPUFreq(freq),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				meas, err := bench.MeasureFrames(sc, 40)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := fw.Analyze(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				preds = append(preds, rep.Latency.Total)
+				gts = append(gts, meas.LatencyMs)
+			}
+		}
+		mape, err := stats.MAPE(preds, gts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mape > 12 {
+			t.Fatalf("%v held-out latency error = %.1f%%, want < 12%%", mode, mape)
+		}
+	}
+}
+
+// TestAnalyticBufferMatchesDES validates the Eq. (7)/(22) M/M/1
+// assumption end to end: the buffering delay the latency model charges
+// equals the per-class sojourn the discrete-event simulator measures.
+func TestAnalyticBufferMatchesDES(t *testing.T) {
+	dev, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sensors.NewSensor("s", 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := pipeline.NewScenario(dev, pipeline.WithSensors(sensors.NewArray(s1), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, err := queue.NewMM1(sc.BufferArrivalRatePerMs(), sc.BufferServiceRatePerMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := mm1.Simulate(150000, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(sim.MeanSojourn-mm1.MeanSojourn()) / mm1.MeanSojourn(); rel > 0.05 {
+		t.Fatalf("DES sojourn %v vs analytic %v", sim.MeanSojourn, mm1.MeanSojourn())
+	}
+
+	fw := core.NewWithPaperCoefficients()
+	rep, err := fw.Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBuffer := float64(sc.BufferClasses()) * mm1.MeanSojourn()
+	if math.Abs(rep.Latency.Buffering-wantBuffer) > 1e-9 {
+		t.Fatalf("model buffering %v vs analytic %v", rep.Latency.Buffering, wantBuffer)
+	}
+}
+
+// TestSNRLinkDegradesRemotePipeline wires the Shannon link into the full
+// pipeline: pushing the device away from the AP must monotonically raise
+// remote-inference end-to-end latency.
+func TestSNRLinkDegradesRemotePipeline(t *testing.T) {
+	dev, err := device.ByName("XR6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := core.NewWithPaperCoefficients()
+	radio := wireless.DefaultWiFi5SNR()
+	prev := 0.0
+	for _, d := range []float64{5, 50, 150, 400} {
+		link, err := radio.LinkAt(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := pipeline.NewScenario(dev, pipeline.WithMode(pipeline.ModeRemote))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.EdgeLink = link
+		rep, err := fw.Analyze(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Latency.Total <= prev {
+			t.Fatalf("latency must grow with distance: %v at %v m", rep.Latency.Total, d)
+		}
+		prev = rep.Latency.Total
+	}
+}
+
+// TestDropAwareAoIThroughFiniteBuffer couples the M/M/1/K buffer to the
+// AoI model: shrinking the buffer must raise the drop-aware average AoI.
+func TestDropAwareAoIThroughFiniteBuffer(t *testing.T) {
+	s, err := sensors.NewSensor("s", 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := queue.NewMM1(0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := aoi.Config{Sensor: s, RequestFrequencyHz: 200, Buffer: buf}
+	tight, err := queue.NewMM1K(0.9, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := queue.NewMM1K(0.9, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTight, err := cfg.AverageAoIWithDropsMs(4, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRoomy, err := cfg.AverageAoIWithDropsMs(4, roomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aTight <= aRoomy {
+		t.Fatalf("tight buffer AoI %v must exceed roomy %v", aTight, aRoomy)
+	}
+}

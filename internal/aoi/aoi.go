@@ -1,0 +1,205 @@
+// Package aoi implements the paper's Age-of-Information analysis model
+// (Section VI) and the new Relevance-of-Information (RoI) metric. External
+// sensors generate information sequentially at their own frequency f_t
+// while the XR application requests updates at f_req; packets wait in the
+// M/M/1 input buffer (mean sojourn T̄ = 1/(µ−λ), Eq. 22) and traverse the
+// wireless medium (propagation d/c). The per-update AoI follows Eq. (23),
+// its per-frame average Eq. (24), the processed frequency Eq. (25), and
+// RoI = f̄/f_req (Eq. 26) with RoI ≥ 1 meaning the information is fresh.
+package aoi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/queue"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+)
+
+// Common errors.
+var (
+	// ErrConfig indicates an invalid AoI configuration.
+	ErrConfig = errors.New("aoi: invalid configuration")
+)
+
+// Config describes one sensor's AoI situation: its generation process, the
+// XR application's request cadence, and the input buffer it feeds.
+type Config struct {
+	// Sensor is the external information source.
+	Sensor sensors.Sensor
+	// RequestFrequencyHz is f_req, how often the XR application needs an
+	// update (the paper's Fig. 4e/4f uses 200 Hz — one per 5 ms).
+	RequestFrequencyHz float64
+	// Buffer is the stable M/M/1 input buffer.
+	Buffer queue.MM1
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sensor.GenFrequencyHz <= 0 {
+		return fmt.Errorf("%w: sensor frequency %v Hz", ErrConfig, c.Sensor.GenFrequencyHz)
+	}
+	if c.RequestFrequencyHz <= 0 {
+		return fmt.Errorf("%w: request frequency %v Hz", ErrConfig, c.RequestFrequencyHz)
+	}
+	if c.Buffer.Mu <= c.Buffer.Lambda || c.Buffer.Lambda <= 0 {
+		return fmt.Errorf("%w: buffer λ=%v µ=%v", ErrConfig, c.Buffer.Lambda, c.Buffer.Mu)
+	}
+	return nil
+}
+
+// RequestPeriodMs returns 1/f_req in milliseconds.
+func (c Config) RequestPeriodMs() float64 { return 1000 / c.RequestFrequencyHz }
+
+// UpdateAoIMs returns the analytical AoI of the n-th update (n ≥ 1),
+// realizing Eq. (23). The sensor serves update requests sequentially, so
+// the n-th generation completes at T^{mn} = n/f_t (the Fig. 2 timing: a
+// 67 Hz sensor is transmitting its first information when the third update
+// is already required); the request was issued at T^n_Req = (n−1)/f_req;
+// the packet additionally incurs propagation d/c and mean buffer sojourn
+// T̄:
+//
+//	t^{mn} = T^{mn} + (d/c + T̄) − T^n_Req
+//
+// For a sensor faster than the request cadence the sequential term would
+// go negative; physically the age of a sample can never fall below the
+// sensor's generation period, so the term is floored there.
+func (c Config) UpdateAoIMs(n int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("%w: update index %d", ErrConfig, n)
+	}
+	period := c.Sensor.GenerationPeriodMs()
+	lag := float64(n)*period - float64(n-1)*c.RequestPeriodMs()
+	if lag < period {
+		lag = period
+	}
+	return lag + c.Sensor.PropagationDelayMs() + c.Buffer.MeanSojourn(), nil
+}
+
+// AverageAoIMs returns A^m of Eq. (24): the mean AoI over the N updates of
+// one frame's processing time.
+func (c Config) AverageAoIMs(updates int) (float64, error) {
+	if updates < 1 {
+		return 0, fmt.Errorf("%w: updates %d", ErrConfig, updates)
+	}
+	var sum float64
+	for n := 1; n <= updates; n++ {
+		a, err := c.UpdateAoIMs(n)
+		if err != nil {
+			return 0, err
+		}
+		sum += a
+	}
+	return sum / float64(updates), nil
+}
+
+// ProcessedFrequencyHz returns f̄ of Eq. (25): the frequency at which the
+// XR device effectively processes fresh information from the sensor,
+// 1/A^m converted to Hz.
+func (c Config) ProcessedFrequencyHz(updates int) (float64, error) {
+	a, err := c.AverageAoIMs(updates)
+	if err != nil {
+		return 0, err
+	}
+	if a <= 0 {
+		return 0, fmt.Errorf("%w: non-positive average AoI %v", ErrConfig, a)
+	}
+	return 1000 / a, nil
+}
+
+// RoI returns the Relevance-of-Information of Eq. (26): f̄/f_req. RoI ≥ 1
+// means the sensor keeps up with the application's freshness requirement.
+func (c Config) RoI(updates int) (float64, error) {
+	fbar, err := c.ProcessedFrequencyHz(updates)
+	if err != nil {
+		return 0, err
+	}
+	return fbar / c.RequestFrequencyHz, nil
+}
+
+// Point is one (request time, AoI) sample of an AoI trajectory.
+type Point struct {
+	// TimeMs is the request issue time.
+	TimeMs float64
+	// AoIMs is the information age when the update is consumed.
+	AoIMs float64
+	// RoI is the running relevance after this update.
+	RoI float64
+}
+
+// Series returns the analytical AoI trajectory over the first `updates`
+// request cycles — the curves of Fig. 4e and the staircase of Fig. 4f.
+func (c Config) Series(updates int) ([]Point, error) {
+	if updates < 1 {
+		return nil, fmt.Errorf("%w: updates %d", ErrConfig, updates)
+	}
+	out := make([]Point, 0, updates)
+	for n := 1; n <= updates; n++ {
+		a, err := c.UpdateAoIMs(n)
+		if err != nil {
+			return nil, err
+		}
+		roi := 0.0
+		if a > 0 {
+			roi = (1000 / a) / c.RequestFrequencyHz
+		}
+		out = append(out, Point{
+			TimeMs: float64(n-1) * c.RequestPeriodMs(),
+			AoIMs:  a,
+			RoI:    roi,
+		})
+	}
+	return out, nil
+}
+
+// Simulate produces a ground-truth AoI trajectory by discrete-event
+// simulation: generation completion at the sensor's sequential cadence
+// with small timing jitter, an exponentially distributed buffer sojourn
+// (the M/M/1 sojourn distribution), and wireless propagation. It plays the
+// role of the paper's emulated experiment for Fig. 4e.
+func (c Config) Simulate(updates int, jitterRel float64, rng *stats.RNG) ([]Point, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if updates < 1 {
+		return nil, fmt.Errorf("%w: updates %d", ErrConfig, updates)
+	}
+	if rng == nil {
+		return nil, errors.New("aoi: nil rng")
+	}
+	if jitterRel < 0 {
+		return nil, fmt.Errorf("%w: jitter %v", ErrConfig, jitterRel)
+	}
+	sojournRate := c.Buffer.Mu - c.Buffer.Lambda
+	out := make([]Point, 0, updates)
+	genClock := 0.0
+	for n := 1; n <= updates; n++ {
+		period := rng.Jitter(c.Sensor.GenerationPeriodMs(), jitterRel)
+		genClock += period
+		wait, err := rng.Exponential(sojournRate)
+		if err != nil {
+			return nil, fmt.Errorf("buffer sojourn: %w", err)
+		}
+		reqTime := float64(n-1) * c.RequestPeriodMs()
+		lag := genClock - reqTime
+		if lag < period {
+			// Same physical floor as the analytical model: an update's
+			// age cannot fall below the sensor's generation period.
+			lag = period
+		}
+		age := lag + c.Sensor.PropagationDelayMs() + wait
+		roi := 0.0
+		if age > 0 {
+			roi = (1000 / age) / c.RequestFrequencyHz
+		}
+		out = append(out, Point{TimeMs: reqTime, AoIMs: age, RoI: roi})
+	}
+	return out, nil
+}
+
+// IsFresh reports the paper's freshness criterion RoI ≥ 1.
+func IsFresh(roi float64) bool { return roi >= 1 }

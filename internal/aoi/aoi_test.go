@@ -1,0 +1,282 @@
+package aoi
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/queue"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+)
+
+// idealConfig builds a configuration whose propagation and buffering terms
+// are negligible, so the arithmetic of Eq. (23) is checked in isolation.
+func idealConfig(t *testing.T, sensorHz float64) Config {
+	t.Helper()
+	s, err := sensors.NewSensor("s", sensorHz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly instant buffer: W = 1/(10000 − 0.1) ≈ 0.0001 ms.
+	buf, err := queue.NewMM1(0.1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Sensor: s, RequestFrequencyHz: 200, Buffer: buf}
+}
+
+func TestUpdateAoIPaperStaircase(t *testing.T) {
+	// Fig. 4f: a 100 Hz sensor against 5 ms requests yields AoI
+	// 10, 15, 20 ms at updates 1, 2, 3 with RoI 0.5, 0.33, 0.25.
+	c := idealConfig(t, 100)
+	wantAoI := []float64{10, 15, 20}
+	wantRoI := []float64{0.5, 1.0 / 3.0, 0.25}
+	for n := 1; n <= 3; n++ {
+		a, err := c.UpdateAoIMs(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-wantAoI[n-1]) > 0.01 {
+			t.Fatalf("AoI(update %d) = %v, want %v", n, a, wantAoI[n-1])
+		}
+		roi := (1000 / a) / c.RequestFrequencyHz
+		if math.Abs(roi-wantRoI[n-1]) > 0.01 {
+			t.Fatalf("RoI(update %d) = %v, want %v", n, roi, wantRoI[n-1])
+		}
+	}
+}
+
+func TestUpdateAoIMatchedSensorIsFlat(t *testing.T) {
+	// A 200 Hz sensor against 200 Hz requests: constant 5 ms AoI.
+	c := idealConfig(t, 200)
+	for n := 1; n <= 10; n++ {
+		a, err := c.UpdateAoIMs(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-5) > 0.01 {
+			t.Fatalf("matched-sensor AoI(update %d) = %v, want 5", n, a)
+		}
+	}
+}
+
+func TestSlowerSensorAgesFaster(t *testing.T) {
+	// Fig. 4e ordering: 67 Hz ages faster than 100 Hz, which ages faster
+	// than 200 Hz.
+	c67 := idealConfig(t, 66.67)
+	c100 := idealConfig(t, 100)
+	c200 := idealConfig(t, 200)
+	for n := 2; n <= 8; n++ {
+		a67, err := c67.UpdateAoIMs(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a100, err := c100.UpdateAoIMs(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a200, err := c200.UpdateAoIMs(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(a67 > a100 && a100 > a200) {
+			t.Fatalf("update %d ordering violated: 67Hz=%v 100Hz=%v 200Hz=%v",
+				n, a67, a100, a200)
+		}
+	}
+}
+
+func TestAverageAoI(t *testing.T) {
+	c := idealConfig(t, 100)
+	avg, err := c.AverageAoIMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of 10, 15, 20 = 15 (± buffer epsilon).
+	if math.Abs(avg-15) > 0.01 {
+		t.Fatalf("average AoI = %v, want 15", avg)
+	}
+	if _, err := c.AverageAoIMs(0); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero updates must error")
+	}
+}
+
+func TestProcessedFrequencyAndRoI(t *testing.T) {
+	c := idealConfig(t, 100)
+	f, err := c.ProcessedFrequencyHz(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000/15 ≈ 66.7 Hz.
+	if math.Abs(f-1000.0/15) > 0.1 {
+		t.Fatalf("f̄ = %v, want ≈66.7", f)
+	}
+	roi, err := c.RoI(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(roi-f/200) > 1e-9 {
+		t.Fatalf("RoI = %v, want %v", roi, f/200)
+	}
+	if IsFresh(roi) {
+		t.Fatal("a lagging sensor must not be fresh")
+	}
+	// A fast sensor (500 Hz) beats the requirement.
+	fast := idealConfig(t, 500)
+	fastRoI, err := fast.RoI(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFresh(fastRoI) {
+		t.Fatalf("500 Hz sensor RoI = %v, want ≥ 1", fastRoI)
+	}
+}
+
+func TestBufferDelayRaisesAoI(t *testing.T) {
+	s, err := sensors.NewSensor("s", 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastBuf, err := queue.NewMM1(0.1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowBuf, err := queue.NewMM1(0.4, 0.5) // W = 10 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFast := Config{Sensor: s, RequestFrequencyHz: 200, Buffer: fastBuf}
+	cSlow := Config{Sensor: s, RequestFrequencyHz: 200, Buffer: slowBuf}
+	aFast, err := cFast.UpdateAoIMs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSlow, err := cSlow.UpdateAoIMs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((aSlow-aFast)-(slowBuf.MeanSojourn()-fastBuf.MeanSojourn())) > 1e-9 {
+		t.Fatalf("buffer contribution wrong: %v vs %v", aSlow, aFast)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := idealConfig(t, 100)
+	bad := c
+	bad.RequestFrequencyHz = 0
+	if _, err := bad.UpdateAoIMs(1); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero request frequency must error")
+	}
+	bad = c
+	bad.Sensor.GenFrequencyHz = 0
+	if _, err := bad.UpdateAoIMs(1); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero sensor frequency must error")
+	}
+	bad = c
+	bad.Buffer = queue.MM1{Lambda: 2, Mu: 1}
+	if _, err := bad.UpdateAoIMs(1); !errors.Is(err, ErrConfig) {
+		t.Fatal("unstable buffer must error")
+	}
+	if _, err := c.UpdateAoIMs(0); !errors.Is(err, ErrConfig) {
+		t.Fatal("update index 0 must error")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := idealConfig(t, 100)
+	pts, err := c.Series(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("series length = %d, want 4", len(pts))
+	}
+	// Request times at 0, 5, 10, 15 ms.
+	for i, p := range pts {
+		if math.Abs(p.TimeMs-float64(i)*5) > 1e-9 {
+			t.Fatalf("point %d time = %v", i, p.TimeMs)
+		}
+		if p.AoIMs <= 0 || p.RoI <= 0 {
+			t.Fatalf("point %d not positive: %+v", i, p)
+		}
+	}
+	// Staircase is non-decreasing for a lagging sensor.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AoIMs < pts[i-1].AoIMs {
+			t.Fatalf("AoI decreased at %d", i)
+		}
+	}
+	if _, err := c.Series(0); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero updates must error")
+	}
+}
+
+func TestSimulateTracksAnalytic(t *testing.T) {
+	c := idealConfig(t, 100)
+	rng := stats.NewRNG(11)
+	got, err := c.Simulate(2000, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2000 {
+		t.Fatalf("sim points = %d", len(got))
+	}
+	// The empirical mean of (AoI_sim − AoI_analytic) must be near zero:
+	// the only stochastic term is the exponential sojourn whose mean
+	// matches the analytic W.
+	var diff float64
+	for n, p := range got {
+		a, err := c.UpdateAoIMs(n + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff += p.AoIMs - a
+	}
+	diff /= float64(len(got))
+	if math.Abs(diff) > 0.05 {
+		t.Fatalf("sim vs analytic mean gap = %v ms", diff)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	c := idealConfig(t, 100)
+	if _, err := c.Simulate(10, 0, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+	if _, err := c.Simulate(0, 0, stats.NewRNG(1)); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero updates must error")
+	}
+	if _, err := c.Simulate(10, -1, stats.NewRNG(1)); !errors.Is(err, ErrConfig) {
+		t.Fatal("negative jitter must error")
+	}
+}
+
+// Property: AoI grows linearly for lagging sensors — the per-update
+// increment equals genPeriod − reqPeriod.
+func TestAoIIncrementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		genHz := 20 + 150*rng.Float64() // slower than requests
+		s, err := sensors.NewSensor("s", genHz, 10*rng.Float64())
+		if err != nil {
+			return false
+		}
+		buf, err := queue.NewMM1(0.1, 100)
+		if err != nil {
+			return false
+		}
+		c := Config{Sensor: s, RequestFrequencyHz: 200, Buffer: buf}
+		a1, err1 := c.UpdateAoIMs(3)
+		a2, err2 := c.UpdateAoIMs(4)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		wantInc := s.GenerationPeriodMs() - c.RequestPeriodMs()
+		return math.Abs((a2-a1)-wantInc) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

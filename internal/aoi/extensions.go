@@ -1,0 +1,103 @@
+package aoi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/queue"
+)
+
+// PeakAoIMs returns the peak (maximum per-update) AoI over the first
+// `updates` request cycles — the peak-age metric of the literature the
+// paper builds on ([41]): while the average AoI drives mean staleness,
+// the peak bounds the worst-case scene inconsistency an XR user sees.
+func (c Config) PeakAoIMs(updates int) (float64, error) {
+	if updates < 1 {
+		return 0, fmt.Errorf("%w: updates %d", ErrConfig, updates)
+	}
+	var peak float64
+	for n := 1; n <= updates; n++ {
+		a, err := c.UpdateAoIMs(n)
+		if err != nil {
+			return 0, err
+		}
+		if a > peak {
+			peak = a
+		}
+	}
+	return peak, nil
+}
+
+// DropPenaltyMs returns the expected extra age caused by a finite input
+// buffer that drops arrivals with the given blocking probability: a
+// dropped update forces the XR device to keep the previous sample one
+// more generation cycle, and consecutive drops compound geometrically, so
+// the expected penalty is period·p/(1−p).
+func (c Config) DropPenaltyMs(blockingProb float64) (float64, error) {
+	if blockingProb < 0 || blockingProb >= 1 {
+		return 0, fmt.Errorf("%w: blocking probability %v", ErrConfig, blockingProb)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	return c.Sensor.GenerationPeriodMs() * blockingProb / (1 - blockingProb), nil
+}
+
+// AverageAoIWithDropsMs returns the drop-aware average AoI: Eq. (24) plus
+// the finite-buffer penalty implied by the M/M/1/K input buffer.
+func (c Config) AverageAoIWithDropsMs(updates int, buf queue.MM1K) (float64, error) {
+	base, err := c.AverageAoIMs(updates)
+	if err != nil {
+		return 0, err
+	}
+	penalty, err := c.DropPenaltyMs(buf.BlockingProbability())
+	if err != nil {
+		return 0, err
+	}
+	return base + penalty, nil
+}
+
+// SystemSummary aggregates AoI across the sensors feeding one XR device.
+type SystemSummary struct {
+	// MeanAoIMs averages the per-sensor average AoIs.
+	MeanAoIMs float64
+	// WorstAoIMs is the largest per-sensor average AoI.
+	WorstAoIMs float64
+	// WorstSensor names the sensor behind WorstAoIMs.
+	WorstSensor string
+	// FreshCount counts sensors with RoI ≥ 1.
+	FreshCount int
+	// Total is the number of sensors assessed.
+	Total int
+}
+
+// SystemAoI assesses every configuration in cfgs over `updates` cycles.
+// All configurations normally share the request frequency and buffer but
+// may differ per sensor.
+func SystemAoI(cfgs []Config, updates int) (SystemSummary, error) {
+	if len(cfgs) == 0 {
+		return SystemSummary{}, errors.New("aoi: no sensor configurations")
+	}
+	var out SystemSummary
+	out.Total = len(cfgs)
+	for _, c := range cfgs {
+		avg, err := c.AverageAoIMs(updates)
+		if err != nil {
+			return SystemSummary{}, fmt.Errorf("sensor %s: %w", c.Sensor.Name, err)
+		}
+		roi, err := c.RoI(updates)
+		if err != nil {
+			return SystemSummary{}, fmt.Errorf("sensor %s: %w", c.Sensor.Name, err)
+		}
+		out.MeanAoIMs += avg
+		if avg > out.WorstAoIMs {
+			out.WorstAoIMs = avg
+			out.WorstSensor = c.Sensor.Name
+		}
+		if IsFresh(roi) {
+			out.FreshCount++
+		}
+	}
+	out.MeanAoIMs /= float64(len(cfgs))
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package aoi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/queue"
+	"repro/internal/sensors"
+)
+
+func TestPeakAoI(t *testing.T) {
+	c := idealConfig(t, 100)
+	peak, err := c.PeakAoIMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Staircase 10/15/20: peak is the last step.
+	if math.Abs(peak-20) > 0.01 {
+		t.Fatalf("peak AoI = %v, want 20", peak)
+	}
+	avg, err := c.AverageAoIMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= avg {
+		t.Fatal("peak must exceed average for a lagging sensor")
+	}
+	if _, err := c.PeakAoIMs(0); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero updates must error")
+	}
+}
+
+func TestPeakEqualsAverageForMatchedSensor(t *testing.T) {
+	c := idealConfig(t, 200)
+	peak, err := c.PeakAoIMs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := c.AverageAoIMs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peak-avg) > 1e-9 {
+		t.Fatalf("flat trajectory: peak %v must equal average %v", peak, avg)
+	}
+}
+
+func TestDropPenalty(t *testing.T) {
+	c := idealConfig(t, 100) // 10 ms period
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 0},
+		{0.5, 10},   // 10·0.5/0.5
+		{0.2, 2.5},  // 10·0.2/0.8
+		{0.9, 90.0}, // 10·0.9/0.1
+	}
+	for _, tt := range tests {
+		got, err := c.DropPenaltyMs(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("penalty(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := c.DropPenaltyMs(1); !errors.Is(err, ErrConfig) {
+		t.Fatal("blocking 1 must error")
+	}
+	if _, err := c.DropPenaltyMs(-0.1); !errors.Is(err, ErrConfig) {
+		t.Fatal("negative blocking must error")
+	}
+}
+
+func TestAverageAoIWithDrops(t *testing.T) {
+	c := idealConfig(t, 100)
+	// A tight finite buffer with real blocking.
+	buf, err := queue.NewMM1K(0.8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDrops, err := c.AverageAoIWithDropsMs(3, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.AverageAoIMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDrops <= base {
+		t.Fatalf("drop-aware AoI %v must exceed base %v", withDrops, base)
+	}
+	penalty, err := c.DropPenaltyMs(buf.BlockingProbability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(withDrops-(base+penalty)) > 1e-9 {
+		t.Fatal("drop-aware AoI must be base plus penalty")
+	}
+}
+
+func TestSystemAoI(t *testing.T) {
+	fast := idealConfig(t, 500)
+	fast.Sensor.Name = "fast"
+	slow := idealConfig(t, 50)
+	slow.Sensor.Name = "slow"
+	sum, err := SystemAoI([]Config{fast, slow}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 2 {
+		t.Fatalf("total = %d", sum.Total)
+	}
+	if sum.WorstSensor != "slow" {
+		t.Fatalf("worst sensor = %q, want slow", sum.WorstSensor)
+	}
+	if sum.FreshCount != 1 {
+		t.Fatalf("fresh count = %d, want 1 (only the 500 Hz sensor)", sum.FreshCount)
+	}
+	fastAvg, err := fast.AverageAoIMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowAvg, err := slow.AverageAoIMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.MeanAoIMs-(fastAvg+slowAvg)/2) > 1e-9 {
+		t.Fatal("mean AoI wrong")
+	}
+	if sum.WorstAoIMs != slowAvg {
+		t.Fatal("worst AoI wrong")
+	}
+	if _, err := SystemAoI(nil, 3); err == nil {
+		t.Fatal("empty system must error")
+	}
+}
+
+func TestSystemAoIPropagatesSensorErrors(t *testing.T) {
+	bad := idealConfig(t, 100)
+	bad.RequestFrequencyHz = 0
+	if _, err := SystemAoI([]Config{bad}, 3); err == nil {
+		t.Fatal("invalid member config must error")
+	}
+}
+
+func TestDropPenaltyUsesSensorPeriod(t *testing.T) {
+	s, err := sensors.NewSensor("s", 200, 0) // 5 ms period
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := queue.NewMM1(0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Config{Sensor: s, RequestFrequencyHz: 200, Buffer: buf}
+	got, err := c.DropPenaltyMs(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-9 {
+		t.Fatalf("penalty = %v, want 5 (one 5 ms period)", got)
+	}
+}

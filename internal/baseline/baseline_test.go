@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// calibrationSet builds ground-truth observations over the Fig. 4 sweep
+// (frame size × CPU frequency) from the synthetic bench.
+func calibrationSet(t *testing.T, bench *testbed.Bench, mode pipeline.InferenceMode) []Observation {
+	t.Helper()
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs []Observation
+	for _, size := range []float64{300, 400, 500, 600, 700} {
+		for _, freq := range []float64{1, 1.5, 2, 2.5, 3} {
+			sc, err := pipeline.NewScenario(d,
+				pipeline.WithMode(mode),
+				pipeline.WithFrameSize(size),
+				pipeline.WithCPUFreq(freq),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := bench.MeasureFrames(sc, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs = append(obs, Observation{
+				Scenario: sc, LatencyMs: m.LatencyMs, EnergyMJ: m.EnergyMJ,
+			})
+		}
+	}
+	return obs
+}
+
+func TestFACTNotCalibrated(t *testing.T) {
+	f := NewFACT()
+	if _, err := f.LatencyMs(nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatal("uncalibrated FACT must refuse to predict")
+	}
+	if _, err := f.EnergyMJ(nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatal("uncalibrated FACT must refuse energy")
+	}
+}
+
+func TestLEAFNotCalibrated(t *testing.T) {
+	l := NewLEAF()
+	if _, err := l.LatencyMs(nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatal("uncalibrated LEAF must refuse to predict")
+	}
+	if _, err := l.EnergyMJ(nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatal("uncalibrated LEAF must refuse energy")
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	if err := NewFACT().Calibrate(nil); !errors.Is(err, ErrObservations) {
+		t.Fatal("empty calibration must error")
+	}
+	if err := NewLEAF().Calibrate(nil); !errors.Is(err, ErrObservations) {
+		t.Fatal("empty calibration must error")
+	}
+	bad := make([]Observation, 8)
+	if err := NewFACT().Calibrate(bad); !errors.Is(err, ErrObservations) {
+		t.Fatal("nil scenarios must error")
+	}
+	if err := NewLEAF().Calibrate(bad); !errors.Is(err, ErrObservations) {
+		t.Fatal("nil scenarios must error")
+	}
+}
+
+func TestBaselinesPredictAfterCalibration(t *testing.T) {
+	bench := testbed.NewBench(5)
+	obs := calibrationSet(t, bench, pipeline.ModeRemote)
+
+	fact := NewFACT()
+	if err := fact.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	leaf := NewLEAF()
+	if err := leaf.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, o := range obs {
+		fl, err := fact.LatencyMs(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, err := leaf.LatencyMs(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fl <= 0 || ll <= 0 {
+			t.Fatalf("non-positive baseline latency: fact=%v leaf=%v", fl, ll)
+		}
+		fe, err := fact.EnergyMJ(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		le, err := leaf.EnergyMJ(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fe <= 0 || le <= 0 {
+			t.Fatalf("non-positive baseline energy: fact=%v leaf=%v", fe, le)
+		}
+	}
+}
+
+func TestLEAFBeatsFACTOnTrainingSweep(t *testing.T) {
+	// The paper's Fig. 5 ordering: LEAF's per-segment structure tracks
+	// ground truth more closely than FACT's monolithic form.
+	bench := testbed.NewBench(8)
+	obs := calibrationSet(t, bench, pipeline.ModeRemote)
+	fact := NewFACT()
+	if err := fact.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	leaf := NewLEAF()
+	if err := leaf.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+
+	var factAcc, leafAcc float64
+	for _, o := range obs {
+		fl, err := fact.LatencyMs(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, err := leaf.LatencyMs(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factAcc += stats.NormalizedAccuracy(fl, o.LatencyMs)
+		leafAcc += stats.NormalizedAccuracy(ll, o.LatencyMs)
+	}
+	factAcc /= float64(len(obs))
+	leafAcc /= float64(len(obs))
+	if leafAcc <= factAcc {
+		t.Fatalf("LEAF accuracy %v must beat FACT %v", leafAcc, factAcc)
+	}
+}
+
+func TestBaselineLatencyMonotonicInFrameSize(t *testing.T) {
+	bench := testbed.NewBench(12)
+	obs := calibrationSet(t, bench, pipeline.ModeRemote)
+	fact := NewFACT()
+	if err := fact.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := pipeline.NewScenario(d, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithFrameSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := pipeline.NewScenario(d, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithFrameSize(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := fact.LatencyMs(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := fact.LatencyMs(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll <= ls {
+		t.Fatalf("FACT latency must grow with frame size: %v vs %v", ls, ll)
+	}
+}
+
+func TestLEAFLocalModeCalibration(t *testing.T) {
+	// Local-only observations zero the radio column; calibration must
+	// drop it rather than fail on a singular design.
+	bench := testbed.NewBench(21)
+	obs := calibrationSet(t, bench, pipeline.ModeLocal)
+	leaf := NewLEAF()
+	if err := leaf.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	e, err := leaf.EnergyMJ(obs[0].Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Fatalf("local-mode LEAF energy = %v", e)
+	}
+}
+
+func TestBaselinesNilScenarioAfterCalibration(t *testing.T) {
+	bench := testbed.NewBench(30)
+	obs := calibrationSet(t, bench, pipeline.ModeRemote)
+	fact := NewFACT()
+	if err := fact.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	leaf := NewLEAF()
+	if err := leaf.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fact.LatencyMs(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+	if _, err := leaf.LatencyMs(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+	if _, err := leaf.EnergyMJ(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+}
+
+func TestFACTReasonableOnTrainingPoints(t *testing.T) {
+	// Even FACT should land within 50% of truth after calibration — it
+	// is a published model, not a strawman.
+	bench := testbed.NewBench(17)
+	obs := calibrationSet(t, bench, pipeline.ModeRemote)
+	fact := NewFACT()
+	if err := fact.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		l, err := fact.LatencyMs(o.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(l-o.LatencyMs) / o.LatencyMs; rel > 0.5 {
+			t.Fatalf("FACT off by %v on a training point", rel)
+		}
+	}
+}

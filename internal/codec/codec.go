@@ -1,0 +1,178 @@
+// Package codec models the H.264 frame encoding and decoding segments of
+// the XR pipeline. Encoding latency depends on too many configuration
+// parameters for a direct analytical form, so the paper fits a multiple
+// linear regression (Eq. 10) over the I-frame interval, B-frame interval,
+// bitrate, frame size, frame rate, and quantization value. Decoding is
+// modeled via the empirical discount rate γ ≈ 1/3 relative to encoding on
+// the same hardware (Eq. 14).
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors.
+var (
+	// ErrParams indicates invalid encoding parameters.
+	ErrParams = errors.New("codec: invalid encoding parameters")
+	// ErrResource indicates a non-positive computation resource.
+	ErrResource = errors.New("codec: computation resource must be positive")
+)
+
+// DefaultDecodeDiscount is γ: through the paper's experiments, decoding
+// takes about one third of the encoding delay on the same device.
+const DefaultDecodeDiscount = 1.0 / 3.0
+
+// EncodingParams is the H.264 configuration tuple of Eq. (10).
+type EncodingParams struct {
+	// IFrameInterval is n_i, the period of I-frames in frames.
+	IFrameInterval float64
+	// BFrameInterval is n_b, the number of consecutive B-frames.
+	BFrameInterval float64
+	// BitrateMbps is n_bitrate in Mbps.
+	BitrateMbps float64
+	// FrameSizePx2 is s_f1, the frame size in pixel² units (the paper's
+	// Fig. 4 sweeps 300–700).
+	FrameSizePx2 float64
+	// FPS is n_fps, frames per second.
+	FPS float64
+	// Quantization is n_quant, the quantization parameter (0–51 for
+	// H.264).
+	Quantization float64
+}
+
+// Validate checks the parameter ranges.
+func (p EncodingParams) Validate() error {
+	switch {
+	case p.IFrameInterval < 1:
+		return fmt.Errorf("%w: I-frame interval %v", ErrParams, p.IFrameInterval)
+	case p.BFrameInterval < 0:
+		return fmt.Errorf("%w: B-frame interval %v", ErrParams, p.BFrameInterval)
+	case p.BitrateMbps <= 0:
+		return fmt.Errorf("%w: bitrate %v Mbps", ErrParams, p.BitrateMbps)
+	case p.FrameSizePx2 <= 0:
+		return fmt.Errorf("%w: frame size %v px²", ErrParams, p.FrameSizePx2)
+	case p.FPS <= 0:
+		return fmt.Errorf("%w: fps %v", ErrParams, p.FPS)
+	case p.Quantization < 0 || p.Quantization > 51:
+		return fmt.Errorf("%w: quantization %v", ErrParams, p.Quantization)
+	}
+	return nil
+}
+
+// DefaultParams returns a typical edge-AR H.264 configuration: I-frame
+// every 30 frames, 2 B-frames, 5 Mbps, 30 fps, QP 28.
+func DefaultParams(frameSizePx2 float64) EncodingParams {
+	return EncodingParams{
+		IFrameInterval: 30,
+		BFrameInterval: 2,
+		BitrateMbps:    5,
+		FrameSizePx2:   frameSizePx2,
+		FPS:            30,
+		Quantization:   28,
+	}
+}
+
+// EncoderCoeffs holds the regression coefficients of Eq. (10): the encoder
+// work term is
+//
+//	K0 + Ki·n_i + Kb·n_b + Kbit·n_bitrate + Ks·s_f1 + Kfps·n_fps + Kq·n_quant
+//
+// which is then divided by the allocated computation resource.
+type EncoderCoeffs struct {
+	K0, Ki, Kb, Kbit, Ks, Kfps, Kq float64
+}
+
+// EncoderModel is the encoding-latency model of Eq. (10).
+type EncoderModel struct {
+	// Coeffs are the fitted regression coefficients.
+	Coeffs EncoderCoeffs
+	// R2 records the fit quality (0 when unknown).
+	R2 float64
+	// DecodeDiscount is γ of Eq. (14).
+	DecodeDiscount float64
+	// MinWork floors the regression's work output so extrapolation
+	// outside the training range cannot go non-physical.
+	MinWork float64
+}
+
+// PaperEncoderModel returns Eq. (10) with the published coefficients
+// (R² = 0.79):
+//
+//	(−574.36 − 7.71n_i + 142.61n_b + 53.38n_bitrate + 1.43s_f1
+//	 + 163.65n_fps + 3.62n_quant)/c_client + δ_f1/m_client
+func PaperEncoderModel() EncoderModel {
+	return EncoderModel{
+		Coeffs: EncoderCoeffs{
+			K0: -574.36, Ki: -7.71, Kb: 142.61, Kbit: 53.38,
+			Ks: 1.43, Kfps: 163.65, Kq: 3.62,
+		},
+		R2:             0.79,
+		DecodeDiscount: DefaultDecodeDiscount,
+		MinWork:        1,
+	}
+}
+
+// Work returns the resource-normalized encoder work (the numerator of
+// Eq. 10) for the given parameters.
+func (m EncoderModel) Work(p EncodingParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	k := m.Coeffs
+	w := k.K0 + k.Ki*p.IFrameInterval + k.Kb*p.BFrameInterval +
+		k.Kbit*p.BitrateMbps + k.Ks*p.FrameSizePx2 +
+		k.Kfps*p.FPS + k.Kq*p.Quantization
+	if w < m.MinWork {
+		w = m.MinWork
+	}
+	return w, nil
+}
+
+// EncodeLatencyMs returns the encoding latency of Eq. (10): work divided
+// by the allocated computation resource plus the input-buffer read term
+// δ_f1/m_client (frameDataMB over memBandwidthGBs; 1 GB/s = 1 MB/ms).
+func (m EncoderModel) EncodeLatencyMs(p EncodingParams, resource, frameDataMB, memBandwidthGBs float64) (float64, error) {
+	if resource <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrResource, resource)
+	}
+	if frameDataMB < 0 {
+		return 0, fmt.Errorf("%w: frame data %v MB", ErrParams, frameDataMB)
+	}
+	if memBandwidthGBs <= 0 {
+		return 0, fmt.Errorf("%w: memory bandwidth %v GB/s", ErrParams, memBandwidthGBs)
+	}
+	w, err := m.Work(p)
+	if err != nil {
+		return 0, err
+	}
+	return w/resource + frameDataMB/memBandwidthGBs, nil
+}
+
+// DecodeLatencyMs returns the decoding latency of Eq. (14):
+// L_dec = L_en·c_client·γ / c_ε — the encoder latency rescaled onto the
+// decoder's resource with the empirical discount γ.
+func (m EncoderModel) DecodeLatencyMs(encodeLatencyMs, encoderResource, decoderResource float64) (float64, error) {
+	if encodeLatencyMs < 0 {
+		return 0, fmt.Errorf("%w: encode latency %v ms", ErrParams, encodeLatencyMs)
+	}
+	if encoderResource <= 0 || decoderResource <= 0 {
+		return 0, fmt.Errorf("%w: encoder %v, decoder %v", ErrResource, encoderResource, decoderResource)
+	}
+	gamma := m.DecodeDiscount
+	if gamma <= 0 {
+		gamma = DefaultDecodeDiscount
+	}
+	return encodeLatencyMs * encoderResource * gamma / decoderResource, nil
+}
+
+// CompressedSizeMB estimates the encoded frame payload δ_f3 from the
+// bitrate and frame rate: one frame carries bitrate/fps worth of bits.
+func CompressedSizeMB(p EncodingParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	bitsPerFrame := p.BitrateMbps * 1e6 / p.FPS
+	return bitsPerFrame / 8 / 1e6, nil
+}

@@ -1,0 +1,199 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestEncodingParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*EncodingParams)
+		ok     bool
+	}{
+		{name: "defaults valid", mutate: func(*EncodingParams) {}, ok: true},
+		{name: "zero iframe", mutate: func(p *EncodingParams) { p.IFrameInterval = 0 }},
+		{name: "negative bframe", mutate: func(p *EncodingParams) { p.BFrameInterval = -1 }},
+		{name: "zero bitrate", mutate: func(p *EncodingParams) { p.BitrateMbps = 0 }},
+		{name: "zero frame size", mutate: func(p *EncodingParams) { p.FrameSizePx2 = 0 }},
+		{name: "zero fps", mutate: func(p *EncodingParams) { p.FPS = 0 }},
+		{name: "quantization over 51", mutate: func(p *EncodingParams) { p.Quantization = 52 }},
+		{name: "negative quantization", mutate: func(p *EncodingParams) { p.Quantization = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams(500)
+			tt.mutate(&p)
+			err := p.Validate()
+			if tt.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrParams) {
+				t.Fatalf("Validate error = %v, want ErrParams", err)
+			}
+		})
+	}
+}
+
+func TestPaperEncoderWork(t *testing.T) {
+	m := PaperEncoderModel()
+	p := DefaultParams(500)
+	w, err := m.Work(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -574.36 - 7.71*30 + 142.61*2 + 53.38*5 + 1.43*500 + 163.65*30 + 3.62*28
+	if math.Abs(w-want) > 1e-9 {
+		t.Fatalf("work = %v, want %v", w, want)
+	}
+	if m.R2 != 0.79 {
+		t.Fatalf("paper R² = %v, want 0.79", m.R2)
+	}
+}
+
+func TestEncoderWorkFloor(t *testing.T) {
+	m := PaperEncoderModel()
+	// Tiny frame at 1 fps pushes the regression negative; it must floor.
+	p := EncodingParams{IFrameInterval: 120, BFrameInterval: 0, BitrateMbps: 0.1,
+		FrameSizePx2: 1, FPS: 1, Quantization: 0}
+	w, err := m.Work(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != m.MinWork {
+		t.Fatalf("floored work = %v, want %v", w, m.MinWork)
+	}
+}
+
+func TestEncodeLatency(t *testing.T) {
+	m := PaperEncoderModel()
+	p := DefaultParams(500)
+	got, err := m.EncodeLatencyMs(p, 13.56, 0.5, 34.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.Work(p)
+	want := w/13.56 + 0.5/34.1
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("encode latency = %v, want %v", got, want)
+	}
+	if _, err := m.EncodeLatencyMs(p, 0, 0.5, 34.1); !errors.Is(err, ErrResource) {
+		t.Fatal("zero resource must error")
+	}
+	if _, err := m.EncodeLatencyMs(p, 10, -1, 34.1); !errors.Is(err, ErrParams) {
+		t.Fatal("negative payload must error")
+	}
+	if _, err := m.EncodeLatencyMs(p, 10, 0.5, 0); !errors.Is(err, ErrParams) {
+		t.Fatal("zero memory bandwidth must error")
+	}
+}
+
+func TestDecodeLatencyDiscount(t *testing.T) {
+	m := PaperEncoderModel()
+	// Same device: decode = γ·encode ≈ encode/3 (Eq. 14 with c_ε =
+	// c_client).
+	got, err := m.DecodeLatencyMs(300, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("same-device decode = %v, want 100", got)
+	}
+	// Edge decodes faster in proportion to its resource.
+	edge, err := m.DecodeLatencyMs(300, 10, 117.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(edge-100*10/117.6) > 1e-9 {
+		t.Fatalf("edge decode = %v", edge)
+	}
+	if _, err := m.DecodeLatencyMs(-1, 10, 10); !errors.Is(err, ErrParams) {
+		t.Fatal("negative encode latency must error")
+	}
+	if _, err := m.DecodeLatencyMs(10, 0, 10); !errors.Is(err, ErrResource) {
+		t.Fatal("zero encoder resource must error")
+	}
+}
+
+func TestDecodeDiscountDefault(t *testing.T) {
+	m := EncoderModel{Coeffs: PaperEncoderModel().Coeffs}
+	// Zero DecodeDiscount falls back to the default γ = 1/3.
+	got, err := m.DecodeLatencyMs(300, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("default-γ decode = %v, want 100", got)
+	}
+}
+
+func TestCompressedSize(t *testing.T) {
+	p := DefaultParams(500) // 5 Mbps at 30 fps
+	got, err := CompressedSizeMB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5e6 / 30 / 8 / 1e6 // ≈ 0.0208 MB
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("compressed size = %v MB, want %v", got, want)
+	}
+	bad := p
+	bad.FPS = 0
+	if _, err := CompressedSizeMB(bad); !errors.Is(err, ErrParams) {
+		t.Fatal("invalid params must error")
+	}
+}
+
+// Property: encode latency decreases as computation resource grows and
+// increases with frame size.
+func TestEncodeLatencyMonotonic(t *testing.T) {
+	m := PaperEncoderModel()
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		size := 300 + 400*rng.Float64()
+		p := DefaultParams(size)
+		r1 := 5 + 20*rng.Float64()
+		r2 := r1 + 1 + 10*rng.Float64()
+		a, err1 := m.EncodeLatencyMs(p, r1, 0.5, 30)
+		b, err2 := m.EncodeLatencyMs(p, r2, 0.5, 30)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if b >= a {
+			return false
+		}
+		bigger := DefaultParams(size + 100)
+		c, err := m.EncodeLatencyMs(bigger, r1, 0.5, 30)
+		if err != nil {
+			return false
+		}
+		return c > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decode latency is always γ·encode·(c_enc/c_dec) and positive.
+func TestDecodeLatencyScaling(t *testing.T) {
+	m := PaperEncoderModel()
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		enc := 10 + 500*rng.Float64()
+		cEnc := 5 + 20*rng.Float64()
+		cDec := 5 + 200*rng.Float64()
+		got, err := m.DecodeLatencyMs(enc, cEnc, cDec)
+		if err != nil {
+			return false
+		}
+		want := enc * cEnc * m.DecodeDiscount / cDec
+		return got > 0 && math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

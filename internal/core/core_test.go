@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/sensors"
+)
+
+func scenario(t *testing.T, opts ...pipeline.Option) *pipeline.Scenario {
+	t.Helper()
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pipeline.NewScenario(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAnalyzeWithPaperCoefficients(t *testing.T) {
+	fw := NewWithPaperCoefficients()
+	rep, err := fw.Analyze(scenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency.Total <= 0 || rep.Energy.Total <= 0 {
+		t.Fatalf("report totals: %v ms, %v mJ", rep.Latency.Total, rep.Energy.Total)
+	}
+	if rep.FPSAchievable <= 0 {
+		t.Fatal("achievable fps missing")
+	}
+	if len(rep.Sensors) != 0 {
+		t.Fatal("no sensors configured, no AoI expected")
+	}
+}
+
+func TestAnalyzeNil(t *testing.T) {
+	fw := NewWithPaperCoefficients()
+	if _, err := fw.Analyze(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+	if _, _, err := fw.CompareModes(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+}
+
+func TestAnalyzeWithSensors(t *testing.T) {
+	fast, err := sensors.NewSensor("camera-rsu", 500, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := sensors.NewSensor("lidar", 10, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := NewWithPaperCoefficients()
+	// The application demands 100 Hz freshness: the 500 Hz camera keeps
+	// up, the 10 Hz lidar cannot.
+	rep, err := fw.Analyze(scenario(t,
+		pipeline.WithSensors(sensors.NewArray(fast, slow), 2),
+		pipeline.WithRequiredUpdateHz(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sensors) != 2 {
+		t.Fatalf("sensor reports = %d, want 2", len(rep.Sensors))
+	}
+	var fastRep, slowRep SensorAoI
+	for _, s := range rep.Sensors {
+		switch s.Sensor {
+		case "camera-rsu":
+			fastRep = s
+		case "lidar":
+			slowRep = s
+		}
+	}
+	if fastRep.AverageAoIMs >= slowRep.AverageAoIMs {
+		t.Fatalf("fast sensor AoI %v must be below slow %v",
+			fastRep.AverageAoIMs, slowRep.AverageAoIMs)
+	}
+	if fastRep.RoI <= slowRep.RoI {
+		t.Fatal("fast sensor must have higher RoI")
+	}
+	// A 500 Hz sensor against a per-frame cadence is fresh; a 10 Hz
+	// lidar against multiple updates per frame is stale.
+	if !fastRep.Fresh {
+		t.Fatalf("500 Hz sensor should be fresh (RoI %v)", fastRep.RoI)
+	}
+	if slowRep.Fresh {
+		t.Fatalf("10 Hz sensor should be stale (RoI %v)", slowRep.RoI)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	s1, err := sensors.NewSensor("rsu", 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := NewWithPaperCoefficients()
+	rep, err := fw.Analyze(scenario(t,
+		pipeline.WithMode(pipeline.ModeRemote),
+		pipeline.WithSensors(sensors.NewArray(s1), 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{
+		"end-to-end latency", "end-to-end energy", "frame encoding",
+		"remote inference", "transmission", "thermal", "base",
+		"sensor freshness", "rsu",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Local-branch segments are zero in remote mode and must be elided.
+	if strings.Contains(out, "local inference") {
+		t.Fatal("zero segments must not render")
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	fw := NewWithPaperCoefficients()
+	sc := scenario(t)
+	local, remote, err := fw.CompareModes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Latency.LocalInf <= 0 || local.Latency.Encoding != 0 {
+		t.Fatal("local report wrong branch")
+	}
+	if remote.Latency.Encoding <= 0 || remote.Latency.LocalInf != 0 {
+		t.Fatal("remote report wrong branch")
+	}
+	// The input scenario must be untouched.
+	if sc.Mode != pipeline.ModeLocal {
+		t.Fatal("CompareModes must not mutate the scenario")
+	}
+}
+
+func TestNewFitted(t *testing.T) {
+	fw, report, err := NewFitted(3, 6000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Resource.TrainR2 <= 0 || report.Power.TrainR2 <= 0 {
+		t.Fatalf("fit report empty: %+v", report)
+	}
+	rep, err := fw.Analyze(scenario(t, pipeline.WithMode(pipeline.ModeRemote)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency.Total <= 0 {
+		t.Fatal("fitted framework must analyze")
+	}
+	if _, _, err := NewFitted(3, 1, 1); err == nil {
+		t.Fatal("tiny datasets must error")
+	}
+}

@@ -1,0 +1,193 @@
+// Package dataset provides the columnar sample tables the framework's
+// measurement campaigns produce — named float64 columns with CSV
+// round-tripping — so synthetic testbed datasets can be exported,
+// inspected, and re-loaded the way the paper's measurement datasets were
+// archived (Section VII: 119,465 training and 36,083 test rows).
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Common errors.
+var (
+	// ErrSchema indicates inconsistent columns/rows.
+	ErrSchema = errors.New("dataset: schema mismatch")
+	// ErrEmpty indicates an empty table where rows are required.
+	ErrEmpty = errors.New("dataset: empty table")
+)
+
+// Table is a columnar dataset: a header of column names and rows of
+// float64 values.
+type Table struct {
+	cols []string
+	rows [][]float64
+}
+
+// New creates an empty table with the given column names.
+func New(cols ...string) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: no columns", ErrSchema)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c == "" {
+			return nil, fmt.Errorf("%w: empty column name", ErrSchema)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("%w: duplicate column %q", ErrSchema, c)
+		}
+		seen[c] = true
+	}
+	out := make([]string, len(cols))
+	copy(out, cols)
+	return &Table{cols: out}, nil
+}
+
+// Columns returns a copy of the column names.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.cols))
+	copy(out, t.cols)
+	return out
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Append adds one row.
+func (t *Table) Append(row ...float64) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("%w: row has %d values, want %d", ErrSchema, len(row), len(t.cols))
+	}
+	cp := make([]float64, len(row))
+	copy(cp, row)
+	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) ([]float64, error) {
+	if i < 0 || i >= len(t.rows) {
+		return nil, fmt.Errorf("%w: row %d of %d", ErrSchema, i, len(t.rows))
+	}
+	out := make([]float64, len(t.cols))
+	copy(out, t.rows[i])
+	return out, nil
+}
+
+// Col returns a copy of the named column.
+func (t *Table) Col(name string) ([]float64, error) {
+	idx := -1
+	for j, c := range t.cols {
+		if c == name {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: no column %q", ErrSchema, name)
+	}
+	out := make([]float64, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r[idx]
+	}
+	return out, nil
+}
+
+// Matrix returns copies of the selected feature columns as row vectors
+// plus the target column — the shape regress.FitOLS consumes.
+func (t *Table) Matrix(features []string, target string) (xs [][]float64, ys []float64, err error) {
+	if len(t.rows) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	idx := make([]int, len(features))
+	for k, f := range features {
+		idx[k] = -1
+		for j, c := range t.cols {
+			if c == f {
+				idx[k] = j
+				break
+			}
+		}
+		if idx[k] < 0 {
+			return nil, nil, fmt.Errorf("%w: no feature column %q", ErrSchema, f)
+		}
+	}
+	tIdx := -1
+	for j, c := range t.cols {
+		if c == target {
+			tIdx = j
+			break
+		}
+	}
+	if tIdx < 0 {
+		return nil, nil, fmt.Errorf("%w: no target column %q", ErrSchema, target)
+	}
+	xs = make([][]float64, len(t.rows))
+	ys = make([]float64, len(t.rows))
+	for i, r := range t.rows {
+		x := make([]float64, len(idx))
+		for k, j := range idx {
+			x[k] = r[j]
+		}
+		xs[i] = x
+		ys[i] = r[tIdx]
+	}
+	return xs, ys, nil
+}
+
+// WriteCSV serializes the table.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.cols); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	rec := make([]string, len(t.cols))
+	for _, r := range t.rows {
+		for j, v := range r {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserializes a table written by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	t, err := New(header...)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read row: %w", err)
+		}
+		row := make([]float64, len(rec))
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", s, err)
+			}
+			row[j] = v
+		}
+		if err := t.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+}

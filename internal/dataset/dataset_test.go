@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrSchema) {
+		t.Fatal("no columns must error")
+	}
+	if _, err := New("a", ""); !errors.Is(err, ErrSchema) {
+		t.Fatal("empty name must error")
+	}
+	if _, err := New("a", "a"); !errors.Is(err, ErrSchema) {
+		t.Fatal("duplicate names must error")
+	}
+	tb, err := New("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Columns(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("columns = %v", got)
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	tb, err := New("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(1); !errors.Is(err, ErrSchema) {
+		t.Fatal("short row must error")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	row, err := tb.Row(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 3 || row[1] != 4 {
+		t.Fatalf("row = %v", row)
+	}
+	if _, err := tb.Row(5); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad index must error")
+	}
+	col, err := tb.Col("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != 2 || col[1] != 4 {
+		t.Fatalf("col = %v", col)
+	}
+	if _, err := tb.Col("zzz"); !errors.Is(err, ErrSchema) {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestRowAndAppendCopy(t *testing.T) {
+	tb, _ := New("x")
+	in := []float64{7}
+	if err := tb.Append(in...); err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 99
+	row, _ := tb.Row(0)
+	if row[0] != 7 {
+		t.Fatal("Append must copy")
+	}
+	row[0] = 55
+	again, _ := tb.Row(0)
+	if again[0] != 7 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	tb, _ := New("a", "b", "y")
+	for i := 0; i < 3; i++ {
+		v := float64(i)
+		if err := tb.Append(v, 2*v, 3*v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xs, ys, err := tb.Matrix([]string{"b", "a"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 3 || len(ys) != 3 {
+		t.Fatalf("sizes = %d/%d", len(xs), len(ys))
+	}
+	if xs[2][0] != 4 || xs[2][1] != 2 || ys[2] != 6 {
+		t.Fatalf("matrix row = %v target %v", xs[2], ys[2])
+	}
+	if _, _, err := tb.Matrix([]string{"zzz"}, "y"); !errors.Is(err, ErrSchema) {
+		t.Fatal("unknown feature must error")
+	}
+	if _, _, err := tb.Matrix([]string{"a"}, "zzz"); !errors.Is(err, ErrSchema) {
+		t.Fatal("unknown target must error")
+	}
+	empty, _ := New("a")
+	if _, _, err := empty.Matrix([]string{"a"}, "a"); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty table must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb, _ := New("fc", "fg", "c")
+	if err := tb.Append(1.5, 0.76, 12.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(3.13, 0.587, 18.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tb.Len() {
+		t.Fatalf("rows = %d, want %d", back.Len(), tb.Len())
+	}
+	for i := 0; i < tb.Len(); i++ {
+		a, _ := tb.Row(i)
+		b, _ := back.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d mismatch: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,notanumber\n")); err == nil {
+		t.Fatal("non-numeric cell must error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,a\n1,2\n")); !errors.Is(err, ErrSchema) {
+		t.Fatal("duplicate header must error")
+	}
+}
+
+// Property: CSV round-trip preserves every value bit-exactly for finite
+// floats.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		tb, err := New("v")
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := tb.Append(v); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		col, err := back.Col("v")
+		if err != nil || len(col) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if col[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package device
+
+import (
+	"fmt"
+)
+
+// The paper notes that Eq. (3) "can also accommodate the allocation of TPU
+// or NPUs depending on the data availability for proper training of the
+// regression model", and likewise for Eq. (21). TriResourceModel and
+// TriPowerModel realize that extension: a third quadratic branch for a
+// neural accelerator, with utilization shares over CPU/GPU/NPU summing
+// to 1.
+
+// Shares is a utilization split across the three processing units.
+type Shares struct {
+	// CPU, GPU, NPU are the utilization fractions; they must be
+	// non-negative and sum to 1.
+	CPU, GPU, NPU float64
+}
+
+// Validate checks the split.
+func (s Shares) Validate() error {
+	if s.CPU < 0 || s.GPU < 0 || s.NPU < 0 {
+		return fmt.Errorf("%w: shares %+v", ErrUtilization, s)
+	}
+	if sum := s.CPU + s.GPU + s.NPU; sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("%w: shares sum to %v, want 1", ErrUtilization, sum)
+	}
+	return nil
+}
+
+// Clocks carries the operating frequencies of the three units in GHz.
+type Clocks struct {
+	CPU, GPU, NPU float64
+}
+
+// TriResourceModel extends Eq. (3) with an NPU branch:
+//
+//	c = ω_c·Q_cpu(f_c) + ω_g·Q_gpu(f_g) + ω_n·Q_npu(f_n)
+type TriResourceModel struct {
+	// CPU, GPU, NPU hold the per-branch quadratics.
+	CPU, GPU, NPU ResourceCoeffs
+	// MinResource floors the output.
+	MinResource float64
+}
+
+// TriFromPaper extends the paper's published two-branch model with NPU
+// coefficients. Mobile NPUs deliver far more effective throughput per GHz
+// on CNN inference than CPUs; the default branch reflects a Kirin
+// 9000-class NPU.
+func TriFromPaper() TriResourceModel {
+	base := PaperResourceModel()
+	return TriResourceModel{
+		CPU:         base.CPU,
+		GPU:         base.GPU,
+		NPU:         ResourceCoeffs{A0: 4.1, A1: 31.0, A2: 8.5},
+		MinResource: base.MinResource,
+	}
+}
+
+// Compute returns the allocated computation resource for the clocks and
+// shares. Branches with zero share do not require a clock.
+func (m TriResourceModel) Compute(clocks Clocks, shares Shares) (float64, error) {
+	if err := shares.Validate(); err != nil {
+		return 0, err
+	}
+	if shares.CPU > 0 && clocks.CPU <= 0 {
+		return 0, fmt.Errorf("%w: f_c=%v GHz", ErrFrequency, clocks.CPU)
+	}
+	if shares.GPU > 0 && clocks.GPU <= 0 {
+		return 0, fmt.Errorf("%w: f_g=%v GHz", ErrFrequency, clocks.GPU)
+	}
+	if shares.NPU > 0 && clocks.NPU <= 0 {
+		return 0, fmt.Errorf("%w: f_n=%v GHz", ErrFrequency, clocks.NPU)
+	}
+	c := shares.CPU*m.CPU.Eval(clocks.CPU) +
+		shares.GPU*m.GPU.Eval(clocks.GPU) +
+		shares.NPU*m.NPU.Eval(clocks.NPU)
+	if c < m.MinResource {
+		c = m.MinResource
+	}
+	return c, nil
+}
+
+// TriPowerModel extends Eq. (21) with an NPU branch.
+type TriPowerModel struct {
+	// CPU, GPU, NPU hold the per-branch power curves.
+	CPU, GPU, NPU PowerCoeffs
+	// MinPowerW floors the output.
+	MinPowerW float64
+}
+
+// TriPowerFromPaper extends the paper's published power model with an NPU
+// branch: neural accelerators are markedly more power-efficient per unit
+// of inference throughput.
+func TriPowerFromPaper() TriPowerModel {
+	base := PaperPowerModel()
+	return TriPowerModel{
+		CPU:       base.CPU,
+		GPU:       base.GPU,
+		NPU:       PowerCoeffs{B1: 2.4, B2: 0.35, B0: 0.3},
+		MinPowerW: base.MinPowerW,
+	}
+}
+
+// MeanPowerW returns the mean application power for the clocks and
+// shares.
+func (m TriPowerModel) MeanPowerW(clocks Clocks, shares Shares) (float64, error) {
+	if err := shares.Validate(); err != nil {
+		return 0, err
+	}
+	if shares.CPU > 0 && clocks.CPU <= 0 {
+		return 0, fmt.Errorf("%w: f_c=%v GHz", ErrFrequency, clocks.CPU)
+	}
+	if shares.GPU > 0 && clocks.GPU <= 0 {
+		return 0, fmt.Errorf("%w: f_g=%v GHz", ErrFrequency, clocks.GPU)
+	}
+	if shares.NPU > 0 && clocks.NPU <= 0 {
+		return 0, fmt.Errorf("%w: f_n=%v GHz", ErrFrequency, clocks.NPU)
+	}
+	p := shares.CPU*m.CPU.Eval(clocks.CPU) +
+		shares.GPU*m.GPU.Eval(clocks.GPU) +
+		shares.NPU*m.NPU.Eval(clocks.NPU)
+	if p < m.MinPowerW {
+		p = m.MinPowerW
+	}
+	return p, nil
+}
+
+// AsTwoBranch projects the tri-branch model onto the two-branch
+// latency.ResourceModel interface for a pinned NPU allocation, so
+// NPU-equipped scenarios flow through the standard pipeline without
+// changing Eq. (1)'s composition. The returned model, evaluated at the
+// returned CPU share ω_c' = ω_c/(ω_c+ω_g), reproduces the tri-branch
+// total exactly: the CPU/GPU quadratics are scaled by the non-NPU budget
+// and the fixed NPU contribution is folded into both branch constants.
+func (m TriResourceModel) AsTwoBranch(clocks Clocks, shares Shares) (ResourceModel, float64, error) {
+	if err := shares.Validate(); err != nil {
+		return ResourceModel{}, 0, err
+	}
+	if shares.NPU > 0 && clocks.NPU <= 0 {
+		return ResourceModel{}, 0, fmt.Errorf("%w: f_n=%v GHz", ErrFrequency, clocks.NPU)
+	}
+	npu := shares.NPU * m.NPU.Eval(clocks.NPU)
+	rest := shares.CPU + shares.GPU
+	scale := func(c ResourceCoeffs) ResourceCoeffs {
+		return ResourceCoeffs{
+			A0: rest*c.A0 + npu,
+			A1: rest * c.A1,
+			A2: rest * c.A2,
+		}
+	}
+	out := ResourceModel{
+		CPU:         scale(m.CPU),
+		GPU:         scale(m.GPU),
+		MinResource: m.MinResource,
+	}
+	// Renormalized CPU share; a pure-NPU split degenerates to constant
+	// branches where any share reproduces the total.
+	share := 0.0
+	if rest > 0 {
+		share = shares.CPU / rest
+	}
+	return out, share, nil
+}

@@ -1,0 +1,203 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSharesValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		shares Shares
+		ok     bool
+	}{
+		{name: "cpu only", shares: Shares{CPU: 1}, ok: true},
+		{name: "even three-way", shares: Shares{CPU: 1.0 / 3, GPU: 1.0 / 3, NPU: 1.0 / 3}, ok: true},
+		{name: "npu heavy", shares: Shares{CPU: 0.1, GPU: 0.1, NPU: 0.8}, ok: true},
+		{name: "sum below one", shares: Shares{CPU: 0.5}},
+		{name: "sum above one", shares: Shares{CPU: 0.8, GPU: 0.8}},
+		{name: "negative", shares: Shares{CPU: 1.2, GPU: -0.2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.shares.Validate()
+			if tt.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrUtilization) {
+				t.Fatalf("error = %v, want ErrUtilization", err)
+			}
+		})
+	}
+}
+
+func TestTriResourceMatchesTwoBranchWhenNPUZero(t *testing.T) {
+	tri := TriFromPaper()
+	two := PaperResourceModel()
+	clocks := Clocks{CPU: 2.5, GPU: 0.76, NPU: 1}
+	for _, wc := range []float64{0, 0.3, 0.7, 1} {
+		got, err := tri.Compute(clocks, Shares{CPU: wc, GPU: 1 - wc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := two.Compute(clocks.CPU, clocks.GPU, wc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ω_c=%v: tri %v vs two-branch %v", wc, got, want)
+		}
+	}
+}
+
+func TestNPUBoostsResource(t *testing.T) {
+	tri := TriFromPaper()
+	clocks := Clocks{CPU: 2.5, GPU: 0.76, NPU: 1.2}
+	withoutNPU, err := tri.Compute(clocks, Shares{CPU: 0.5, GPU: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNPU, err := tri.Compute(clocks, Shares{CPU: 0.3, GPU: 0.3, NPU: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withNPU <= withoutNPU {
+		t.Fatalf("NPU share must raise resource: %v vs %v", withNPU, withoutNPU)
+	}
+}
+
+func TestTriComputeValidation(t *testing.T) {
+	tri := TriFromPaper()
+	if _, err := tri.Compute(Clocks{CPU: 2, GPU: 1, NPU: 0},
+		Shares{CPU: 0.5, GPU: 0.3, NPU: 0.2}); !errors.Is(err, ErrFrequency) {
+		t.Fatal("npu share without clock must error")
+	}
+	if _, err := tri.Compute(Clocks{CPU: 0, GPU: 1, NPU: 1},
+		Shares{CPU: 0.5, GPU: 0.5}); !errors.Is(err, ErrFrequency) {
+		t.Fatal("cpu share without clock must error")
+	}
+	if _, err := tri.Compute(Clocks{CPU: 2, GPU: 0, NPU: 1},
+		Shares{GPU: 1}); !errors.Is(err, ErrFrequency) {
+		t.Fatal("gpu share without clock must error")
+	}
+	// Zero-share branches do not need clocks.
+	if _, err := tri.Compute(Clocks{NPU: 1}, Shares{NPU: 1}); err != nil {
+		t.Fatalf("pure NPU: %v", err)
+	}
+}
+
+func TestTriPowerNPUEfficiency(t *testing.T) {
+	p := TriPowerFromPaper()
+	clocks := Clocks{CPU: 2.5, GPU: 0.76, NPU: 1.2}
+	cpuHeavy, err := p.MeanPowerW(clocks, Shares{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	npuHeavy, err := p.MeanPowerW(clocks, Shares{NPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if npuHeavy >= cpuHeavy {
+		t.Fatalf("NPU power %v must be below CPU %v at these clocks", npuHeavy, cpuHeavy)
+	}
+	if _, err := p.MeanPowerW(Clocks{}, Shares{CPU: 1}); !errors.Is(err, ErrFrequency) {
+		t.Fatal("missing clock must error")
+	}
+	if _, err := p.MeanPowerW(clocks, Shares{}); !errors.Is(err, ErrUtilization) {
+		t.Fatal("zero shares must error")
+	}
+}
+
+func TestAsTwoBranchReproducesTriTotal(t *testing.T) {
+	tri := TriFromPaper()
+	clocks := Clocks{CPU: 2.2, GPU: 0.7, NPU: 1.1}
+	shares := Shares{CPU: 0.35, GPU: 0.25, NPU: 0.4}
+	want, err := tri.Compute(clocks, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, wcPrime, err := tri.AsTwoBranch(clocks, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := two.Compute(clocks.CPU, clocks.GPU, wcPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("projection = %v, tri total = %v", got, want)
+	}
+}
+
+func TestAsTwoBranchPureNPU(t *testing.T) {
+	tri := TriFromPaper()
+	clocks := Clocks{CPU: 2, GPU: 0.7, NPU: 1.5}
+	shares := Shares{NPU: 1}
+	want, err := tri.Compute(clocks, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, wcPrime, err := tri.AsTwoBranch(clocks, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := two.Compute(clocks.CPU, clocks.GPU, wcPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pure-NPU projection = %v, want %v", got, want)
+	}
+}
+
+func TestAsTwoBranchValidation(t *testing.T) {
+	tri := TriFromPaper()
+	if _, _, err := tri.AsTwoBranch(Clocks{CPU: 2, GPU: 1},
+		Shares{CPU: 0.5, NPU: 0.5}); !errors.Is(err, ErrFrequency) {
+		t.Fatal("npu share without clock must error")
+	}
+	if _, _, err := tri.AsTwoBranch(Clocks{CPU: 2, GPU: 1, NPU: 1},
+		Shares{CPU: 2}); !errors.Is(err, ErrUtilization) {
+		t.Fatal("bad shares must error")
+	}
+}
+
+// Property: the two-branch projection reproduces the tri-branch total for
+// random valid splits and clocks.
+func TestAsTwoBranchProjectionProperty(t *testing.T) {
+	tri := TriFromPaper()
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		sum := a + b + c
+		if sum == 0 {
+			return true
+		}
+		shares := Shares{CPU: a / sum, GPU: b / sum, NPU: c / sum}
+		clocks := Clocks{
+			CPU: 1 + 2*rng.Float64(),
+			GPU: 0.4 + rng.Float64(),
+			NPU: 0.5 + rng.Float64(),
+		}
+		want, err := tri.Compute(clocks, shares)
+		if err != nil {
+			return false
+		}
+		two, wcPrime, err := tri.AsTwoBranch(clocks, shares)
+		if err != nil {
+			return false
+		}
+		got, err := two.Compute(clocks.CPU, clocks.GPU, wcPrime)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

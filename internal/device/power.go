@@ -1,0 +1,117 @@
+package device
+
+import (
+	"fmt"
+)
+
+// Default power-accounting constants of Section V-B. Base power covers OS
+// background activity (system clock, display, connectivity) plus
+// semiconductor leakage; the thermal fraction is the share of consumed
+// energy converted to heat (E_θ).
+const (
+	// DefaultBasePowerW is the always-on background power of an XR
+	// device in watts.
+	DefaultBasePowerW = 0.85
+	// DefaultThermalFraction is the share of application energy that
+	// dissipates as heat.
+	DefaultThermalFraction = 0.06
+)
+
+// PowerCoeffs holds the quadratic coefficients of one processing unit's
+// contribution to mean power: b1·f − b2·f² − b0 (the paper writes the
+// branches in this sign convention, Eq. 21).
+type PowerCoeffs struct {
+	B1, B2, B0 float64
+}
+
+// Eval evaluates the branch at frequency f (GHz).
+func (c PowerCoeffs) Eval(f float64) float64 {
+	return c.B1*f - c.B2*f*f - c.B0
+}
+
+// PowerModel is the mean-power model of Eq. (21):
+//
+//	P_mean = ω_c·(CPU branch in f_c) + (1−ω_c)·(GPU branch in f_g)
+//
+// plus base power and thermal accounting from Section V-B.
+type PowerModel struct {
+	// CPU holds the CPU-branch coefficients.
+	CPU PowerCoeffs
+	// GPU holds the GPU-branch coefficients.
+	GPU PowerCoeffs
+	// R2 records the regression fit quality (0 when unknown).
+	R2 float64
+	// BasePowerW is the always-on background draw.
+	BasePowerW float64
+	// ThermalFraction is the heat-dissipation share of dynamic energy.
+	ThermalFraction float64
+	// MinPowerW floors the dynamic power: the regression extrapolates
+	// negative below its training range, which is non-physical.
+	MinPowerW float64
+}
+
+// PaperPowerModel returns Eq. (21) with the published coefficients
+// (R² = 0.863):
+//
+//	P = ω_c(18.85f_c − 3.64f_c² − 20.74) + (1−ω_c)(187.48f_g − 135.11f_g² − 62.197)
+func PaperPowerModel() PowerModel {
+	return PowerModel{
+		CPU:             PowerCoeffs{B1: 18.85, B2: 3.64, B0: 20.74},
+		GPU:             PowerCoeffs{B1: 187.48, B2: 135.11, B0: 62.197},
+		R2:              0.863,
+		BasePowerW:      DefaultBasePowerW,
+		ThermalFraction: DefaultThermalFraction,
+		MinPowerW:       0.25,
+	}
+}
+
+// MeanPowerW returns the application mean power P_mean (W) for the given
+// clocks and CPU utilization share.
+func (m PowerModel) MeanPowerW(fc, fg, wc float64) (float64, error) {
+	if wc < 0 || wc > 1 {
+		return 0, fmt.Errorf("%w: ω_c=%v", ErrUtilization, wc)
+	}
+	if wc > 0 && fc <= 0 {
+		return 0, fmt.Errorf("%w: f_c=%v GHz", ErrFrequency, fc)
+	}
+	if wc < 1 && fg <= 0 {
+		return 0, fmt.Errorf("%w: f_g=%v GHz", ErrFrequency, fg)
+	}
+	p := wc*m.CPU.Eval(fc) + (1-wc)*m.GPU.Eval(fg)
+	if p < m.MinPowerW {
+		p = m.MinPowerW
+	}
+	return p, nil
+}
+
+// SegmentEnergyMJ integrates the mean power over a segment latency:
+// E = P·L, with power in watts and latency in milliseconds, so the result
+// is millijoules (1 W·ms = 1 mJ). This realizes the per-segment ∫P dt
+// terms of Eq. (20) under the paper's mean-power treatment.
+func (m PowerModel) SegmentEnergyMJ(powerW, latencyMs float64) (float64, error) {
+	if powerW < 0 {
+		return 0, fmt.Errorf("device: negative power %v W", powerW)
+	}
+	if latencyMs < 0 {
+		return 0, fmt.Errorf("device: negative latency %v ms", latencyMs)
+	}
+	return powerW * latencyMs, nil
+}
+
+// BaseEnergyMJ returns E_base over an interval: the background energy that
+// accrues whether or not the XR application is active.
+func (m PowerModel) BaseEnergyMJ(intervalMs float64) (float64, error) {
+	if intervalMs < 0 {
+		return 0, fmt.Errorf("device: negative interval %v ms", intervalMs)
+	}
+	return m.BasePowerW * intervalMs, nil
+}
+
+// ThermalEnergyMJ returns E_θ, the heat-dissipated share of the dynamic
+// energy consumed during the application.
+func (m PowerModel) ThermalEnergyMJ(dynamicEnergyMJ float64) (float64, error) {
+	if dynamicEnergyMJ < 0 {
+		return 0, fmt.Errorf("device: negative energy %v mJ", dynamicEnergyMJ)
+	}
+	return m.ThermalFraction * dynamicEnergyMJ, nil
+}

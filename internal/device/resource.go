@@ -1,0 +1,82 @@
+package device
+
+import (
+	"fmt"
+)
+
+// EdgeResourceRatio is the ratio c_ε/c_client the paper derives from its
+// experimental data via the decoding-delay relation (Eq. 14): the Jetson
+// AGX edge server exposes 11.76× the effective computation resource of the
+// average client XR device.
+const EdgeResourceRatio = 11.76
+
+// ResourceCoeffs holds the quadratic coefficients of one processing unit's
+// contribution to the allocated computation resource: a0 + a1·f² + a2·f
+// with f the clock frequency in GHz.
+type ResourceCoeffs struct {
+	A0, A1, A2 float64
+}
+
+// Eval evaluates the quadratic at frequency f (GHz).
+func (c ResourceCoeffs) Eval(f float64) float64 {
+	return c.A0 + c.A1*f*f + c.A2*f
+}
+
+// ResourceModel is the allocated-computation-resource model of Eq. (3):
+//
+//	c_client = ω_c·(CPU quadratic in f_c) + (1−ω_c)·(GPU quadratic in f_g)
+//
+// The OS and the application jointly decide the CPU/GPU split ω_c; the
+// quadratics come from multiple linear regression over measured data. The
+// same form accommodates TPU/NPU units given training data (Section IV-B).
+type ResourceModel struct {
+	// CPU holds the CPU-branch coefficients.
+	CPU ResourceCoeffs
+	// GPU holds the GPU-branch coefficients.
+	GPU ResourceCoeffs
+	// R2 records the goodness of fit of the regression that produced
+	// the coefficients (0 when unknown).
+	R2 float64
+	// MinResource floors the output: a regression extrapolated outside
+	// its training range can dip non-physically low or negative.
+	MinResource float64
+}
+
+// PaperResourceModel returns Eq. (3) with the published coefficients
+// (R² = 0.87):
+//
+//	c = ω_c(18.24 + 1.84f_c² − 6.02f_c) + (1−ω_c)(193.67 + 400.96f_g² − 558.29f_g)
+func PaperResourceModel() ResourceModel {
+	return ResourceModel{
+		CPU:         ResourceCoeffs{A0: 18.24, A1: 1.84, A2: -6.02},
+		GPU:         ResourceCoeffs{A0: 193.67, A1: 400.96, A2: -558.29},
+		R2:          0.87,
+		MinResource: 1.0,
+	}
+}
+
+// Compute returns the allocated computation resource c_client for CPU
+// clock fc (GHz), GPU clock fg (GHz), and CPU utilization share wc ∈ [0,1]
+// (GPU share is 1−wc, Eq. 3).
+func (m ResourceModel) Compute(fc, fg, wc float64) (float64, error) {
+	if wc < 0 || wc > 1 {
+		return 0, fmt.Errorf("%w: ω_c=%v", ErrUtilization, wc)
+	}
+	if wc > 0 && fc <= 0 {
+		return 0, fmt.Errorf("%w: f_c=%v GHz", ErrFrequency, fc)
+	}
+	if wc < 1 && fg <= 0 {
+		return 0, fmt.Errorf("%w: f_g=%v GHz", ErrFrequency, fg)
+	}
+	c := wc*m.CPU.Eval(fc) + (1-wc)*m.GPU.Eval(fg)
+	if c < m.MinResource {
+		c = m.MinResource
+	}
+	return c, nil
+}
+
+// EdgeResource returns the edge-server computation resource c_ε implied by
+// the client resource via the paper's experimental relation c_ε = 11.76·c.
+func EdgeResource(clientResource float64) float64 {
+	return EdgeResourceRatio * clientResource
+}

@@ -1,0 +1,218 @@
+// Package energy implements the paper's energy-consumption analysis model
+// (Section V): per-segment energies E = ∫P dt evaluated with the
+// mean-power regression of Eq. (21) over each segment's latency, plus the
+// thermal conversion E_θ and the always-on base energy E_base of Eq. (19).
+// Power differs by activity class: computation segments draw the
+// frequency-dependent P_mean, radio segments draw transmit power, and
+// wait segments (external-info arrival, remote inference on the server)
+// draw only the radio-idle listening power on the XR device.
+package energy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/latency"
+	"repro/internal/pipeline"
+)
+
+// Radio power constants for 802.11-class links, consistent with the
+// smartphone measurement literature the paper builds on ([36], [37]).
+const (
+	// DefaultTxPowerW is the radio power while actively transmitting.
+	DefaultTxPowerW = 1.15
+	// DefaultRadioIdleW is the listening power while awaiting remote
+	// results or sensor packets.
+	DefaultRadioIdleW = 0.35
+)
+
+// ErrModel indicates an internal model inconsistency.
+var ErrModel = errors.New("energy: model error")
+
+// PowerModel abstracts the mean-power model (Eq. 21) plus base and thermal
+// accounting. device.PowerModel is the regression implementation; the
+// synthetic testbed plugs in hidden true physics through the same
+// interface.
+type PowerModel interface {
+	// MeanPowerW returns the application mean power.
+	MeanPowerW(fcGHz, fgGHz, cpuShare float64) (float64, error)
+	// SegmentEnergyMJ integrates power over a segment latency.
+	SegmentEnergyMJ(powerW, latencyMs float64) (float64, error)
+	// BaseEnergyMJ returns E_base over an interval.
+	BaseEnergyMJ(intervalMs float64) (float64, error)
+	// ThermalEnergyMJ returns E_θ for the given dynamic energy.
+	ThermalEnergyMJ(dynamicEnergyMJ float64) (float64, error)
+}
+
+// Interface compliance of the concrete regression model.
+var _ PowerModel = device.PowerModel{}
+
+// Models bundles the energy analysis dependencies: the latency models
+// (energies integrate over segment latencies) and the device power model.
+type Models struct {
+	// Latency computes the per-segment durations.
+	Latency latency.Models
+	// Power is the mean-power model (Eq. 21) plus base/thermal terms.
+	Power PowerModel
+	// TxPowerW overrides the transmit radio power (default when zero).
+	TxPowerW float64
+	// RadioIdleW overrides the idle radio power (default when zero).
+	RadioIdleW float64
+}
+
+// PaperModels returns the energy models with published coefficients.
+func PaperModels() Models {
+	return Models{
+		Latency: latency.PaperModels(),
+		Power:   device.PaperPowerModel(),
+	}
+}
+
+// Breakdown is the per-segment energy decomposition of one frame in
+// millijoules, mirroring Eq. (19).
+type Breakdown struct {
+	// FrameGen is E_fg.
+	FrameGen float64
+	// Volumetric is E_vol.
+	Volumetric float64
+	// External is E_ext (radio-idle draw while sensor data arrives).
+	External float64
+	// Rendering is E_ren.
+	Rendering float64
+	// Conversion is E_fc (local branch).
+	Conversion float64
+	// Encoding is E_en (remote branch).
+	Encoding float64
+	// LocalInf is E_loc (local branch).
+	LocalInf float64
+	// RemoteInf is E_rem: the device's radio-idle draw while the edge
+	// computes (the edge's own energy is not billed to the XR device).
+	RemoteInf float64
+	// Transmission is E_tr (remote branch, radio transmit power).
+	Transmission float64
+	// Handoff is E_HO.
+	Handoff float64
+	// Cooperation is E_coop; included in Total only when the scenario
+	// opts in.
+	Cooperation float64
+	// Thermal is E_θ, the heat-dissipated share of dynamic energy.
+	Thermal float64
+	// Base is E_base over the frame's total latency.
+	Base float64
+	// MeanPowerW is the computation power used for the dynamic terms.
+	MeanPowerW float64
+	// Total is E_tot of Eq. (19).
+	Total float64
+}
+
+// FrameEnergy evaluates the energy model for one frame, returning both the
+// energy and the underlying latency breakdown (so callers get a consistent
+// pair without recomputing).
+func (m Models) FrameEnergy(sc *pipeline.Scenario) (Breakdown, latency.Breakdown, error) {
+	if sc == nil {
+		return Breakdown{}, latency.Breakdown{}, fmt.Errorf("%w: nil scenario", ErrModel)
+	}
+	lb, err := m.Latency.FrameLatency(sc)
+	if err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+
+	pMean, err := m.Power.MeanPowerW(sc.CPUFreqGHz, sc.GPUFreqGHz, sc.CPUShare)
+	if err != nil {
+		return Breakdown{}, latency.Breakdown{}, fmt.Errorf("mean power: %w", err)
+	}
+	tx := m.TxPowerW
+	if tx <= 0 {
+		tx = DefaultTxPowerW
+	}
+	idle := m.RadioIdleW
+	if idle <= 0 {
+		idle = DefaultRadioIdleW
+	}
+
+	var b Breakdown
+	b.MeanPowerW = pMean
+
+	seg := func(powerW, latencyMs float64) (float64, error) {
+		e, err := m.Power.SegmentEnergyMJ(powerW, latencyMs)
+		if err != nil {
+			return 0, fmt.Errorf("segment energy: %w", err)
+		}
+		return e, nil
+	}
+
+	// Computation segments draw P_mean (Eq. 20 with the mean-power
+	// treatment of Section V-B).
+	if b.FrameGen, err = seg(pMean, lb.FrameGen); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.Volumetric, err = seg(pMean, lb.Volumetric); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.Rendering, err = seg(pMean, lb.Rendering); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.Conversion, err = seg(pMean, lb.Conversion); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.Encoding, err = seg(pMean, lb.Encoding); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.LocalInf, err = seg(pMean, lb.LocalInf); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+
+	// Wait segments draw radio-idle power on the device.
+	if b.External, err = seg(idle, lb.External); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.RemoteInf, err = seg(idle, lb.RemoteInf); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+
+	// Radio-active segments draw transmit power.
+	if b.Transmission, err = seg(tx, lb.Transmission); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.Handoff, err = seg(tx, lb.Handoff); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+	if b.Cooperation, err = seg(tx, lb.Cooperation); err != nil {
+		return Breakdown{}, latency.Breakdown{}, err
+	}
+
+	dynamic := b.FrameGen + b.Volumetric + b.External + b.Rendering +
+		b.Conversion + b.Encoding + b.LocalInf + b.RemoteInf +
+		b.Transmission + b.Handoff
+	includeCoop := sc.Coop != nil && sc.Coop.IncludeInTotal
+	if includeCoop {
+		dynamic += b.Cooperation
+	}
+
+	if b.Thermal, err = m.Power.ThermalEnergyMJ(dynamic); err != nil {
+		return Breakdown{}, latency.Breakdown{}, fmt.Errorf("thermal: %w", err)
+	}
+	if b.Base, err = m.Power.BaseEnergyMJ(lb.Total); err != nil {
+		return Breakdown{}, latency.Breakdown{}, fmt.Errorf("base: %w", err)
+	}
+	b.Total = dynamic + b.Thermal + b.Base
+	return b, lb, nil
+}
+
+// SegmentMap returns the energy breakdown keyed by pipeline segment.
+func (b Breakdown) SegmentMap() map[pipeline.Segment]float64 {
+	return map[pipeline.Segment]float64{
+		pipeline.SegFrameGeneration: b.FrameGen,
+		pipeline.SegVolumetricData:  b.Volumetric,
+		pipeline.SegExternalInfo:    b.External,
+		pipeline.SegFrameConversion: b.Conversion,
+		pipeline.SegFrameEncoding:   b.Encoding,
+		pipeline.SegLocalInference:  b.LocalInf,
+		pipeline.SegRemoteInference: b.RemoteInf,
+		pipeline.SegTransmission:    b.Transmission,
+		pipeline.SegHandoff:         b.Handoff,
+		pipeline.SegRendering:       b.Rendering,
+		pipeline.SegCooperation:     b.Cooperation,
+	}
+}

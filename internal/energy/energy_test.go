@@ -1,0 +1,211 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/wireless"
+)
+
+func scenario(t *testing.T, opts ...pipeline.Option) *pipeline.Scenario {
+	t.Helper()
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pipeline.NewScenario(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFrameEnergyLocal(t *testing.T) {
+	m := PaperModels()
+	eb, lb, err := m.FrameEnergy(scenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Total <= 0 {
+		t.Fatalf("total energy = %v, want > 0", eb.Total)
+	}
+	if eb.Encoding != 0 || eb.RemoteInf != 0 || eb.Transmission != 0 {
+		t.Fatalf("remote energies non-zero in local mode: %+v", eb)
+	}
+	if eb.Conversion <= 0 || eb.LocalInf <= 0 {
+		t.Fatal("local energies missing")
+	}
+	// Total = dynamic + thermal + base, with base over the frame total.
+	dynamic := eb.FrameGen + eb.Volumetric + eb.External + eb.Rendering +
+		eb.Conversion + eb.LocalInf
+	if math.Abs(eb.Total-(dynamic+eb.Thermal+eb.Base)) > 1e-9 {
+		t.Fatalf("total %v inconsistent with parts", eb.Total)
+	}
+	wantBase := device.DefaultBasePowerW * lb.Total
+	if math.Abs(eb.Base-wantBase) > 1e-9 {
+		t.Fatalf("base = %v, want %v", eb.Base, wantBase)
+	}
+	wantThermal := device.DefaultThermalFraction * dynamic
+	if math.Abs(eb.Thermal-wantThermal) > 1e-9 {
+		t.Fatalf("thermal = %v, want %v", eb.Thermal, wantThermal)
+	}
+}
+
+func TestFrameEnergyRemote(t *testing.T) {
+	m := PaperModels()
+	eb, lb, err := m.FrameEnergy(scenario(t, pipeline.WithMode(pipeline.ModeRemote)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Conversion != 0 || eb.LocalInf != 0 {
+		t.Fatal("local energies non-zero in remote mode")
+	}
+	if eb.Encoding <= 0 || eb.RemoteInf <= 0 || eb.Transmission <= 0 {
+		t.Fatalf("remote energies missing: %+v", eb)
+	}
+	// Remote inference bills radio-idle power, not compute power.
+	wantIdle := DefaultRadioIdleW * lb.RemoteInf
+	if math.Abs(eb.RemoteInf-wantIdle) > 1e-9 {
+		t.Fatalf("remote-wait energy = %v, want %v", eb.RemoteInf, wantIdle)
+	}
+	// Transmission bills transmit power.
+	wantTx := DefaultTxPowerW * lb.Transmission
+	if math.Abs(eb.Transmission-wantTx) > 1e-9 {
+		t.Fatalf("tx energy = %v, want %v", eb.Transmission, wantTx)
+	}
+}
+
+func TestFrameEnergyNilScenario(t *testing.T) {
+	m := PaperModels()
+	if _, _, err := m.FrameEnergy(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+}
+
+func TestPowerOverrides(t *testing.T) {
+	m := PaperModels()
+	m.TxPowerW = 2.0
+	m.RadioIdleW = 0.7
+	eb, lb, err := m.FrameEnergy(scenario(t, pipeline.WithMode(pipeline.ModeRemote)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eb.Transmission-2.0*lb.Transmission) > 1e-9 {
+		t.Fatal("TxPowerW override not applied")
+	}
+	if math.Abs(eb.RemoteInf-0.7*lb.RemoteInf) > 1e-9 {
+		t.Fatal("RadioIdleW override not applied")
+	}
+}
+
+func TestEnergyIncreasesWithFrameSize(t *testing.T) {
+	m := PaperModels()
+	for _, mode := range []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote} {
+		small, _, err := m.FrameEnergy(scenario(t, pipeline.WithMode(mode), pipeline.WithFrameSize(300)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, _, err := m.FrameEnergy(scenario(t, pipeline.WithMode(mode), pipeline.WithFrameSize(700)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large.Total <= small.Total {
+			t.Fatalf("%v: energy(700)=%v must exceed energy(300)=%v",
+				mode, large.Total, small.Total)
+		}
+	}
+}
+
+func TestCooperationEnergyOptIn(t *testing.T) {
+	m := PaperModels()
+	link, err := wireless.NewLink(wireless.WiFi5GHz, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := m.FrameEnergy(scenario(t, pipeline.WithCooperation(pipeline.CoopConfig{
+		Link: link, DataSizeMB: 0.5,
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cooperation <= 0 {
+		t.Fatal("cooperation energy must be reported")
+	}
+	base, _, err := m.FrameEnergy(scenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default: excluded from total (runs parallel to rendering).
+	if math.Abs(out.Total-base.Total) > 1e-9 {
+		t.Fatal("cooperation must not enter total by default")
+	}
+	in, _, err := m.FrameEnergy(scenario(t, pipeline.WithCooperation(pipeline.CoopConfig{
+		Link: link, DataSizeMB: 0.5, IncludeInTotal: true,
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Total <= base.Total {
+		t.Fatal("opt-in cooperation must increase total energy")
+	}
+}
+
+func TestSegmentMapComplete(t *testing.T) {
+	m := PaperModels()
+	eb, _, err := m.FrameEnergy(scenario(t, pipeline.WithMode(pipeline.ModeRemote)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := eb.SegmentMap()
+	if len(sm) != 11 {
+		t.Fatalf("segment map size = %d, want 11", len(sm))
+	}
+	if sm[pipeline.SegTransmission] != eb.Transmission {
+		t.Fatal("segment map mismatch")
+	}
+}
+
+// Property: all per-segment energies are non-negative and total exceeds
+// base energy for any valid configuration.
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	m := PaperModels()
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		mode := pipeline.ModeLocal
+		if rng.Intn(2) == 1 {
+			mode = pipeline.ModeRemote
+		}
+		sc, err := pipeline.NewScenario(d,
+			pipeline.WithMode(mode),
+			pipeline.WithFrameSize(300+400*rng.Float64()),
+			pipeline.WithCPUFreq(1+2*rng.Float64()),
+			pipeline.WithCPUShare(rng.Float64()),
+		)
+		if err != nil {
+			return false
+		}
+		eb, _, err := m.FrameEnergy(sc)
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{eb.FrameGen, eb.Volumetric, eb.External,
+			eb.Rendering, eb.Conversion, eb.Encoding, eb.LocalInf,
+			eb.RemoteInf, eb.Transmission, eb.Handoff, eb.Thermal, eb.Base} {
+			if v < 0 {
+				return false
+			}
+		}
+		return eb.Total > eb.Base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

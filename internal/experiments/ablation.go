@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// AblationResult quantifies the DESIGN.md "re-fit, don't replay" decision:
+// the paper's published coefficients (trained on the authors' physical
+// testbed) versus coefficients re-fitted on this repository's synthetic
+// testbed, both judged against the synthetic ground truth over the
+// Fig. 4(a) sweep.
+type AblationResult struct {
+	// PaperErrPct is the mean latency error of the published
+	// coefficients.
+	PaperErrPct float64
+	// FittedErrPct is the mean latency error of the re-fitted models.
+	FittedErrPct float64
+	// Points counts the sweep cells evaluated.
+	Points int
+}
+
+// ID implements Result.
+func (r *AblationResult) ID() string { return "ablation" }
+
+// Render implements Result.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("ablation — paper coefficients vs re-fitted models (Fig. 4a sweep)\n")
+	fmt.Fprintf(&b, "  published coefficients: %6.2f%% mean latency error\n", r.PaperErrPct)
+	fmt.Fprintf(&b, "  re-fitted coefficients: %6.2f%% mean latency error\n", r.FittedErrPct)
+	b.WriteString("  regression coefficients are testbed-specific; the model *forms* carry.\n")
+	return b.String()
+}
+
+// Ablation runs the paper-vs-fitted comparison.
+func (s *Suite) Ablation() (*AblationResult, error) {
+	paper := core.NewWithPaperCoefficients()
+	var paperPred, fittedPred, gts []float64
+	for _, size := range FrameSizes() {
+		for _, freq := range CPUFrequencies() {
+			sc, err := s.sweepScenario(pipeline.ModeLocal, size, freq)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := s.Bench.MeasureFrames(sc, s.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("measure: %w", err)
+			}
+			pRep, err := paper.Analyze(sc)
+			if err != nil {
+				return nil, fmt.Errorf("paper model: %w", err)
+			}
+			fLat, err := s.Latency.FrameLatency(sc)
+			if err != nil {
+				return nil, fmt.Errorf("fitted model: %w", err)
+			}
+			paperPred = append(paperPred, pRep.Latency.Total)
+			fittedPred = append(fittedPred, fLat.Total)
+			gts = append(gts, meas.LatencyMs)
+		}
+	}
+	paperErr, err := stats.MAPE(paperPred, gts)
+	if err != nil {
+		return nil, err
+	}
+	fittedErr, err := stats.MAPE(fittedPred, gts)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		PaperErrPct:  paperErr,
+		FittedErrPct: fittedErr,
+		Points:       len(gts),
+	}, nil
+}

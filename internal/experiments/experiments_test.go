@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// suite is shared across tests: construction fits four regressions, which
+// is the expensive part.
+var testSuite *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testSuite == nil {
+		s, err := NewSuite(42, 8000, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Trials = 10
+		testSuite = s
+	}
+	return testSuite
+}
+
+func TestNewSuiteRejectsTinyDatasets(t *testing.T) {
+	if _, err := NewSuite(1, 10, 10); err == nil {
+		t.Fatal("tiny datasets must error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	s := getSuite(t)
+	if _, err := s.Run("fig9z"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("unknown id error = %v", err)
+	}
+}
+
+func TestIDsCoverAllRunners(t *testing.T) {
+	s := getSuite(t)
+	for _, id := range IDs() {
+		r, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("run %s: %v", id, err)
+		}
+		if r.ID() != id {
+			t.Fatalf("result id %q != %q", r.ID(), id)
+		}
+		if r.Render() == "" {
+			t.Fatalf("%s renders empty", id)
+		}
+	}
+}
+
+func TestFig4aAccuracy(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(FrameSizes())*len(CPUFrequencies()) {
+		t.Fatalf("grid size = %d", len(res.Points))
+	}
+	// The paper reports 2.74% mean error; the reproduction target is
+	// single-digit error.
+	if res.MeanErrPct > 10 {
+		t.Fatalf("fig4a mean error = %v%%, want < 10%%", res.MeanErrPct)
+	}
+	// Shape: latency grows with frame size at fixed frequency.
+	byFreq := map[float64][]SweepPoint{}
+	for _, p := range res.Points {
+		byFreq[p.CPUFreqGHz] = append(byFreq[p.CPUFreqGHz], p)
+	}
+	for freq, pts := range byFreq {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].GroundTruth <= pts[i-1].GroundTruth {
+				t.Fatalf("GT latency not increasing in size at %v GHz", freq)
+			}
+			if pts[i].Proposed <= pts[i-1].Proposed {
+				t.Fatalf("model latency not increasing in size at %v GHz", freq)
+			}
+		}
+	}
+	// Shape: at fixed size, 3 GHz beats 1 GHz.
+	for _, size := range FrameSizes() {
+		var l1, l3 float64
+		for _, p := range res.Points {
+			if p.FrameSizePx2 == size && p.CPUFreqGHz == 1 {
+				l1 = p.GroundTruth
+			}
+			if p.FrameSizePx2 == size && p.CPUFreqGHz == 3 {
+				l3 = p.GroundTruth
+			}
+		}
+		if l3 >= l1 {
+			t.Fatalf("GT at %v px²: 3 GHz (%v) must beat 1 GHz (%v)", size, l3, l1)
+		}
+	}
+}
+
+func TestFig4bAccuracy(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanErrPct > 10 {
+		t.Fatalf("fig4b mean error = %v%%, want < 10%%", res.MeanErrPct)
+	}
+}
+
+func TestFig4cdAccuracy(t *testing.T) {
+	s := getSuite(t)
+	c, err := s.Fig4c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanErrPct > 12 {
+		t.Fatalf("fig4c mean error = %v%%, want < 12%%", c.MeanErrPct)
+	}
+	d, err := s.Fig4d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanErrPct > 12 {
+		t.Fatalf("fig4d mean error = %v%%, want < 12%%", d.MeanErrPct)
+	}
+	for _, p := range append(c.Points, d.Points...) {
+		if p.GroundTruth <= 0 || p.Proposed <= 0 {
+			t.Fatalf("non-positive energy point: %+v", p)
+		}
+	}
+}
+
+func TestFig4eOrdering(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig4e()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(res.Series))
+	}
+	// Final AoI must order 67 Hz > 100 Hz > 200 Hz in both GT and model.
+	m200 := res.Series[0].Model[len(res.Series[0].Model)-1].AoIMs
+	m100 := res.Series[1].Model[len(res.Series[1].Model)-1].AoIMs
+	m67 := res.Series[2].Model[len(res.Series[2].Model)-1].AoIMs
+	if !(m67 > m100 && m100 > m200) {
+		t.Fatalf("model AoI ordering wrong: 67=%v 100=%v 200=%v", m67, m100, m200)
+	}
+	g200 := res.Series[0].GroundTruth[len(res.Series[0].GroundTruth)-1].AoIMs
+	g100 := res.Series[1].GroundTruth[len(res.Series[1].GroundTruth)-1].AoIMs
+	g67 := res.Series[2].GroundTruth[len(res.Series[2].GroundTruth)-1].AoIMs
+	if !(g67 > g100 && g100 > g200) {
+		t.Fatalf("GT AoI ordering wrong: 67=%v 100=%v 200=%v", g67, g100, g200)
+	}
+	for _, srs := range res.Series {
+		if srs.MeanErrMs > 3 {
+			t.Fatalf("series %s model-vs-GT gap = %v ms", srs.Label, srs.MeanErrMs)
+		}
+	}
+}
+
+func TestFig4fAnchors(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig4f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Paper anchors: AoI 10/15/20 ms with RoI 0.5/0.33/0.25 at the first
+	// three updates (small buffer epsilon tolerated).
+	wantAoI := []float64{10, 15, 20}
+	wantRoI := []float64{0.5, 1.0 / 3.0, 0.25}
+	for i := 0; i < 3; i++ {
+		if diff := res.Points[i].AoIMs - wantAoI[i]; diff < -0.2 || diff > 0.2 {
+			t.Fatalf("AoI[%d] = %v, want ≈%v", i, res.Points[i].AoIMs, wantAoI[i])
+		}
+		if diff := res.Points[i].RoI - wantRoI[i]; diff < -0.02 || diff > 0.02 {
+			t.Fatalf("RoI[%d] = %v, want ≈%v", i, res.Points[i].RoI, wantRoI[i])
+		}
+	}
+}
+
+func TestFig5Ordering(t *testing.T) {
+	s := getSuite(t)
+	for _, run := range []func() (*Fig5Result, error){s.Fig5a, s.Fig5b} {
+		res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != len(FrameSizes()) {
+			t.Fatalf("%s points = %d", res.ID(), len(res.Points))
+		}
+		// The paper's headline: proposed > LEAF > FACT.
+		if !(res.MeanProposed > res.MeanLEAF && res.MeanLEAF > res.MeanFACT) {
+			t.Fatalf("%s ordering wrong: proposed=%v LEAF=%v FACT=%v",
+				res.ID(), res.MeanProposed, res.MeanLEAF, res.MeanFACT)
+		}
+		if res.MeanProposed < 85 {
+			t.Fatalf("%s proposed accuracy = %v%%, want ≥ 85%%", res.ID(), res.MeanProposed)
+		}
+		if res.GapFACT <= 0 || res.GapLEAF <= 0 {
+			t.Fatalf("%s gaps must be positive: %v %v", res.ID(), res.GapFACT, res.GapLEAF)
+		}
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	s := getSuite(t)
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Devices) != 8 {
+		t.Fatalf("table1 devices = %d", len(t1.Devices))
+	}
+	for _, want := range []string{"XR1", "Meta Quest 2", "Jetson AGX"} {
+		if !strings.Contains(t1.Render(), want) {
+			t.Fatalf("table1 missing %q", want)
+		}
+	}
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Models) != 11 || len(t2.Complexity) != 11 {
+		t.Fatalf("table2 sizes = %d/%d", len(t2.Models), len(t2.Complexity))
+	}
+	if !strings.Contains(t2.Render(), "YOLOv3") {
+		t.Fatal("table2 missing YOLOv3")
+	}
+}
+
+func TestFitSummaryAgainstPaper(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.FitSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"Eq. 3", "Eq. 10", "Eq. 12", "Eq. 21"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fit summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	s := getSuite(t)
+	results, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("results = %d, want %d", len(results), len(IDs()))
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	s := getSuite(t)
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# XR performance-analysis reproduction report",
+		"## Table I", "## Regression fits", "## Fig. 4(a)",
+		"## Fig. 5(b)", "## Ablation", "## Verdict",
+		"| Latency accuracy ordering |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Both headline orderings must hold in the generated verdict.
+	if strings.Contains(out, "| NO |") {
+		t.Fatalf("verdict failed:\n%s", out[strings.Index(out, "## Verdict"):])
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cnn"
+	"repro/internal/device"
+	"repro/internal/testbed"
+)
+
+// Table1Result reproduces Table I: the XR and edge device catalog.
+type Table1Result struct {
+	// Devices holds the catalog entries.
+	Devices []device.Device
+}
+
+// ID implements Result.
+func (r *Table1Result) ID() string { return "table1" }
+
+// Render implements Result.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("table1 — XR and edge devices (Table I)\n")
+	fmt.Fprintf(&b, "%-5s %-33s %-28s %6s %6s %5s %7s %-6s\n",
+		"name", "model", "soc", "fc", "fg", "ram", "mem", "split")
+	for _, d := range r.Devices {
+		split := "test"
+		if d.TrainSplit {
+			split = "train"
+		}
+		if d.Class == device.ClassEdge {
+			split = "edge"
+		}
+		fmt.Fprintf(&b, "%-5s %-33s %-28s %6.2f %6.2f %5.0f %7.1f %-6s\n",
+			d.Name, d.Model, d.SoC, d.CPUGHz, d.GPUGHz, d.RAMGB, d.MemBandwidthGBs, split)
+	}
+	return b.String()
+}
+
+// Table1 dumps the device catalog.
+func (s *Suite) Table1() (*Table1Result, error) {
+	return &Table1Result{Devices: device.Catalog()}, nil
+}
+
+// Table2Result reproduces Table II: the CNN catalog.
+type Table2Result struct {
+	// Models holds the catalog entries.
+	Models []cnn.Model
+	// Complexity holds each model's fitted C_CNN.
+	Complexity []float64
+}
+
+// ID implements Result.
+func (r *Table2Result) ID() string { return "table2" }
+
+// Render implements Result.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("table2 — CNNs used in this research (Table II)\n")
+	fmt.Fprintf(&b, "%-24s %6s %9s %6s %4s %6s %8s\n",
+		"model", "depth", "size(MB)", "scale", "gpu", "class", "C_CNN")
+	for i, m := range r.Models {
+		gpu := "n"
+		if m.GPUSupport {
+			gpu = "y"
+		}
+		class := "device"
+		if m.EdgeClass {
+			class = "edge"
+		}
+		fmt.Fprintf(&b, "%-24s %6d %9.1f %6.2f %4s %6s %8.3f\n",
+			m.Name, m.Depth, m.SizeMB, m.DepthScale, gpu, class, r.Complexity[i])
+	}
+	return b.String()
+}
+
+// Table2 dumps the CNN catalog with the suite's fitted complexities.
+func (s *Suite) Table2() (*Table2Result, error) {
+	models := cnn.Catalog()
+	cplx := make([]float64, len(models))
+	for i, m := range models {
+		c, err := s.Fitted.Complexity.ComplexityOf(m)
+		if err != nil {
+			return nil, fmt.Errorf("complexity of %s: %w", m.Name, err)
+		}
+		cplx[i] = c
+	}
+	return &Table2Result{Models: models, Complexity: cplx}, nil
+}
+
+// FitSummaryResult reports the regression fits against the paper's R²
+// values (Eq. 3: 0.87, Eq. 10: 0.79, Eq. 12: 0.844, Eq. 21: 0.863).
+type FitSummaryResult struct {
+	// Report holds the four model fit diagnostics.
+	Report testbed.FitReport
+}
+
+// ID implements Result.
+func (r *FitSummaryResult) ID() string { return "fit" }
+
+// Render implements Result.
+func (r *FitSummaryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("fit — regression models (train XR1/XR3/XR5/XR6, test XR2/XR4/XR7, 95% CI)\n")
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s %9s %8s %8s\n",
+		"model", "paperR²", "trainR²", "testR²", "testMAPE", "CI cov", "rows")
+	for _, m := range []testbed.ModelFitReport{
+		r.Report.Resource, r.Report.Power, r.Report.Encoder, r.Report.Complexity,
+	} {
+		fmt.Fprintf(&b, "%-26s %8.3f %8.3f %8.3f %8.2f%% %8.3f %8d\n",
+			m.Name, m.PaperR2, m.TrainR2, m.TestR2, m.TestMAPE, m.CICoverage, m.TrainRows)
+	}
+	return b.String()
+}
+
+// FitSummary reports the suite's regression fits.
+func (s *Suite) FitSummary() (*FitSummaryResult, error) {
+	return &FitSummaryResult{Report: s.Fitted.Report}, nil
+}

@@ -1,0 +1,285 @@
+// Package latency implements the paper's end-to-end latency analysis model
+// (Section IV): per-segment latencies for the Fig. 1 pipeline composed into
+// the end-to-end figure of Eq. (1). Computation segments consume the
+// allocated-resource model of Eq. (3); encoding uses the regression of
+// Eq. (10); inference uses the CNN-complexity model of Eq. (12); remote
+// execution adds decoding (Eq. 14), multi-edge splitting (Eq. 15),
+// transmission (Eq. 16), and handoff (Eq. 17).
+package latency
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cnn"
+	"repro/internal/codec"
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/queue"
+)
+
+// ErrModel indicates an internal model inconsistency.
+var ErrModel = errors.New("latency: model error")
+
+// ResourceModel abstracts the allocated-computation-resource model
+// (Eq. 3). device.ResourceModel is the regression implementation; the
+// synthetic testbed plugs in its hidden true physics through the same
+// interface.
+type ResourceModel interface {
+	// Compute returns c_client for the given clocks and CPU share.
+	Compute(fcGHz, fgGHz, cpuShare float64) (float64, error)
+}
+
+// EncoderModel abstracts the H.264 encode/decode latency model
+// (Eqs. 10 and 14).
+type EncoderModel interface {
+	// EncodeLatencyMs returns L_en for the given configuration.
+	EncodeLatencyMs(p codec.EncodingParams, resource, frameDataMB, memBandwidthGBs float64) (float64, error)
+	// DecodeLatencyMs returns L_dec rescaled onto the decoder resource.
+	DecodeLatencyMs(encodeLatencyMs, encoderResource, decoderResource float64) (float64, error)
+}
+
+// ComplexityModel abstracts the CNN-complexity model (Eq. 12).
+type ComplexityModel interface {
+	// ComplexityOf returns C_CNN for a catalog model.
+	ComplexityOf(m cnn.Model) (float64, error)
+}
+
+// Interface compliance of the concrete regression models.
+var (
+	_ ResourceModel   = device.ResourceModel{}
+	_ EncoderModel    = codec.EncoderModel{}
+	_ ComplexityModel = cnn.ComplexityModel{}
+)
+
+// Models bundles the fitted sub-models the latency analysis depends on.
+// Construct with PaperModels for the published coefficients or inject
+// re-fitted models from the regression pipeline.
+type Models struct {
+	// Resource is the allocated-computation-resource model (Eq. 3).
+	Resource ResourceModel
+	// Encoder is the H.264 encoding model (Eq. 10/14).
+	Encoder EncoderModel
+	// Complexity is the CNN-complexity model (Eq. 12).
+	Complexity ComplexityModel
+}
+
+// PaperModels returns the models with the paper's published coefficients.
+func PaperModels() Models {
+	return Models{
+		Resource:   device.PaperResourceModel(),
+		Encoder:    codec.PaperEncoderModel(),
+		Complexity: cnn.PaperComplexityModel(),
+	}
+}
+
+// Breakdown is the per-segment latency decomposition of one frame, all in
+// milliseconds. Fields not applicable to the scenario's inference mode are
+// zero.
+type Breakdown struct {
+	// FrameGen is L_fg (Eq. 2).
+	FrameGen float64
+	// Volumetric is L_vol (Eq. 4).
+	Volumetric float64
+	// External is L_ext (Eq. 5).
+	External float64
+	// Buffering is t_buff (Eq. 7), folded into Rendering but reported
+	// separately for insight.
+	Buffering float64
+	// Rendering is L_renTotal (Eq. 8) including Buffering and the
+	// result-transmission term.
+	Rendering float64
+	// Conversion is L_fc (Eq. 9), local branch.
+	Conversion float64
+	// Encoding is L_en (Eq. 10), remote branch.
+	Encoding float64
+	// LocalInf is L_loc (Eq. 11), local branch.
+	LocalInf float64
+	// RemoteInf is L_rem (Eq. 13/15), remote branch, including decode.
+	RemoteInf float64
+	// Transmission is L_tr (Eq. 16), remote branch.
+	Transmission float64
+	// Handoff is L_HO (Eq. 17), zero for a static device.
+	Handoff float64
+	// Cooperation is L_coop (Eq. 18); included in Total only when the
+	// scenario opts in.
+	Cooperation float64
+	// Resource is the allocated computation resource c_client used.
+	Resource float64
+	// Total is the end-to-end latency L_tot (Eq. 1).
+	Total float64
+}
+
+// FrameLatency evaluates the end-to-end latency model for one frame of the
+// scenario.
+func (m Models) FrameLatency(sc *pipeline.Scenario) (Breakdown, error) {
+	if sc == nil {
+		return Breakdown{}, fmt.Errorf("%w: nil scenario", ErrModel)
+	}
+	if err := sc.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+
+	var b Breakdown
+
+	// Allocated computation resource (Eq. 3).
+	cClient, err := m.Resource.Compute(sc.CPUFreqGHz, sc.GPUFreqGHz, sc.CPUShare)
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("resource: %w", err)
+	}
+	b.Resource = cClient
+	mem := sc.Device.MemBandwidthGBs
+
+	frameData := pipeline.FrameDataMB(sc.FrameSizePx2)
+
+	// Frame generation (Eq. 2): capture interval + compute + memory.
+	b.FrameGen = 1000/sc.FPS + sc.FrameSizePx2/cClient + frameData/mem
+
+	// Volumetric data generation (Eq. 4).
+	if sc.SceneSizePx2 > 0 {
+		sceneData := pipeline.FrameDataMB(sc.SceneSizePx2)
+		b.Volumetric = sc.SceneSizePx2/cClient + sceneData/mem
+	}
+
+	// External sensor information (Eq. 5).
+	if len(sc.Sensors.Sensors) > 0 {
+		ext, err := sc.Sensors.GenerationLatencyMs(sc.SensorUpdates)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("external info: %w", err)
+		}
+		b.External = ext
+	}
+
+	// Input-buffer delay (Eq. 7): each queued data class waits the M/M/1
+	// mean sojourn 1/(µ−λ).
+	mm1, err := queue.NewMM1(sc.BufferArrivalRatePerMs(), sc.BufferServiceRatePerMs)
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("input buffer: %w", err)
+	}
+	b.Buffering = float64(sc.BufferClasses()) * mm1.MeanSojourn()
+
+	switch sc.Mode {
+	case pipeline.ModeLocal:
+		if err := m.localBranch(sc, cClient, mem, frameData, &b); err != nil {
+			return Breakdown{}, err
+		}
+	case pipeline.ModeRemote:
+		if err := m.remoteBranch(sc, cClient, mem, frameData, &b); err != nil {
+			return Breakdown{}, err
+		}
+	}
+
+	// Rendering (Eq. 8): scale/crop compute + buffer wait + result
+	// transmission to the renderer.
+	resultTransfer := sc.ResultSizeMB / mem // local: intra-device copy
+	if sc.Mode == pipeline.ModeRemote {
+		resultTransfer, err = sc.EdgeLink.TransmitLatencyMs(sc.ResultSizeMB)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("result transmission: %w", err)
+		}
+	}
+	b.Rendering = sc.FrameSizePx2/cClient + frameData/mem + b.Buffering + resultTransfer
+
+	// XR cooperation (Eq. 18), normally parallel to rendering.
+	if sc.Coop != nil {
+		coop, err := sc.Coop.Link.TransmitLatencyMs(sc.Coop.DataSizeMB)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("cooperation: %w", err)
+		}
+		b.Cooperation = coop
+	}
+
+	// End-to-end composition (Eq. 1). Conversion/encoding and inference
+	// run parallel to rendering in the pipeline but contribute to the
+	// end-to-end critical path per the paper's composition; cooperation
+	// is excluded unless the application opts in.
+	b.Total = b.FrameGen + b.Volumetric + b.External + b.Rendering +
+		b.Conversion + b.Encoding + b.LocalInf + b.RemoteInf +
+		b.Transmission + b.Handoff
+	if sc.Coop != nil && sc.Coop.IncludeInTotal {
+		b.Total += b.Cooperation
+	}
+	return b, nil
+}
+
+// localBranch fills the ω_loc = 1 segments: conversion (Eq. 9) and local
+// inference (Eq. 11).
+func (m Models) localBranch(sc *pipeline.Scenario, cClient, mem, frameData float64, b *Breakdown) error {
+	b.Conversion = sc.FrameSizePx2/cClient + frameData/mem
+
+	complexity, err := m.Complexity.ComplexityOf(sc.LocalCNN)
+	if err != nil {
+		return fmt.Errorf("local cnn complexity: %w", err)
+	}
+	convData := pipeline.FrameDataMB(sc.ConvertedSizePx2)
+	// Eq. (11) as published: the CNN complexity scales the effective
+	// resource in the denominator.
+	b.LocalInf = sc.ClientShare * (sc.ConvertedSizePx2/(cClient*complexity) + convData/mem)
+	return nil
+}
+
+// remoteBranch fills the ω_loc = 0 segments: encoding (Eq. 10), remote
+// inference with decode and multi-edge split (Eqs. 13–15), transmission
+// (Eq. 16), and handoff (Eq. 17).
+func (m Models) remoteBranch(sc *pipeline.Scenario, cClient, mem, frameData float64, b *Breakdown) error {
+	enc, err := m.Encoder.EncodeLatencyMs(sc.Encoding, cClient, frameData, mem)
+	if err != nil {
+		return fmt.Errorf("encoding: %w", err)
+	}
+	b.Encoding = enc
+
+	complexity, err := m.Complexity.ComplexityOf(sc.RemoteCNN)
+	if err != nil {
+		return fmt.Errorf("remote cnn complexity: %w", err)
+	}
+	payload, err := codec.CompressedSizeMB(sc.Encoding)
+	if err != nil {
+		return fmt.Errorf("compressed size: %w", err)
+	}
+
+	// Multi-edge split (Eq. 15): the slowest assigned server bounds the
+	// remote-inference latency; each server decodes its share's frame
+	// first (Eq. 13).
+	var worst float64
+	for i, e := range sc.Edges {
+		dec, err := m.Encoder.DecodeLatencyMs(enc, cClient, e.Resource)
+		if err != nil {
+			return fmt.Errorf("edge %d decode: %w", i, err)
+		}
+		l := e.Share * (sc.FrameSizePx2/(e.Resource*complexity) + payload/e.MemBandwidthGBs + dec)
+		if l > worst {
+			worst = l
+		}
+	}
+	b.RemoteInf = worst
+
+	// Transmission of the encoded frame to the edge (Eq. 16).
+	tr, err := sc.EdgeLink.TransmitLatencyMs(payload)
+	if err != nil {
+		return fmt.Errorf("transmission: %w", err)
+	}
+	b.Transmission = tr
+
+	// Handoff (Eq. 17) for mobile devices.
+	if sc.Handoff != nil {
+		b.Handoff = sc.Handoff.ExpectedLatencyMs()
+	}
+	return nil
+}
+
+// SegmentMap returns the breakdown as a segment-keyed map for reporting.
+func (b Breakdown) SegmentMap() map[pipeline.Segment]float64 {
+	return map[pipeline.Segment]float64{
+		pipeline.SegFrameGeneration: b.FrameGen,
+		pipeline.SegVolumetricData:  b.Volumetric,
+		pipeline.SegExternalInfo:    b.External,
+		pipeline.SegFrameConversion: b.Conversion,
+		pipeline.SegFrameEncoding:   b.Encoding,
+		pipeline.SegLocalInference:  b.LocalInf,
+		pipeline.SegRemoteInference: b.RemoteInf,
+		pipeline.SegTransmission:    b.Transmission,
+		pipeline.SegHandoff:         b.Handoff,
+		pipeline.SegRendering:       b.Rendering,
+		pipeline.SegCooperation:     b.Cooperation,
+	}
+}

@@ -1,0 +1,331 @@
+package latency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/mobility"
+	"repro/internal/pipeline"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+	"repro/internal/wireless"
+)
+
+func xr1(t *testing.T) device.Device {
+	t.Helper()
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func localScenario(t *testing.T, opts ...pipeline.Option) *pipeline.Scenario {
+	t.Helper()
+	s, err := pipeline.NewScenario(xr1(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFrameLatencyLocal(t *testing.T) {
+	m := PaperModels()
+	sc := localScenario(t)
+	b, err := m.FrameLatency(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total <= 0 {
+		t.Fatalf("total = %v, want > 0", b.Total)
+	}
+	// Local mode must not populate remote segments.
+	if b.Encoding != 0 || b.RemoteInf != 0 || b.Transmission != 0 || b.Handoff != 0 {
+		t.Fatalf("remote segments non-zero in local mode: %+v", b)
+	}
+	if b.Conversion <= 0 || b.LocalInf <= 0 {
+		t.Fatalf("local segments missing: conv=%v inf=%v", b.Conversion, b.LocalInf)
+	}
+	// The total must equal the sum of its parts (cooperation excluded).
+	sum := b.FrameGen + b.Volumetric + b.External + b.Rendering +
+		b.Conversion + b.LocalInf
+	if math.Abs(b.Total-sum) > 1e-9 {
+		t.Fatalf("total %v != segment sum %v", b.Total, sum)
+	}
+	// Frame generation includes the capture interval 1000/30 ≈ 33.3 ms.
+	if b.FrameGen < 1000/sc.FPS {
+		t.Fatalf("frame generation %v below capture interval", b.FrameGen)
+	}
+}
+
+func TestFrameLatencyRemote(t *testing.T) {
+	m := PaperModels()
+	sc := localScenario(t, pipeline.WithMode(pipeline.ModeRemote))
+	b, err := m.FrameLatency(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Conversion != 0 || b.LocalInf != 0 {
+		t.Fatalf("local segments non-zero in remote mode: %+v", b)
+	}
+	if b.Encoding <= 0 || b.RemoteInf <= 0 || b.Transmission <= 0 {
+		t.Fatalf("remote segments missing: %+v", b)
+	}
+	sum := b.FrameGen + b.Volumetric + b.External + b.Rendering +
+		b.Encoding + b.RemoteInf + b.Transmission + b.Handoff
+	if math.Abs(b.Total-sum) > 1e-9 {
+		t.Fatalf("total %v != segment sum %v", b.Total, sum)
+	}
+}
+
+func TestFrameLatencyNilScenario(t *testing.T) {
+	m := PaperModels()
+	if _, err := m.FrameLatency(nil); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+}
+
+func TestFrameLatencyInvalidScenario(t *testing.T) {
+	m := PaperModels()
+	sc := localScenario(t)
+	sc.FPS = 0
+	if _, err := m.FrameLatency(sc); err == nil {
+		t.Fatal("invalid scenario must error")
+	}
+}
+
+func TestLatencyDecreasesWithFrequency(t *testing.T) {
+	// The Fig. 4 shape: higher CPU clock → lower latency. The paper's
+	// published CPU quadratic is non-monotonic below ~1.6 GHz, so check
+	// the 2→3 GHz segment where it rises.
+	m := PaperModels()
+	l2, err := m.FrameLatency(localScenario(t, pipeline.WithCPUFreq(2), pipeline.WithCPUShare(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := m.FrameLatency(localScenario(t, pipeline.WithCPUFreq(3), pipeline.WithCPUShare(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Total >= l2.Total {
+		t.Fatalf("latency at 3 GHz (%v) must be below 2 GHz (%v)", l3.Total, l2.Total)
+	}
+}
+
+func TestLatencyIncreasesWithFrameSize(t *testing.T) {
+	m := PaperModels()
+	for _, mode := range []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote} {
+		small, err := m.FrameLatency(localScenario(t, pipeline.WithMode(mode), pipeline.WithFrameSize(300)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := m.FrameLatency(localScenario(t, pipeline.WithMode(mode), pipeline.WithFrameSize(700)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large.Total <= small.Total {
+			t.Fatalf("%v: latency(700) = %v must exceed latency(300) = %v",
+				mode, large.Total, small.Total)
+		}
+	}
+}
+
+func TestHandoffAddsLatency(t *testing.T) {
+	m := PaperModels()
+	static := localScenario(t, pipeline.WithMode(pipeline.ModeRemote))
+	h, err := mobility.NewHandoffModel(mobility.HandoffVertical, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobile := localScenario(t, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithHandoff(h))
+	bs, err := m.FrameLatency(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := m.FrameLatency(mobile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExtra := h.ExpectedLatencyMs()
+	if math.Abs((bm.Total-bs.Total)-wantExtra) > 1e-9 {
+		t.Fatalf("handoff delta = %v, want %v", bm.Total-bs.Total, wantExtra)
+	}
+	if bm.Handoff != wantExtra {
+		t.Fatalf("handoff segment = %v, want %v", bm.Handoff, wantExtra)
+	}
+}
+
+func TestSensorsAddLatency(t *testing.T) {
+	m := PaperModels()
+	s1, err := sensors.NewSensor("rsu", 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := localScenario(t)
+	wired := localScenario(t, pipeline.WithSensors(sensors.NewArray(s1), 2))
+	bp, err := m.FrameLatency(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := m.FrameLatency(wired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.External <= 0 {
+		t.Fatal("sensor scenario must have external latency")
+	}
+	if bw.Total <= bp.Total {
+		t.Fatal("sensors must increase end-to-end latency")
+	}
+}
+
+func TestCooperationExcludedByDefault(t *testing.T) {
+	m := PaperModels()
+	link, err := wireless.NewLink(wireless.WiFi5GHz, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := localScenario(t, pipeline.WithCooperation(pipeline.CoopConfig{
+		Link: link, DataSizeMB: 0.5,
+	}))
+	b, err := m.FrameLatency(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cooperation <= 0 {
+		t.Fatal("cooperation latency must be reported")
+	}
+	base, err := m.FrameLatency(localScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Total-base.Total) > 1e-9 {
+		t.Fatal("cooperation must not enter the total by default")
+	}
+
+	// Opting in adds it.
+	scIn := localScenario(t, pipeline.WithCooperation(pipeline.CoopConfig{
+		Link: link, DataSizeMB: 0.5, IncludeInTotal: true,
+	}))
+	bIn, err := m.FrameLatency(scIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bIn.Total-(base.Total+bIn.Cooperation)) > 1e-9 {
+		t.Fatal("opt-in cooperation must add to the total")
+	}
+}
+
+func TestMultiEdgeSplitMaxBound(t *testing.T) {
+	m := PaperModels()
+	// A single fast server versus a split with one slow server: Eq. (15)
+	// takes the max, so the slow server dominates.
+	fast := pipeline.EdgeAssignment{Share: 1, Resource: 200, MemBandwidthGBs: 100}
+	single := localScenario(t, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithEdges(fast))
+	split := localScenario(t, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithEdges(
+		pipeline.EdgeAssignment{Share: 0.5, Resource: 200, MemBandwidthGBs: 100},
+		pipeline.EdgeAssignment{Share: 0.5, Resource: 20, MemBandwidthGBs: 100},
+	))
+	bs, err := m.FrameLatency(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := m.FrameLatency(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.RemoteInf <= 0 || bs.RemoteInf <= 0 {
+		t.Fatal("remote inference must be positive")
+	}
+	// Splitting halves each server's work, but the slow server is 10×
+	// weaker, so the split must be slower than the single fast server
+	// running everything.
+	if bp.RemoteInf <= bs.RemoteInf {
+		t.Fatalf("slow-server split %v should exceed single fast server %v",
+			bp.RemoteInf, bs.RemoteInf)
+	}
+}
+
+func TestEvenSplitSpeedsUp(t *testing.T) {
+	m := PaperModels()
+	one := pipeline.EdgeAssignment{Share: 1, Resource: 150, MemBandwidthGBs: 100}
+	half := pipeline.EdgeAssignment{Share: 0.5, Resource: 150, MemBandwidthGBs: 100}
+	single := localScenario(t, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithEdges(one))
+	split := localScenario(t, pipeline.WithMode(pipeline.ModeRemote), pipeline.WithEdges(half, half))
+	bs, err := m.FrameLatency(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := m.FrameLatency(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.RemoteInf >= bs.RemoteInf {
+		t.Fatalf("even split %v must beat single server %v", bp.RemoteInf, bs.RemoteInf)
+	}
+}
+
+func TestSegmentMapConsistency(t *testing.T) {
+	m := PaperModels()
+	b, err := m.FrameLatency(localScenario(t, pipeline.WithMode(pipeline.ModeRemote)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := b.SegmentMap()
+	if len(sm) != 11 {
+		t.Fatalf("segment map size = %d, want 11", len(sm))
+	}
+	if sm[pipeline.SegFrameEncoding] != b.Encoding {
+		t.Fatal("segment map mismatch")
+	}
+}
+
+// Property: all segment latencies are non-negative and total is at least
+// the capture interval for any valid frequency/size combination.
+func TestLatencyNonNegativeProperty(t *testing.T) {
+	m := PaperModels()
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		size := 300 + 400*rng.Float64()
+		freq := 1 + 2*rng.Float64()
+		share := rng.Float64()
+		mode := pipeline.ModeLocal
+		if rng.Intn(2) == 1 {
+			mode = pipeline.ModeRemote
+		}
+		sc, err := pipeline.NewScenario(mustXR1(),
+			pipeline.WithMode(mode),
+			pipeline.WithFrameSize(size),
+			pipeline.WithCPUFreq(freq),
+			pipeline.WithCPUShare(share),
+		)
+		if err != nil {
+			return false
+		}
+		b, err := m.FrameLatency(sc)
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{b.FrameGen, b.Volumetric, b.External,
+			b.Buffering, b.Rendering, b.Conversion, b.Encoding,
+			b.LocalInf, b.RemoteInf, b.Transmission, b.Handoff} {
+			if v < 0 {
+				return false
+			}
+		}
+		return b.Total >= 1000/sc.FPS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustXR1() device.Device {
+	d, err := device.ByName("XR1")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

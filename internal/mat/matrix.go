@@ -1,0 +1,281 @@
+// Package mat provides the dense linear-algebra primitives needed by the
+// regression machinery of the XR performance-analysis framework: dense
+// matrices, vector helpers, Householder QR decomposition, and least-squares
+// solving. It is intentionally small — just enough numerical substrate to fit
+// the paper's multiple-linear-regression models (Eqs. 3, 10, 12, 21) without
+// any dependency outside the Go standard library.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Common errors returned by the package. They are exported so callers can
+// match them with errors.Is.
+var (
+	// ErrShape indicates a dimension mismatch between operands.
+	ErrShape = errors.New("mat: dimension mismatch")
+	// ErrSingular indicates that a system could not be solved because the
+	// matrix is singular or numerically rank-deficient.
+	ErrSingular = errors.New("mat: matrix is singular to working precision")
+	// ErrBounds indicates an out-of-range row or column index.
+	ErrBounds = errors.New("mat: index out of range")
+)
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns an r×c zero matrix. It panics only on non-positive
+// dimensions, which indicates a programming error rather than a runtime
+// condition.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData returns an r×c matrix that adopts data (row-major). The slice
+// is copied so the caller retains ownership of its buffer.
+func NewDenseData(r, c int, data []float64) (*Dense, error) {
+	if r <= 0 || c <= 0 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrShape, r, c)
+	}
+	if len(data) != r*c {
+		return nil, fmt.Errorf("%w: have %d values, want %d", ErrShape, len(data), r*c)
+	}
+	m := NewDense(r, c)
+	copy(m.data, data)
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies vals into row i.
+func (m *Dense) SetRow(i int, vals []float64) error {
+	if i < 0 || i >= m.rows {
+		return fmt.Errorf("%w: row %d of %d", ErrBounds, i, m.rows)
+	}
+	if len(vals) != m.cols {
+		return fmt.Errorf("%w: row length %d, want %d", ErrShape, len(vals), m.cols)
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], vals)
+	return nil
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("%w: %dx%d · vec(%d)", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns a+b.
+func Add(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: %dx%d + %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a-b.
+func Sub(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: %dx%d - %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Dense) Scale(s float64) *Dense {
+	out := NewDense(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = s * m.data[i]
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute element value (the max norm).
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.data[i*m.cols+j])
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: vec(%d) · vec(%d)", ErrShape, len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow by
+// scaling with the largest magnitude component.
+func Norm2(v []float64) float64 {
+	var max float64
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		r := x / max
+		s += r * r
+	}
+	return max * math.Sqrt(s)
+}

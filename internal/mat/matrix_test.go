@@ -1,0 +1,319 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewDenseData(t *testing.T) {
+	tests := []struct {
+		name    string
+		r, c    int
+		data    []float64
+		wantErr error
+	}{
+		{name: "valid 2x2", r: 2, c: 2, data: []float64{1, 2, 3, 4}},
+		{name: "valid 1x3", r: 1, c: 3, data: []float64{1, 2, 3}},
+		{name: "wrong length", r: 2, c: 2, data: []float64{1, 2, 3}, wantErr: ErrShape},
+		{name: "zero rows", r: 0, c: 2, data: nil, wantErr: ErrShape},
+		{name: "negative cols", r: 2, c: -1, data: nil, wantErr: ErrShape},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := NewDenseData(tt.r, tt.c, tt.data)
+			if tt.wantErr != nil {
+				if !errors.Is(err, tt.wantErr) {
+					t.Fatalf("NewDenseData error = %v, want %v", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewDenseData: %v", err)
+			}
+			if m.Rows() != tt.r || m.Cols() != tt.c {
+				t.Fatalf("dims = %dx%d, want %dx%d", m.Rows(), m.Cols(), tt.r, tt.c)
+			}
+			for i := 0; i < tt.r; i++ {
+				for j := 0; j < tt.c; j++ {
+					if got := m.At(i, j); got != tt.data[i*tt.c+j] {
+						t.Errorf("At(%d,%d) = %v, want %v", i, j, got, tt.data[i*tt.c+j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNewDenseDataCopies(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m, err := NewDenseData(2, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("NewDenseData must copy its input")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if got := id.At(i, j); got != want {
+				t.Errorf("I(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want[i*2+j] {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, got.At(i, j), want[i*2+j])
+			}
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Mul error = %v, want ErrShape", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := NewDenseData(3, 3, []float64{2, -1, 0, 3, 5, 7, 1, 1, 1})
+	got, err := Mul(a, Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != a.At(i, j) {
+				t.Fatalf("A·I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got, err := a.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("MulVec short vec error = %v, want ErrShape", err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, _ := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b, _ := NewDenseData(2, 2, []float64{4, 3, 2, 1})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Sub(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if sum.At(i, j) != 5 {
+				t.Errorf("sum(%d,%d) = %v, want 5", i, j, sum.At(i, j))
+			}
+			if diff.At(i, j) != a.At(i, j) {
+				t.Errorf("(a+b)-b != a at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := Add(a, NewDense(3, 3)); !errors.Is(err, ErrShape) {
+		t.Fatal("Add shape mismatch must error")
+	}
+	if _, err := Sub(a, NewDense(3, 3)); !errors.Is(err, ErrShape) {
+		t.Fatal("Sub shape mismatch must error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", at.Rows(), at.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRowColCopy(t *testing.T) {
+	a, _ := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) != 1 {
+		t.Fatal("Row must return a copy")
+	}
+	c := a.Col(1)
+	c[0] = 99
+	if a.At(0, 1) != 2 {
+		t.Fatal("Col must return a copy")
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	a := NewDense(2, 2)
+	if err := a.SetRow(0, []float64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 5 || a.At(0, 1) != 6 {
+		t.Fatal("SetRow did not write values")
+	}
+	if err := a.SetRow(0, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("SetRow short row error = %v, want ErrShape", err)
+	}
+	if err := a.SetRow(5, []float64{1, 2}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("SetRow bad index error = %v, want ErrBounds", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must be independent of original")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a, _ := NewDenseData(2, 2, []float64{3, 0, 0, -4})
+	if got := a.FrobeniusNorm(); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+	// Norm2 must not overflow for huge components.
+	big := math.MaxFloat64 / 2
+	if got := Norm2([]float64{big, big}); math.IsInf(got, 1) {
+		t.Fatal("Norm2 overflowed where scaling should prevent it")
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatal("Dot length mismatch must error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a, _ := NewDenseData(1, 2, []float64{1, -2})
+	s := a.Scale(3)
+	if s.At(0, 0) != 3 || s.At(0, 1) != -6 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatal("Scale must not mutate receiver")
+	}
+}
+
+// Property: (Aᵀ)ᵀ == A for random matrices.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		a := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		b := a.T().T()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if a.At(i, j) != b.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication is associative (A·B)·C == A·(B·C) to
+// floating-point tolerance.
+func TestMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		gen := func() *Dense {
+			m := NewDense(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+			return m
+		}
+		a, b, c := gen(), gen(), gen()
+		ab, _ := Mul(a, b)
+		left, _ := Mul(ab, c)
+		bc, _ := Mul(b, c)
+		right, _ := Mul(a, bc)
+		d, _ := Sub(left, right)
+		return d.MaxAbs() < 1e-9*(1+left.MaxAbs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR decomposition of an m×n matrix with m >= n.
+// A = Q·R where Q is m×m orthogonal (stored implicitly as Householder
+// reflectors) and R is n×n upper triangular.
+type QR struct {
+	// qr stores R in its upper triangle and the Householder vectors below
+	// the diagonal.
+	qr    *Dense
+	rdiag []float64
+}
+
+// DecomposeQR computes the Householder QR decomposition of a. The input is
+// not modified. It returns ErrShape when a has fewer rows than columns.
+func DecomposeQR(a *Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("%w: QR needs rows >= cols, have %dx%d", ErrShape, m, n)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Compute the 2-norm of the k-th column below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// hypot is math.Hypot without the special-case overhead for NaN propagation
+// differences; it exists so the decomposition reads like the reference
+// algorithm.
+func hypot(a, b float64) float64 { return math.Hypot(a, b) }
+
+// IsFullRank reports whether R has no zero (to working precision) diagonal
+// entries, i.e. whether the original matrix has full column rank.
+func (d *QR) IsFullRank() bool {
+	for _, r := range d.rdiag {
+		if math.Abs(r) < 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve finds the least-squares solution x minimizing ‖A·x − b‖₂.
+// It returns ErrSingular when A is rank-deficient.
+func (d *QR) Solve(b []float64) ([]float64, error) {
+	m, n := d.qr.Rows(), d.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), m)
+	}
+	if !d.IsFullRank() {
+		return nil, ErrSingular
+	}
+
+	// y = Qᵀ·b, applied reflector by reflector.
+	y := make([]float64, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		if d.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += d.qr.At(i, k) * y[i]
+		}
+		s = -s / d.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * d.qr.At(i, k)
+		}
+	}
+
+	// Back-substitution with R.
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= d.qr.At(k, j) * x[j]
+		}
+		x[k] = s / d.rdiag[k]
+	}
+	return x, nil
+}
+
+// RDiag returns a copy of the diagonal of R; its magnitudes are a cheap
+// conditioning diagnostic (ratio max/min approximates the condition number
+// growth of the normal equations).
+func (d *QR) RDiag() []float64 {
+	out := make([]float64, len(d.rdiag))
+	copy(out, d.rdiag)
+	return out
+}
+
+// ConditionEstimate returns |r_max| / |r_min| over the diagonal of R, or
+// +Inf for a rank-deficient matrix. It is a coarse (lower-bound) estimate
+// of the 2-norm condition number, sufficient to flag ill-posed fits.
+func (d *QR) ConditionEstimate() float64 {
+	min, max := math.Inf(1), 0.0
+	for _, r := range d.rdiag {
+		a := math.Abs(r)
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if min < 1e-12 {
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// InverseGramDiagonal returns diag((AᵀA)⁻¹) computed stably from R:
+// (AᵀA)⁻¹ = R⁻¹R⁻ᵀ, whose i-th diagonal entry is ‖R⁻ᵀeᵢ‖², obtained by a
+// forward substitution with Rᵀ per column. These diagonals scale the OLS
+// coefficient variances: Var(βᵢ) = σ²·diagᵢ.
+func (d *QR) InverseGramDiagonal() ([]float64, error) {
+	if !d.IsFullRank() {
+		return nil, ErrSingular
+	}
+	n := d.qr.Cols()
+	out := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Solve Rᵀy = eᵢ by forward substitution. Rᵀ is lower
+		// triangular with diagonal rdiag and off-diagonals taken from
+		// R's upper triangle.
+		for k := 0; k < n; k++ {
+			rhs := 0.0
+			if k == i {
+				rhs = 1
+			}
+			s := rhs
+			for j := 0; j < k; j++ {
+				// (Rᵀ)_{kj} = R_{jk}, stored in qr's upper triangle.
+				s -= d.qr.At(j, k) * y[j]
+			}
+			y[k] = s / d.rdiag[k]
+		}
+		var sq float64
+		for _, v := range y {
+			sq += v * v
+		}
+		out[i] = sq
+	}
+	return out, nil
+}
+
+// SolveLeastSquares is a convenience wrapper: decompose a and solve for b in
+// one call.
+func SolveLeastSquares(a *Dense, b []float64) ([]float64, error) {
+	d, err := DecomposeQR(a)
+	if err != nil {
+		return nil, fmt.Errorf("decompose: %w", err)
+	}
+	x, err := d.Solve(b)
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+	return x, nil
+}

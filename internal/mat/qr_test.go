@@ -1,0 +1,173 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveExact(t *testing.T) {
+	// Square well-conditioned system with a known solution.
+	a, _ := NewDenseData(3, 3, []float64{
+		2, 1, 1,
+		1, 3, 2,
+		1, 0, 0,
+	})
+	// x = [1, 2, 3] → b = A·x
+	b, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRShapeError(t *testing.T) {
+	a := NewDense(2, 3) // fewer rows than cols
+	if _, err := DecomposeQR(a); !errors.Is(err, ErrShape) {
+		t.Fatalf("DecomposeQR error = %v, want ErrShape", err)
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	// Second column is a multiple of the first: rank-deficient.
+	a, _ := NewDenseData(3, 2, []float64{
+		1, 2,
+		2, 4,
+		3, 6,
+	})
+	d, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IsFullRank() {
+		t.Fatal("rank-deficient matrix reported full rank")
+	}
+	if _, err := d.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Solve error = %v, want ErrSingular", err)
+	}
+	if !math.IsInf(d.ConditionEstimate(), 1) {
+		t.Fatal("singular matrix must have infinite condition estimate")
+	}
+}
+
+func TestQRSolveRHSLength(t *testing.T) {
+	a := Identity(3)
+	d, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Solve([]float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("Solve short rhs error = %v, want ErrShape", err)
+	}
+}
+
+func TestQROverdeterminedLeastSquares(t *testing.T) {
+	// Fit y = 2 + 3x on noiseless points: least squares must recover the
+	// coefficients exactly (to floating-point precision).
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	a := NewDense(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2 + 3*x
+	}
+	coef, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(coef[0], 2, 1e-9) || !almostEqual(coef[1], 3, 1e-9) {
+		t.Fatalf("coef = %v, want [2 3]", coef)
+	}
+}
+
+func TestQRResidualOrthogonality(t *testing.T) {
+	// For least squares, the residual must be orthogonal to the column
+	// space: Aᵀ(b − A·x) ≈ 0.
+	rng := rand.New(rand.NewSource(7))
+	m, n := 20, 4
+	a := NewDense(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	res := make([]float64, m)
+	for i := range res {
+		res[i] = b[i] - ax[i]
+	}
+	at := a.T()
+	proj, _ := at.MulVec(res)
+	for j, v := range proj {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual not orthogonal to column %d: %v", j, v)
+		}
+	}
+}
+
+func TestQRConditionEstimateIdentity(t *testing.T) {
+	d, err := DecomposeQR(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ConditionEstimate(); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("cond(I) = %v, want 1", got)
+	}
+	diag := d.RDiag()
+	if len(diag) != 4 {
+		t.Fatalf("RDiag length = %d, want 4", len(diag))
+	}
+}
+
+// Property: for random full-rank square systems, QR solve reproduces the
+// planted solution.
+func TestQRSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(want)
+		got, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

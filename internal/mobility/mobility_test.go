@@ -1,0 +1,173 @@
+package mobility
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/wireless"
+)
+
+func TestNewWalkValidation(t *testing.T) {
+	if _, err := NewWalk(-1, 10); !errors.Is(err, ErrWalk) {
+		t.Fatal("negative speed must error")
+	}
+	if _, err := NewWalk(1, 0); !errors.Is(err, ErrWalk) {
+		t.Fatal("zero step must error")
+	}
+	if _, err := NewWalk(0, 10); err != nil {
+		t.Fatal("zero speed (static device) is valid")
+	}
+}
+
+func TestHandoffProbabilityStaticDevice(t *testing.T) {
+	w, _ := NewWalk(0, 10)
+	zone := Zone{Technology: wireless.WiFi5GHz, RadiusM: 50}
+	p, err := w.HandoffProbability(zone, 1000, 100, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("static device P(HO) = %v, want 0", p)
+	}
+}
+
+func TestHandoffProbabilityFastDevice(t *testing.T) {
+	// Diffusive walk: RMS displacement is stepLen·√steps. With 1.5 m
+	// steps over 60 steps the RMS is ≈11.6 m against a 4 m zone, so exit
+	// is near certain.
+	w, _ := NewWalk(30, 50)
+	zone := Zone{Technology: wireless.WiFi5GHz, RadiusM: 4}
+	p, err := w.HandoffProbability(zone, 3000, 500, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Fatalf("fast device P(HO) = %v, want ≈1", p)
+	}
+}
+
+func TestHandoffProbabilityErrors(t *testing.T) {
+	w, _ := NewWalk(1, 10)
+	zone := Zone{Technology: wireless.WiFi5GHz, RadiusM: 50}
+	if _, err := w.HandoffProbability(Zone{RadiusM: 0}, 100, 10, stats.NewRNG(1)); !errors.Is(err, ErrZone) {
+		t.Fatal("zero radius must error")
+	}
+	if _, err := w.HandoffProbability(zone, 0, 10, stats.NewRNG(1)); !errors.Is(err, ErrWalk) {
+		t.Fatal("zero horizon must error")
+	}
+	if _, err := w.HandoffProbability(zone, 100, 0, stats.NewRNG(1)); !errors.Is(err, ErrWalk) {
+		t.Fatal("zero trials must error")
+	}
+	if _, err := w.HandoffProbability(zone, 100, 10, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+}
+
+func TestHandoffProbabilityDeterministic(t *testing.T) {
+	w, _ := NewWalk(5, 20)
+	zone := Zone{Technology: wireless.WiFi24GHz, RadiusM: 30}
+	a, err := w.HandoffProbability(zone, 500, 200, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.HandoffProbability(zone, 500, 200, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("seeded Monte-Carlo must reproduce")
+	}
+}
+
+func TestNewHandoffModel(t *testing.T) {
+	h, err := NewHandoffModel(HandoffHorizontal, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LatencyMs != DefaultHorizontalHandoffMs {
+		t.Fatalf("horizontal latency = %v", h.LatencyMs)
+	}
+	v, err := NewHandoffModel(HandoffVertical, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.LatencyMs != DefaultVerticalHandoffMs {
+		t.Fatalf("vertical latency = %v", v.LatencyMs)
+	}
+	if v.LatencyMs <= h.LatencyMs {
+		t.Fatal("vertical handoff must cost more than horizontal")
+	}
+	if _, err := NewHandoffModel(HandoffVertical, 1.5); !errors.Is(err, ErrWalk) {
+		t.Fatal("probability > 1 must error")
+	}
+	if _, err := NewHandoffModel(HandoffVertical, -0.1); !errors.Is(err, ErrWalk) {
+		t.Fatal("negative probability must error")
+	}
+}
+
+func TestExpectedLatency(t *testing.T) {
+	h, _ := NewHandoffModel(HandoffHorizontal, 0.2)
+	want := 0.2 * DefaultHorizontalHandoffMs
+	if got := h.ExpectedLatencyMs(); got != want {
+		t.Fatalf("expected latency = %v, want %v", got, want)
+	}
+	zero, _ := NewHandoffModel(HandoffVertical, 0)
+	if zero.ExpectedLatencyMs() != 0 {
+		t.Fatal("zero probability must give zero expected latency")
+	}
+}
+
+func TestCrossTechnology(t *testing.T) {
+	wifi := Zone{Technology: wireless.WiFi5GHz, RadiusM: 50}
+	wifi24 := Zone{Technology: wireless.WiFi24GHz, RadiusM: 80}
+	lte := Zone{Technology: wireless.LTE, RadiusM: 500}
+	if got := CrossTechnology(wifi, wifi); got != HandoffHorizontal {
+		t.Fatalf("same zone kind = %v", got)
+	}
+	if got := CrossTechnology(wifi, wifi24); got != HandoffVertical {
+		t.Fatalf("2.4 vs 5 GHz kind = %v (different technologies)", got)
+	}
+	if got := CrossTechnology(wifi, lte); got != HandoffVertical {
+		t.Fatalf("wifi vs lte kind = %v", got)
+	}
+}
+
+func TestHandoffKindString(t *testing.T) {
+	if HandoffHorizontal.String() != "horizontal" || HandoffVertical.String() != "vertical" {
+		t.Fatal("kind strings wrong")
+	}
+	if HandoffKind(9).String() == "" {
+		t.Fatal("unknown kind string must be non-empty")
+	}
+}
+
+// Property: P(HO) is monotonically non-decreasing in speed and in horizon,
+// and always within [0,1].
+func TestHandoffProbabilityMonotonic(t *testing.T) {
+	zone := Zone{Technology: wireless.WiFi5GHz, RadiusM: 40}
+	f := func(seed int64) bool {
+		slow, err := NewWalk(2, 10)
+		if err != nil {
+			return false
+		}
+		fast, err := NewWalk(12, 10)
+		if err != nil {
+			return false
+		}
+		pSlow, err1 := slow.HandoffProbability(zone, 800, 400, stats.NewRNG(seed))
+		pFast, err2 := fast.HandoffProbability(zone, 800, 400, stats.NewRNG(seed))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if pSlow < 0 || pSlow > 1 || pFast < 0 || pFast > 1 {
+			return false
+		}
+		// Allow Monte-Carlo slack of 5 percentage points.
+		return pFast >= pSlow-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

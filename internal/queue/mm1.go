@@ -1,0 +1,177 @@
+// Package queue models the XR input buffer. The paper assumes the buffer
+// holding captured frames, volumetric data, and external sensor packets is a
+// stable M/M/1 queue (Section IV-B and VI-B): the closed-form sojourn time
+// 1/(µ−λ) enters both the rendering latency (Eq. 7) and the AoI model
+// (Eq. 22). This package provides those closed forms plus a discrete-event
+// M/M/1 simulator used to generate ground truth for validating them.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Common errors.
+var (
+	// ErrUnstable indicates λ >= µ, for which the M/M/1 steady state does
+	// not exist.
+	ErrUnstable = errors.New("queue: unstable system (arrival rate >= service rate)")
+	// ErrRate indicates a non-positive rate parameter.
+	ErrRate = errors.New("queue: rates must be positive")
+)
+
+// MM1 is a stable M/M/1 queueing system with Poisson arrivals at rate
+// Lambda and exponential service at rate Mu (both in events per
+// millisecond to match the framework's latency unit).
+type MM1 struct {
+	// Lambda is the mean arrival rate (1/ms).
+	Lambda float64
+	// Mu is the mean service rate (1/ms).
+	Mu float64
+}
+
+// NewMM1 validates and constructs a stable M/M/1 system.
+func NewMM1(lambda, mu float64) (MM1, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MM1{}, fmt.Errorf("%w: λ=%v µ=%v", ErrRate, lambda, mu)
+	}
+	if lambda >= mu {
+		return MM1{}, fmt.Errorf("%w: λ=%v µ=%v", ErrUnstable, lambda, mu)
+	}
+	return MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Rho returns the utilization λ/µ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanSojourn returns the mean time a packet spends in the system
+// (waiting + service): W = 1/(µ−λ). This is the T̄ of Eq. (22).
+func (q MM1) MeanSojourn() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// MeanWait returns the mean queueing delay excluding service:
+// Wq = ρ/(µ−λ).
+func (q MM1) MeanWait() float64 { return q.Rho() / (q.Mu - q.Lambda) }
+
+// MeanNumber returns the mean number of packets in the system:
+// L = ρ/(1−ρ).
+func (q MM1) MeanNumber() float64 {
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// MeanQueueLength returns the mean number waiting (excluding in service):
+// Lq = ρ²/(1−ρ).
+func (q MM1) MeanQueueLength() float64 {
+	rho := q.Rho()
+	return rho * rho / (1 - rho)
+}
+
+// SojournQuantile returns the p-th quantile of the sojourn-time
+// distribution, which for M/M/1 is exponential with rate µ−λ.
+func (q MM1) SojournQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queue: quantile %v out of (0,1)", p)
+	}
+	return -math.Log(1-p) / (q.Mu - q.Lambda), nil
+}
+
+// SimResult summarizes a discrete-event simulation run.
+type SimResult struct {
+	// Served is the number of completed packets.
+	Served int
+	// MeanSojourn is the empirical mean time in system (ms).
+	MeanSojourn float64
+	// MeanWait is the empirical mean queueing delay (ms).
+	MeanWait float64
+	// Utilization is the fraction of time the server was busy.
+	Utilization float64
+	// Sojourns holds per-packet system times for distribution checks.
+	Sojourns []float64
+}
+
+// Simulate runs a single-server FIFO discrete-event simulation of the
+// queue for n packets using rng, returning empirical statistics. A warm-up
+// fraction of 10% of packets is discarded so the estimate reflects steady
+// state.
+func (q MM1) Simulate(n int, rng *stats.RNG) (SimResult, error) {
+	if n <= 0 {
+		return SimResult{}, fmt.Errorf("queue: packet count must be positive, have %d", n)
+	}
+	if rng == nil {
+		return SimResult{}, errors.New("queue: nil rng")
+	}
+
+	warm := n / 10
+	var (
+		clock        float64 // arrival clock
+		serverFreeAt float64
+		busyTime     float64
+		lastDepart   float64
+		sojourns     = make([]float64, 0, n-warm)
+		waits        = make([]float64, 0, n-warm)
+	)
+	for i := 0; i < n; i++ {
+		ia, err := rng.Exponential(q.Lambda)
+		if err != nil {
+			return SimResult{}, fmt.Errorf("interarrival: %w", err)
+		}
+		clock += ia
+		sv, err := rng.Exponential(q.Mu)
+		if err != nil {
+			return SimResult{}, fmt.Errorf("service: %w", err)
+		}
+		start := clock
+		if serverFreeAt > start {
+			start = serverFreeAt
+		}
+		depart := start + sv
+		serverFreeAt = depart
+		busyTime += sv
+		lastDepart = depart
+		if i >= warm {
+			sojourns = append(sojourns, depart-clock)
+			waits = append(waits, start-clock)
+		}
+	}
+
+	meanS, err := stats.Mean(sojourns)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("mean sojourn: %w", err)
+	}
+	meanW, err := stats.Mean(waits)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("mean wait: %w", err)
+	}
+	util := 0.0
+	if lastDepart > 0 {
+		util = busyTime / lastDepart
+	}
+	return SimResult{
+		Served:      len(sojourns),
+		MeanSojourn: meanS,
+		MeanWait:    meanW,
+		Utilization: util,
+		Sojourns:    sojourns,
+	}, nil
+}
+
+// CompositeArrivalRate sums the arrival rates of independent Poisson
+// streams; the superposition of Poisson processes is Poisson, which is how
+// the input buffer sees captured frames, volumetric data, and the external
+// sensors together (Fig. 2).
+func CompositeArrivalRate(rates ...float64) (float64, error) {
+	var sum float64
+	for _, r := range rates {
+		if r < 0 {
+			return 0, fmt.Errorf("%w: component rate %v", ErrRate, r)
+		}
+		sum += r
+	}
+	if sum == 0 {
+		return 0, fmt.Errorf("%w: all component rates zero", ErrRate)
+	}
+	return sum, nil
+}

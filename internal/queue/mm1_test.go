@@ -1,0 +1,197 @@
+package queue
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewMM1Validation(t *testing.T) {
+	tests := []struct {
+		name       string
+		lambda, mu float64
+		wantErr    error
+	}{
+		{name: "stable", lambda: 0.5, mu: 1},
+		{name: "unstable equal", lambda: 1, mu: 1, wantErr: ErrUnstable},
+		{name: "unstable greater", lambda: 2, mu: 1, wantErr: ErrUnstable},
+		{name: "zero lambda", lambda: 0, mu: 1, wantErr: ErrRate},
+		{name: "negative mu", lambda: 0.5, mu: -1, wantErr: ErrRate},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewMM1(tt.lambda, tt.mu)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("NewMM1: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("NewMM1 error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMM1ClosedForms(t *testing.T) {
+	q, err := NewMM1(0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Rho(); got != 0.5 {
+		t.Fatalf("ρ = %v, want 0.5", got)
+	}
+	if got := q.MeanSojourn(); got != 2 {
+		t.Fatalf("W = %v, want 2", got)
+	}
+	if got := q.MeanWait(); got != 1 {
+		t.Fatalf("Wq = %v, want 1", got)
+	}
+	if got := q.MeanNumber(); got != 1 {
+		t.Fatalf("L = %v, want 1", got)
+	}
+	if got := q.MeanQueueLength(); got != 0.5 {
+		t.Fatalf("Lq = %v, want 0.5", got)
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// L = λW and Lq = λWq must hold exactly for the closed forms.
+	for _, q := range []MM1{{0.3, 1}, {0.7, 1.2}, {5, 9}} {
+		if math.Abs(q.MeanNumber()-q.Lambda*q.MeanSojourn()) > 1e-12 {
+			t.Fatalf("Little's law violated for %+v", q)
+		}
+		if math.Abs(q.MeanQueueLength()-q.Lambda*q.MeanWait()) > 1e-12 {
+			t.Fatalf("Little's law (queue) violated for %+v", q)
+		}
+	}
+}
+
+func TestSojournQuantile(t *testing.T) {
+	q, _ := NewMM1(0.5, 1.0)
+	med, err := q.SojournQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential with rate 0.5: median = ln2/0.5.
+	if want := math.Ln2 / 0.5; math.Abs(med-want) > 1e-12 {
+		t.Fatalf("median sojourn = %v, want %v", med, want)
+	}
+	if _, err := q.SojournQuantile(0); err == nil {
+		t.Fatal("quantile 0 must error")
+	}
+	if _, err := q.SojournQuantile(1); err == nil {
+		t.Fatal("quantile 1 must error")
+	}
+}
+
+func TestSimulateMatchesAnalytics(t *testing.T) {
+	q, _ := NewMM1(0.6, 1.0)
+	res, err := q.Simulate(200000, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 || len(res.Sojourns) != res.Served {
+		t.Fatalf("served = %d, sojourns = %d", res.Served, len(res.Sojourns))
+	}
+	// Empirical sojourn must be within 5% of W = 1/(µ−λ) = 2.5.
+	if rel := math.Abs(res.MeanSojourn-q.MeanSojourn()) / q.MeanSojourn(); rel > 0.05 {
+		t.Fatalf("sim sojourn %v vs analytic %v (rel %v)", res.MeanSojourn, q.MeanSojourn(), rel)
+	}
+	if rel := math.Abs(res.MeanWait-q.MeanWait()) / q.MeanWait(); rel > 0.07 {
+		t.Fatalf("sim wait %v vs analytic %v (rel %v)", res.MeanWait, q.MeanWait(), rel)
+	}
+	if math.Abs(res.Utilization-q.Rho()) > 0.03 {
+		t.Fatalf("sim utilization %v vs ρ %v", res.Utilization, q.Rho())
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	q, _ := NewMM1(0.5, 1)
+	if _, err := q.Simulate(0, stats.NewRNG(1)); err == nil {
+		t.Fatal("zero packets must error")
+	}
+	if _, err := q.Simulate(10, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	q, _ := NewMM1(0.5, 1)
+	a, err := q.Simulate(5000, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Simulate(5000, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanSojourn != b.MeanSojourn || a.MeanWait != b.MeanWait {
+		t.Fatal("same seed must reproduce identical simulation")
+	}
+}
+
+func TestCompositeArrivalRate(t *testing.T) {
+	got, err := CompositeArrivalRate(0.2, 0.1, 0.0667)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3667) > 1e-9 {
+		t.Fatalf("composite rate = %v, want 0.3667", got)
+	}
+	if _, err := CompositeArrivalRate(-1, 2); !errors.Is(err, ErrRate) {
+		t.Fatal("negative rate must error")
+	}
+	if _, err := CompositeArrivalRate(0, 0); !errors.Is(err, ErrRate) {
+		t.Fatal("all-zero rates must error")
+	}
+}
+
+// Property: for any stable system, W > Wq > 0, L > Lq > 0 and
+// W = Wq + 1/µ.
+func TestMM1Invariants(t *testing.T) {
+	f := func(a, b float64) bool {
+		lambda := 0.01 + math.Abs(math.Mod(a, 10))
+		mu := lambda + 0.01 + math.Abs(math.Mod(b, 10))
+		q, err := NewMM1(lambda, mu)
+		if err != nil {
+			return false
+		}
+		if q.MeanSojourn() <= q.MeanWait() || q.MeanWait() < 0 {
+			return false
+		}
+		if q.MeanNumber() <= q.MeanQueueLength() {
+			return false
+		}
+		return math.Abs(q.MeanSojourn()-(q.MeanWait()+1/mu)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization increases with λ at fixed µ.
+func TestMM1UtilizationMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		mu := 1.0
+		l1 := 0.1 + 0.4*rng.Float64()
+		l2 := l1 + 0.1 + 0.3*rng.Float64()
+		if l2 >= mu {
+			return true
+		}
+		q1, err1 := NewMM1(l1, mu)
+		q2, err2 := NewMM1(l2, mu)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return q2.MeanSojourn() > q1.MeanSojourn() && q2.Rho() > q1.Rho()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1K is an M/M/1/K queue: Poisson arrivals, exponential service, one
+// server, and a finite buffer of K packets (including the one in
+// service). Arrivals finding the buffer full are dropped — the realistic
+// behaviour of a bounded XR input buffer under sensor bursts, and the
+// mechanism behind lost information updates in the drop-aware AoI model.
+// Unlike M/M/1, the finite system is stable for any ρ, including ρ ≥ 1.
+type MM1K struct {
+	// Lambda is the arrival rate (1/ms).
+	Lambda float64
+	// Mu is the service rate (1/ms).
+	Mu float64
+	// K is the buffer capacity (≥ 1).
+	K int
+}
+
+// NewMM1K validates and constructs a finite-buffer queue.
+func NewMM1K(lambda, mu float64, k int) (MM1K, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MM1K{}, fmt.Errorf("%w: λ=%v µ=%v", ErrRate, lambda, mu)
+	}
+	if k < 1 {
+		return MM1K{}, fmt.Errorf("%w: buffer capacity %d", ErrRate, k)
+	}
+	return MM1K{Lambda: lambda, Mu: mu, K: k}, nil
+}
+
+// Rho returns the offered load λ/µ (may exceed 1).
+func (q MM1K) Rho() float64 { return q.Lambda / q.Mu }
+
+// stateProb returns P(n packets in system) for n = 0..K. The birth–death
+// stationary distribution p_n = ρⁿ/Σρⁱ is computed by direct summation:
+// the textbook geometric closed form cancels catastrophically near ρ = 1,
+// while the sum is exact for the bounded K values a finite buffer has.
+func (q MM1K) stateProb(n int) float64 {
+	rho := q.Rho()
+	var norm float64
+	pow := 1.0
+	for i := 0; i <= q.K; i++ {
+		norm += pow
+		pow *= rho
+	}
+	return math.Pow(rho, float64(n)) / norm
+}
+
+// BlockingProbability returns P_K, the probability an arrival is dropped.
+func (q MM1K) BlockingProbability() float64 {
+	return q.stateProb(q.K)
+}
+
+// MeanNumber returns the mean number of packets in the system.
+func (q MM1K) MeanNumber() float64 {
+	rho := q.Rho()
+	var norm, weighted float64
+	pow := 1.0
+	for n := 0; n <= q.K; n++ {
+		norm += pow
+		weighted += float64(n) * pow
+		pow *= rho
+	}
+	return weighted / norm
+}
+
+// MeanSojourn returns the mean time an *accepted* packet spends in the
+// system, via Little's law on the effective arrival rate λ(1−P_K).
+func (q MM1K) MeanSojourn() float64 {
+	effLambda := q.Lambda * (1 - q.BlockingProbability())
+	if effLambda <= 0 {
+		return 0
+	}
+	return q.MeanNumber() / effLambda
+}
+
+// Throughput returns the accepted-packet rate λ(1−P_K).
+func (q MM1K) Throughput() float64 {
+	return q.Lambda * (1 - q.BlockingProbability())
+}
+
+// MD1 is an M/D/1 queue: Poisson arrivals and deterministic service — the
+// right model when the buffer's consumer is a fixed-cost operation (e.g.
+// a renderer draining one item per refresh tick) rather than an
+// exponential server. Pollaczek–Khinchine gives the closed forms.
+type MD1 struct {
+	// Lambda is the arrival rate (1/ms).
+	Lambda float64
+	// ServiceMs is the constant service time (ms); the service rate is
+	// 1/ServiceMs.
+	ServiceMs float64
+}
+
+// NewMD1 validates and constructs a deterministic-service queue.
+func NewMD1(lambda, serviceMs float64) (MD1, error) {
+	if lambda <= 0 || serviceMs <= 0 {
+		return MD1{}, fmt.Errorf("%w: λ=%v D=%v", ErrRate, lambda, serviceMs)
+	}
+	if lambda*serviceMs >= 1 {
+		return MD1{}, fmt.Errorf("%w: λ=%v D=%v (ρ=%v)", ErrUnstable, lambda, serviceMs, lambda*serviceMs)
+	}
+	return MD1{Lambda: lambda, ServiceMs: serviceMs}, nil
+}
+
+// Rho returns the utilization λ·D.
+func (q MD1) Rho() float64 { return q.Lambda * q.ServiceMs }
+
+// MeanWait returns the Pollaczek–Khinchine mean queueing delay:
+// Wq = ρD / (2(1−ρ)).
+func (q MD1) MeanWait() float64 {
+	rho := q.Rho()
+	return rho * q.ServiceMs / (2 * (1 - rho))
+}
+
+// MeanSojourn returns Wq + D.
+func (q MD1) MeanSojourn() float64 { return q.MeanWait() + q.ServiceMs }
+
+// MeanNumber returns L = λ·W (Little's law).
+func (q MD1) MeanNumber() float64 { return q.Lambda * q.MeanSojourn() }

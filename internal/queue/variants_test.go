@@ -1,0 +1,179 @@
+package queue
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewMM1KValidation(t *testing.T) {
+	if _, err := NewMM1K(0, 1, 5); !errors.Is(err, ErrRate) {
+		t.Fatal("zero lambda must error")
+	}
+	if _, err := NewMM1K(1, 0, 5); !errors.Is(err, ErrRate) {
+		t.Fatal("zero mu must error")
+	}
+	if _, err := NewMM1K(1, 2, 0); !errors.Is(err, ErrRate) {
+		t.Fatal("zero capacity must error")
+	}
+	// Overloaded finite systems are valid (they just drop).
+	if _, err := NewMM1K(3, 1, 5); err != nil {
+		t.Fatalf("overloaded MM1K: %v", err)
+	}
+}
+
+func TestMM1KBlockingKnownValue(t *testing.T) {
+	// ρ = 0.5, K = 2: P_2 = (1−ρ)ρ²/(1−ρ³) = 0.5·0.25/0.875 = 1/7.
+	q, err := NewMM1K(0.5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.BlockingProbability(); math.Abs(got-1.0/7) > 1e-12 {
+		t.Fatalf("P_K = %v, want 1/7", got)
+	}
+}
+
+func TestMM1KCriticalLoad(t *testing.T) {
+	// ρ = 1: uniform state distribution, P_K = 1/(K+1), L = K/2.
+	q, err := NewMM1K(1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.BlockingProbability(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("critical P_K = %v, want 0.2", got)
+	}
+	if got := q.MeanNumber(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("critical L = %v, want 2", got)
+	}
+}
+
+func TestMM1KApproachesMM1ForLargeBuffers(t *testing.T) {
+	inf, err := NewMM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := NewMM1K(0.5, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.BlockingProbability() > 1e-15 {
+		t.Fatalf("large-buffer blocking = %v, want ≈0", fin.BlockingProbability())
+	}
+	if math.Abs(fin.MeanSojourn()-inf.MeanSojourn()) > 1e-9 {
+		t.Fatalf("large-buffer W = %v vs M/M/1 %v", fin.MeanSojourn(), inf.MeanSojourn())
+	}
+	if math.Abs(fin.Throughput()-0.5) > 1e-12 {
+		t.Fatalf("throughput = %v, want 0.5", fin.Throughput())
+	}
+}
+
+func TestMM1KOverload(t *testing.T) {
+	q, err := NewMM1K(5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavily overloaded: most arrivals drop, throughput saturates near µ.
+	if q.BlockingProbability() < 0.7 {
+		t.Fatalf("overload blocking = %v, want high", q.BlockingProbability())
+	}
+	if q.Throughput() > q.Mu {
+		t.Fatal("throughput cannot exceed service rate")
+	}
+}
+
+func TestNewMD1Validation(t *testing.T) {
+	if _, err := NewMD1(0, 1); !errors.Is(err, ErrRate) {
+		t.Fatal("zero lambda must error")
+	}
+	if _, err := NewMD1(1, 0); !errors.Is(err, ErrRate) {
+		t.Fatal("zero service must error")
+	}
+	if _, err := NewMD1(1, 1); !errors.Is(err, ErrUnstable) {
+		t.Fatal("ρ=1 must be unstable")
+	}
+}
+
+func TestMD1KnownValues(t *testing.T) {
+	// λ = 0.5, D = 1 → ρ = 0.5, Wq = 0.5·1/(2·0.5) = 0.5, W = 1.5.
+	q, err := NewMD1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.MeanWait(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Wq = %v, want 0.5", got)
+	}
+	if got := q.MeanSojourn(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("W = %v, want 1.5", got)
+	}
+	if got := q.MeanNumber(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("L = %v, want 0.75", got)
+	}
+}
+
+func TestMD1HalvesMM1Wait(t *testing.T) {
+	// At equal utilization, deterministic service halves the queueing
+	// delay of exponential service (PK factor (1+C²)/2 with C²=0).
+	mm1, err := NewMM1(0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, err := NewMD1(0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := md1.MeanWait(), mm1.MeanWait()/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("M/D/1 Wq = %v, want half of M/M/1 (%v)", got, want)
+	}
+}
+
+// Property: blocking probability decreases with buffer size and lies in
+// (0,1); throughput increases with buffer size.
+func TestMM1KMonotonicInK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		lambda := 0.2 + 1.5*rng.Float64()
+		mu := 0.2 + 1.5*rng.Float64()
+		k := 1 + rng.Intn(20)
+		small, err1 := NewMM1K(lambda, mu, k)
+		large, err2 := NewMM1K(lambda, mu, k+5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		pS, pL := small.BlockingProbability(), large.BlockingProbability()
+		if pS <= 0 || pS >= 1 || pL <= 0 || pL >= 1 {
+			return false
+		}
+		// In deep overload blocking saturates, so allow equality to
+		// machine precision.
+		return pL <= pS+1e-12 && large.Throughput() > small.Throughput()-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: M/M/1/K state probabilities sum to one.
+func TestMM1KProbabilitiesSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		q, err := NewMM1K(0.1+2*rng.Float64(), 0.1+2*rng.Float64(), 1+rng.Intn(15))
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for n := 0; n <= q.K; n++ {
+			p := q.stateProb(n)
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

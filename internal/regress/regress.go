@@ -1,0 +1,249 @@
+// Package regress implements the multiple-linear-regression machinery the
+// paper relies on wherever an explicit analytical form is infeasible: the
+// computation-resource model (Eq. 3), the H.264 encoding-latency model
+// (Eq. 10), the CNN-complexity model (Eq. 12), and the mean-power model
+// (Eq. 21). Fits are ordinary least squares on a QR decomposition, with the
+// goodness-of-fit diagnostics (R², adjusted R², RMSE) the paper reports.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// Common errors.
+var (
+	// ErrNoTerms indicates a model specification without any terms.
+	ErrNoTerms = errors.New("regress: model has no terms")
+	// ErrTooFewRows indicates fewer observations than model terms.
+	ErrTooFewRows = errors.New("regress: fewer rows than terms")
+	// ErrBadInput indicates malformed observations.
+	ErrBadInput = errors.New("regress: malformed input")
+)
+
+// Term is one named column of the design matrix, computed from a raw
+// feature vector. Terms let callers express the paper's squared-frequency
+// and interaction features (e.g. f_c² in Eq. 3) declaratively.
+type Term struct {
+	// Name labels the term in fit summaries (e.g. "fc^2").
+	Name string
+	// Eval maps a raw input vector to the term's value.
+	Eval func(x []float64) float64
+}
+
+// Intercept returns the constant-1 term.
+func Intercept() Term {
+	return Term{Name: "1", Eval: func([]float64) float64 { return 1 }}
+}
+
+// Linear returns the identity term on input column idx.
+func Linear(name string, idx int) Term {
+	return Term{Name: name, Eval: func(x []float64) float64 { return x[idx] }}
+}
+
+// Square returns the squared term on input column idx.
+func Square(name string, idx int) Term {
+	return Term{Name: name + "^2", Eval: func(x []float64) float64 { return x[idx] * x[idx] }}
+}
+
+// Product returns the interaction term x[i]·x[j].
+func Product(name string, i, j int) Term {
+	return Term{Name: name, Eval: func(x []float64) float64 { return x[i] * x[j] }}
+}
+
+// Fit is a fitted ordinary-least-squares model.
+type Fit struct {
+	// Terms are the design-matrix columns, parallel to Coef.
+	Terms []Term
+	// Coef holds the fitted coefficients.
+	Coef []float64
+	// N is the number of training observations.
+	N int
+	// R2 is the coefficient of determination on the training set.
+	R2 float64
+	// AdjR2 penalizes R2 for the number of terms.
+	AdjR2 float64
+	// RMSE is the training root-mean-square error.
+	RMSE float64
+	// Cond is a coarse condition-number estimate of the design matrix.
+	Cond float64
+	// StdErr holds the coefficient standard errors (parallel to Coef),
+	// from Var(β) = σ̂²·diag((XᵀX)⁻¹) with σ̂² = RSS/(n−p).
+	StdErr []float64
+}
+
+// TStats returns the coefficient t-statistics βᵢ/SE(βᵢ). Entries with a
+// zero standard error report +Inf/−Inf by IEEE division.
+func (f *Fit) TStats() []float64 {
+	out := make([]float64, len(f.Coef))
+	for i, c := range f.Coef {
+		out[i] = c / f.StdErr[i]
+	}
+	return out
+}
+
+// FitOLS fits y ≈ Σ coefᵢ·termᵢ(x) by least squares over the observations
+// (xs[k], ys[k]).
+func FitOLS(terms []Term, xs [][]float64, ys []float64) (*Fit, error) {
+	if len(terms) == 0 {
+		return nil, ErrNoTerms
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d feature rows vs %d responses", ErrBadInput, len(xs), len(ys))
+	}
+	if len(xs) < len(terms) {
+		return nil, fmt.Errorf("%w: %d rows for %d terms", ErrTooFewRows, len(xs), len(terms))
+	}
+
+	design := mat.NewDense(len(xs), len(terms))
+	for i, x := range xs {
+		for j, t := range terms {
+			design.Set(i, j, t.Eval(x))
+		}
+	}
+	dec, err := mat.DecomposeQR(design)
+	if err != nil {
+		return nil, fmt.Errorf("design decompose: %w", err)
+	}
+	coef, err := dec.Solve(ys)
+	if err != nil {
+		return nil, fmt.Errorf("ols solve: %w", err)
+	}
+
+	fit := &Fit{Terms: terms, Coef: coef, N: len(xs), Cond: dec.ConditionEstimate()}
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = fit.Predict(x)
+	}
+	if r2, err := stats.RSquared(pred, ys); err == nil {
+		fit.R2 = r2
+		dfTot := float64(len(xs) - 1)
+		dfRes := float64(len(xs) - len(terms))
+		if dfRes > 0 {
+			fit.AdjR2 = 1 - (1-r2)*dfTot/dfRes
+		}
+	}
+	if rmse, err := stats.RMSE(pred, ys); err == nil {
+		fit.RMSE = rmse
+	}
+
+	// Coefficient standard errors: σ̂²·diag((XᵀX)⁻¹) with the unbiased
+	// residual variance estimate.
+	fit.StdErr = make([]float64, len(coef))
+	if dfRes := len(xs) - len(terms); dfRes > 0 {
+		var rss float64
+		for i := range pred {
+			r := ys[i] - pred[i]
+			rss += r * r
+		}
+		sigma2 := rss / float64(dfRes)
+		diag, err := dec.InverseGramDiagonal()
+		if err != nil {
+			return nil, fmt.Errorf("coefficient variances: %w", err)
+		}
+		for j, d := range diag {
+			fit.StdErr[j] = math.Sqrt(sigma2 * d)
+		}
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted model on a raw feature vector.
+func (f *Fit) Predict(x []float64) float64 {
+	var s float64
+	for j, t := range f.Terms {
+		s += f.Coef[j] * t.Eval(x)
+	}
+	return s
+}
+
+// PredictAll evaluates the model on every row of xs.
+func (f *Fit) PredictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f.Predict(x)
+	}
+	return out
+}
+
+// Evaluate scores the model on held-out data and returns test R², RMSE, and
+// MAPE (percent). This implements the paper's protocol of training on
+// devices XR1/XR3/XR5/XR6 and testing on XR2/XR4/XR7.
+func (f *Fit) Evaluate(xs [][]float64, ys []float64) (r2, rmse, mape float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("%w: %d rows vs %d responses", ErrBadInput, len(xs), len(ys))
+	}
+	pred := f.PredictAll(xs)
+	r2, err = stats.RSquared(pred, ys)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("test R²: %w", err)
+	}
+	rmse, err = stats.RMSE(pred, ys)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("test RMSE: %w", err)
+	}
+	mape, err = stats.MAPE(pred, ys)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("test MAPE: %w", err)
+	}
+	return r2, rmse, mape, nil
+}
+
+// Summary renders the fit in a readable single block, e.g. for `xrperf fit`.
+func (f *Fit) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OLS fit (n=%d, R²=%.4f, adjR²=%.4f, RMSE=%.4g, cond≈%.3g)\n",
+		f.N, f.R2, f.AdjR2, f.RMSE, f.Cond)
+	for j, t := range f.Terms {
+		se := 0.0
+		if j < len(f.StdErr) {
+			se = f.StdErr[j]
+		}
+		fmt.Fprintf(&b, "  %-14s %+.6g  (SE %.3g)\n", t.Name, f.Coef[j], se)
+	}
+	return b.String()
+}
+
+// Residuals returns y − ŷ for the given observations.
+func (f *Fit) Residuals(xs [][]float64, ys []float64) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d rows vs %d responses", ErrBadInput, len(xs), len(ys))
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = ys[i] - f.Predict(x)
+	}
+	return out, nil
+}
+
+// WithinCI reports how large a fraction of held-out residuals fall inside
+// the level-confidence band implied by the training RMSE under a normal
+// residual assumption. The paper generates all regression models "using a
+// 95% confidence boundary"; this lets callers verify that property.
+func (f *Fit) WithinCI(xs [][]float64, ys []float64, level float64) (float64, error) {
+	if level <= 0 || level >= 1 {
+		return 0, fmt.Errorf("regress: confidence level %v out of (0,1)", level)
+	}
+	res, err := f.Residuals(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) == 0 {
+		return 0, fmt.Errorf("%w: no observations", ErrBadInput)
+	}
+	// Half-width of the symmetric normal band at the given level.
+	z := math.Sqrt2 * math.Erfinv(level)
+	band := z * f.RMSE
+	in := 0
+	for _, r := range res {
+		if math.Abs(r) <= band {
+			in++
+		}
+	}
+	return float64(in) / float64(len(res)), nil
+}

@@ -1,0 +1,295 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// planted builds observations from a known quadratic y = 2 + 3x − 0.5x².
+func planted(n int, noiseSD float64, seed int64) (xs [][]float64, ys []float64) {
+	rng := stats.NewRNG(seed)
+	xs = make([][]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := 10 * rng.Float64()
+		xs[i] = []float64{x}
+		ys[i] = 2 + 3*x - 0.5*x*x + rng.Normal(0, noiseSD)
+	}
+	return xs, ys
+}
+
+func quadTerms() []Term {
+	return []Term{Intercept(), Linear("x", 0), Square("x", 0)}
+}
+
+func TestFitOLSRecoversPlantedCoefficients(t *testing.T) {
+	xs, ys := planted(500, 0, 1)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -0.5}
+	for j, w := range want {
+		if math.Abs(fit.Coef[j]-w) > 1e-8 {
+			t.Fatalf("coef[%d] = %v, want %v", j, fit.Coef[j], w)
+		}
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("noiseless R² = %v, want ≈1", fit.R2)
+	}
+	if fit.RMSE > 1e-8 {
+		t.Fatalf("noiseless RMSE = %v, want ≈0", fit.RMSE)
+	}
+}
+
+func TestFitOLSWithNoise(t *testing.T) {
+	xs, ys := planted(2000, 1.0, 2)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -0.5}
+	for j, w := range want {
+		if math.Abs(fit.Coef[j]-w) > 0.2 {
+			t.Fatalf("coef[%d] = %v, want ≈%v", j, fit.Coef[j], w)
+		}
+	}
+	if fit.R2 < 0.9 {
+		t.Fatalf("R² = %v, want > 0.9", fit.R2)
+	}
+	if fit.AdjR2 > fit.R2 {
+		t.Fatalf("adjusted R² (%v) must not exceed R² (%v)", fit.AdjR2, fit.R2)
+	}
+}
+
+func TestFitOLSErrors(t *testing.T) {
+	xs, ys := planted(10, 0, 3)
+	if _, err := FitOLS(nil, xs, ys); !errors.Is(err, ErrNoTerms) {
+		t.Fatalf("no terms error = %v", err)
+	}
+	if _, err := FitOLS(quadTerms(), xs[:2], ys[:2]); !errors.Is(err, ErrTooFewRows) {
+		t.Fatalf("too few rows error = %v", err)
+	}
+	if _, err := FitOLS(quadTerms(), xs, ys[:5]); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("mismatched lengths error = %v", err)
+	}
+}
+
+func TestFitOLSCollinearColumns(t *testing.T) {
+	// x and 2x are perfectly collinear: the fit must fail loudly rather
+	// than return garbage coefficients.
+	terms := []Term{
+		Linear("x", 0),
+		{Name: "2x", Eval: func(x []float64) float64 { return 2 * x[0] }},
+	}
+	xs, ys := planted(50, 0, 4)
+	if _, err := FitOLS(terms, xs, ys); err == nil {
+		t.Fatal("collinear design must return an error")
+	}
+}
+
+func TestEvaluateHeldOut(t *testing.T) {
+	train, trainY := planted(1000, 0.5, 5)
+	test, testY := planted(300, 0.5, 6)
+	fit, err := FitOLS(quadTerms(), train, trainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, rmse, mape, err := fit.Evaluate(test, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9 {
+		t.Fatalf("held-out R² = %v, want > 0.9", r2)
+	}
+	if rmse <= 0 || mape <= 0 {
+		t.Fatalf("rmse = %v, mape = %v, want positive", rmse, mape)
+	}
+	if _, _, _, err := fit.Evaluate(test, testY[:5]); !errors.Is(err, ErrBadInput) {
+		t.Fatal("mismatched evaluate input must error")
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	xs, ys := planted(100, 0, 7)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fit.Residuals(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if math.Abs(r) > 1e-7 {
+			t.Fatalf("noiseless residual[%d] = %v, want ≈0", i, r)
+		}
+	}
+}
+
+func TestWithinCI(t *testing.T) {
+	train, trainY := planted(5000, 1.0, 8)
+	test, testY := planted(2000, 1.0, 9)
+	fit, err := FitOLS(quadTerms(), train, trainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := fit.WithinCI(test, testY, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.92 || frac > 0.98 {
+		t.Fatalf("95%% CI coverage = %v, want ≈0.95", frac)
+	}
+	if _, err := fit.WithinCI(test, testY, 1.5); err == nil {
+		t.Fatal("invalid level must error")
+	}
+}
+
+func TestTermConstructors(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Intercept().Eval(x); got != 1 {
+		t.Fatalf("Intercept = %v", got)
+	}
+	if got := Linear("a", 1).Eval(x); got != 4 {
+		t.Fatalf("Linear = %v", got)
+	}
+	if got := Square("a", 0).Eval(x); got != 9 {
+		t.Fatalf("Square = %v", got)
+	}
+	if got := Product("ab", 0, 1).Eval(x); got != 12 {
+		t.Fatalf("Product = %v", got)
+	}
+	if Square("a", 0).Name != "a^2" {
+		t.Fatal("Square must append ^2 to name")
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	xs, ys := planted(50, 0.1, 10)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fit.Summary()
+	if s == "" {
+		t.Fatal("summary must be non-empty")
+	}
+	for _, name := range []string{"1", "x", "x^2"} {
+		if !contains(s, name) {
+			t.Fatalf("summary missing term %q:\n%s", name, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Property: OLS predictions are invariant to duplicating every observation
+// (the fit minimizes the same normalized objective).
+func TestFitDuplicationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		xs, ys := planted(40, 0.3, seed)
+		fit1, err := FitOLS(quadTerms(), xs, ys)
+		if err != nil {
+			return false
+		}
+		dupX := append(append([][]float64{}, xs...), xs...)
+		dupY := append(append([]float64{}, ys...), ys...)
+		fit2, err := FitOLS(quadTerms(), dupX, dupY)
+		if err != nil {
+			return false
+		}
+		for j := range fit1.Coef {
+			if math.Abs(fit1.Coef[j]-fit2.Coef[j]) > 1e-6*(1+math.Abs(fit1.Coef[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdErrShrinksWithData(t *testing.T) {
+	small, smallY := planted(100, 1.0, 20)
+	big, bigY := planted(10000, 1.0, 21)
+	fitSmall, err := FitOLS(quadTerms(), small, smallY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitBig, err := FitOLS(quadTerms(), big, bigY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitSmall.StdErr) != 3 || len(fitBig.StdErr) != 3 {
+		t.Fatalf("StdErr lengths: %d/%d", len(fitSmall.StdErr), len(fitBig.StdErr))
+	}
+	for j := range fitSmall.StdErr {
+		if fitSmall.StdErr[j] <= 0 {
+			t.Fatalf("SE[%d] = %v, want positive under noise", j, fitSmall.StdErr[j])
+		}
+		if fitBig.StdErr[j] >= fitSmall.StdErr[j] {
+			t.Fatalf("SE[%d] must shrink with 100x data: %v vs %v",
+				j, fitBig.StdErr[j], fitSmall.StdErr[j])
+		}
+	}
+}
+
+func TestStdErrCoversTruth(t *testing.T) {
+	// The planted coefficients must lie within ±4 SE of the estimates —
+	// a loose normal-theory sanity check.
+	xs, ys := planted(2000, 1.0, 22)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{2, 3, -0.5}
+	for j, w := range truth {
+		if diff := math.Abs(fit.Coef[j] - w); diff > 4*fit.StdErr[j] {
+			t.Fatalf("coef[%d]=%v is %v SEs from truth %v",
+				j, fit.Coef[j], diff/fit.StdErr[j], w)
+		}
+	}
+}
+
+func TestTStatsSignificance(t *testing.T) {
+	// With strong signal and modest noise, every planted-term t-stat is
+	// large.
+	xs, ys := planted(5000, 0.5, 23)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, tstat := range fit.TStats() {
+		if math.Abs(tstat) < 10 {
+			t.Fatalf("t-stat[%d] = %v, want strongly significant", j, tstat)
+		}
+	}
+}
+
+func TestSummaryIncludesStdErr(t *testing.T) {
+	xs, ys := planted(200, 0.5, 24)
+	fit, err := FitOLS(quadTerms(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(fit.Summary(), "SE") {
+		t.Fatal("summary must print standard errors")
+	}
+}

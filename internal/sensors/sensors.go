@@ -1,0 +1,121 @@
+// Package sensors models the external sensors and devices that feed
+// control and environmental information to an XR device: roadside units,
+// neighboring XR devices and vehicles, and IoT sensors (Section I). Each
+// sensor generates information at its own frequency f_t and reaches the XR
+// device over a wireless medium, giving the per-update latency of Eq. (6)
+// and the per-frame aggregate of Eq. (5).
+package sensors
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wireless"
+)
+
+// Common errors.
+var (
+	// ErrFrequency indicates a non-positive generation frequency.
+	ErrFrequency = errors.New("sensors: generation frequency must be positive")
+	// ErrUpdates indicates a non-positive update count.
+	ErrUpdates = errors.New("sensors: update count must be positive")
+	// ErrNoSensors indicates an empty sensor array where one is needed.
+	ErrNoSensors = errors.New("sensors: empty sensor array")
+)
+
+// Sensor is one external information source.
+type Sensor struct {
+	// Name labels the sensor in reports.
+	Name string
+	// GenFrequencyHz is f_t, the information-generation frequency.
+	GenFrequencyHz float64
+	// DistanceM is the sensor↔XR-device distance d_m in meters.
+	DistanceM float64
+}
+
+// NewSensor validates and constructs a sensor.
+func NewSensor(name string, genFrequencyHz, distanceM float64) (Sensor, error) {
+	if genFrequencyHz <= 0 {
+		return Sensor{}, fmt.Errorf("%w: %v Hz", ErrFrequency, genFrequencyHz)
+	}
+	if distanceM < 0 {
+		return Sensor{}, fmt.Errorf("sensors: distance must be non-negative, have %v m", distanceM)
+	}
+	return Sensor{Name: name, GenFrequencyHz: genFrequencyHz, DistanceM: distanceM}, nil
+}
+
+// GenerationPeriodMs returns 1/f_t in milliseconds.
+func (s Sensor) GenerationPeriodMs() float64 {
+	return 1000 / s.GenFrequencyHz
+}
+
+// PropagationDelayMs returns d_m/c in milliseconds. The paper's base model
+// assumes no path loss, shadowing, or fading for this propagation.
+func (s Sensor) PropagationDelayMs() float64 {
+	return s.DistanceM / wireless.PropagationSpeed
+}
+
+// UpdateLatencyMs returns L_ext^{mn} of Eq. (6) for one update:
+// 1/f_t + d/c.
+func (s Sensor) UpdateLatencyMs() float64 {
+	return s.GenerationPeriodMs() + s.PropagationDelayMs()
+}
+
+// Array is the set of external sensors m ∈ {0,…,M} connected to one XR
+// device.
+type Array struct {
+	// Sensors holds the array members.
+	Sensors []Sensor
+}
+
+// NewArray copies the given sensors into an array.
+func NewArray(ss ...Sensor) Array {
+	out := make([]Sensor, len(ss))
+	copy(out, ss)
+	return Array{Sensors: out}
+}
+
+// GenerationLatencyMs returns L_ext of Eq. (5) for one frame: the maximum
+// over sensors of the summed per-update latencies across the N updates the
+// XR application requires during one frame's processing time. An empty
+// array contributes zero latency (the application uses no external
+// sensors).
+func (a Array) GenerationLatencyMs(updates int) (float64, error) {
+	if updates <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrUpdates, updates)
+	}
+	var worst float64
+	for _, s := range a.Sensors {
+		total := float64(updates) * s.UpdateLatencyMs()
+		if total > worst {
+			worst = total
+		}
+	}
+	return worst, nil
+}
+
+// Slowest returns the sensor with the lowest generation frequency, which
+// dominates Eq. (5). It errors on an empty array.
+func (a Array) Slowest() (Sensor, error) {
+	if len(a.Sensors) == 0 {
+		return Sensor{}, ErrNoSensors
+	}
+	out := a.Sensors[0]
+	for _, s := range a.Sensors[1:] {
+		if s.GenFrequencyHz < out.GenFrequencyHz {
+			out = s
+		}
+	}
+	return out, nil
+}
+
+// ArrivalRatePerMs returns the aggregate packet arrival rate λ (packets
+// per millisecond) the array offers to the XR input buffer: the
+// superposition of each sensor's generation process.
+func (a Array) ArrivalRatePerMs() float64 {
+	var sum float64
+	for _, s := range a.Sensors {
+		sum += s.GenFrequencyHz / 1000
+	}
+	return sum
+}

@@ -1,0 +1,163 @@
+package sensors
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewSensorValidation(t *testing.T) {
+	if _, err := NewSensor("s", 0, 10); !errors.Is(err, ErrFrequency) {
+		t.Fatal("zero frequency must error")
+	}
+	if _, err := NewSensor("s", -5, 10); !errors.Is(err, ErrFrequency) {
+		t.Fatal("negative frequency must error")
+	}
+	if _, err := NewSensor("s", 100, -1); err == nil {
+		t.Fatal("negative distance must error")
+	}
+	s, err := NewSensor("lidar", 100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "lidar" {
+		t.Fatalf("name = %q", s.Name)
+	}
+}
+
+func TestGenerationPeriod(t *testing.T) {
+	tests := []struct {
+		hz, wantMs float64
+	}{
+		{200, 5}, {100, 10}, {66.67, 15.0007}, {1000, 1},
+	}
+	for _, tt := range tests {
+		s, err := NewSensor("s", tt.hz, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.GenerationPeriodMs(); math.Abs(got-tt.wantMs) > 0.01 {
+			t.Fatalf("period(%v Hz) = %v ms, want %v", tt.hz, got, tt.wantMs)
+		}
+	}
+}
+
+func TestUpdateLatency(t *testing.T) {
+	s, err := NewSensor("s", 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 ms generation + 300/3e5 = 1e-3 ms propagation.
+	want := 10 + 1e-3
+	if got := s.UpdateLatencyMs(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("update latency = %v, want %v", got, want)
+	}
+}
+
+func TestGenerationLatencyMaxOverSensors(t *testing.T) {
+	fast, _ := NewSensor("fast", 200, 0)
+	slow, _ := NewSensor("slow", 50, 0)
+	arr := NewArray(fast, slow)
+	got, err := arr.GenerationLatencyMs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow sensor dominates: 3 updates × 20 ms.
+	if math.Abs(got-60) > 1e-9 {
+		t.Fatalf("L_ext = %v, want 60", got)
+	}
+	if _, err := arr.GenerationLatencyMs(0); !errors.Is(err, ErrUpdates) {
+		t.Fatal("zero updates must error")
+	}
+}
+
+func TestGenerationLatencyEmptyArray(t *testing.T) {
+	var arr Array
+	got, err := arr.GenerationLatencyMs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty array L_ext = %v, want 0", got)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	a, _ := NewSensor("a", 200, 0)
+	b, _ := NewSensor("b", 67, 0)
+	c, _ := NewSensor("c", 100, 0)
+	arr := NewArray(a, b, c)
+	s, err := arr.Slowest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "b" {
+		t.Fatalf("slowest = %q, want b", s.Name)
+	}
+	var empty Array
+	if _, err := empty.Slowest(); !errors.Is(err, ErrNoSensors) {
+		t.Fatal("empty array Slowest must error")
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	a, _ := NewSensor("a", 200, 0)
+	b, _ := NewSensor("b", 100, 0)
+	arr := NewArray(a, b)
+	// 0.2 + 0.1 packets per ms.
+	if got := arr.ArrivalRatePerMs(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("λ = %v, want 0.3", got)
+	}
+	var empty Array
+	if empty.ArrivalRatePerMs() != 0 {
+		t.Fatal("empty array arrival rate must be 0")
+	}
+}
+
+func TestNewArrayCopies(t *testing.T) {
+	a, _ := NewSensor("a", 100, 0)
+	in := []Sensor{a}
+	arr := NewArray(in...)
+	in[0].Name = "mutated"
+	if arr.Sensors[0].Name != "a" {
+		t.Fatal("NewArray must copy its input")
+	}
+}
+
+// Property: L_ext grows linearly in the update count and is dominated by
+// the slowest sensor.
+func TestGenerationLatencyProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(4)
+		ss := make([]Sensor, 0, n)
+		for i := 0; i < n; i++ {
+			s, err := NewSensor("s", 20+500*rng.Float64(), 100*rng.Float64())
+			if err != nil {
+				return false
+			}
+			ss = append(ss, s)
+		}
+		arr := NewArray(ss...)
+		l1, err1 := arr.GenerationLatencyMs(1)
+		l2, err2 := arr.GenerationLatencyMs(2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(l2-2*l1) > 1e-9 {
+			return false
+		}
+		slow, err := arr.Slowest()
+		if err != nil {
+			return false
+		}
+		// The max-over-sensors is at least the slowest sensor's own sum.
+		return l1 >= slow.GenerationPeriodMs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package session runs the per-frame analytical models over a multi-frame
+// XR session, closing the loops the single-frame analysis leaves open:
+// heat from E_θ accumulates and throttles the CPU clock (the user-comfort
+// concern of Section V-B), the battery drains by E_tot per frame (the
+// battery-health motivation of Section I), and the device walks between
+// wireless coverage zones so the handoff term of Eq. (17) evolves with
+// position. The output is a frame-indexed trace — the q superscript the
+// paper threads through every equation, realized over time.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mobility"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Common errors.
+var (
+	// ErrConfig indicates an invalid session configuration.
+	ErrConfig = errors.New("session: invalid configuration")
+	// ErrBatteryDepleted reports the battery emptied mid-session.
+	ErrBatteryDepleted = errors.New("session: battery depleted")
+)
+
+// ThermalModel is a lumped-parameter heat model: the thermal energy E_θ of
+// each frame raises a temperature state that decays toward ambient; above
+// ThrottleAtC the governor steps the CPU clock down, below ResumeAtC it
+// steps back up.
+type ThermalModel struct {
+	// AmbientC is the ambient temperature.
+	AmbientC float64
+	// CPerMJ converts dissipated millijoules into temperature rise.
+	CPerMJ float64
+	// DecayPerFrame is the fraction of the above-ambient temperature
+	// retained each frame (0,1).
+	DecayPerFrame float64
+	// ThrottleAtC triggers a clock step-down.
+	ThrottleAtC float64
+	// ResumeAtC allows a clock step-up.
+	ResumeAtC float64
+	// StepGHz is the clock adjustment granularity.
+	StepGHz float64
+	// MinGHz floors the throttled clock.
+	MinGHz float64
+}
+
+// DefaultThermal returns a thermal model typical of a passively cooled
+// headset: ~45 °C skin-temperature throttle.
+func DefaultThermal() ThermalModel {
+	return ThermalModel{
+		AmbientC:      25,
+		CPerMJ:        0.010,
+		DecayPerFrame: 0.985,
+		ThrottleAtC:   45,
+		ResumeAtC:     39,
+		StepGHz:       0.25,
+		MinGHz:        0.9,
+	}
+}
+
+// Validate checks the thermal parameters.
+func (m ThermalModel) Validate() error {
+	switch {
+	case m.CPerMJ < 0:
+		return fmt.Errorf("%w: CPerMJ %v", ErrConfig, m.CPerMJ)
+	case m.DecayPerFrame <= 0 || m.DecayPerFrame > 1:
+		return fmt.Errorf("%w: decay %v", ErrConfig, m.DecayPerFrame)
+	case m.ThrottleAtC <= m.ResumeAtC:
+		return fmt.Errorf("%w: throttle %v must exceed resume %v", ErrConfig, m.ThrottleAtC, m.ResumeAtC)
+	case m.StepGHz <= 0:
+		return fmt.Errorf("%w: step %v GHz", ErrConfig, m.StepGHz)
+	case m.MinGHz <= 0:
+		return fmt.Errorf("%w: min clock %v GHz", ErrConfig, m.MinGHz)
+	}
+	return nil
+}
+
+// Battery is a simple charge reservoir. CapacityMJ derives from the usual
+// mAh rating: E[mJ] = mAh · 3.6 · V · 1000 / 1000 = mAh · 3.6 · V (J) ·
+// 1000.
+type Battery struct {
+	// CapacityMJ is the full-charge energy.
+	CapacityMJ float64
+	// RemainingMJ is the current charge.
+	RemainingMJ float64
+}
+
+// NewBattery builds a battery from a mAh rating at the given nominal
+// voltage.
+func NewBattery(mAh, volts float64) (Battery, error) {
+	if mAh <= 0 || volts <= 0 {
+		return Battery{}, fmt.Errorf("%w: battery %v mAh @ %v V", ErrConfig, mAh, volts)
+	}
+	capMJ := mAh * 3.6 * volts * 1000 / 1000 * 1000 // mAh→C: ·3.6; ·V→J; ·1000→mJ
+	return Battery{CapacityMJ: capMJ, RemainingMJ: capMJ}, nil
+}
+
+// Drain removes energy; it reports whether charge remains.
+func (b *Battery) Drain(mj float64) bool {
+	b.RemainingMJ -= mj
+	return b.RemainingMJ > 0
+}
+
+// SoC returns the state of charge in [0,1].
+func (b *Battery) SoC() float64 {
+	if b.CapacityMJ <= 0 {
+		return 0
+	}
+	soc := b.RemainingMJ / b.CapacityMJ
+	if soc < 0 {
+		return 0
+	}
+	return soc
+}
+
+// Config describes a session run.
+type Config struct {
+	// Framework is the assembled analytical model.
+	Framework *core.Framework
+	// Scenario is the starting operating point; the session mutates a
+	// copy frame by frame.
+	Scenario *pipeline.Scenario
+	// Frames is the session length.
+	Frames int
+	// Thermal enables the throttling loop when non-nil.
+	Thermal *ThermalModel
+	// Battery enables drain accounting when non-nil.
+	Battery *Battery
+	// Walk and Zone enable mobility: P(HO) is re-estimated every
+	// HandoffEveryFrames frames via Monte-Carlo over the walk.
+	Walk *mobility.Walk
+	Zone mobility.Zone
+	// HandoffKind selects the handoff class when mobility is enabled.
+	HandoffKind mobility.HandoffKind
+	// HandoffEveryFrames is the re-estimation period (default 30).
+	HandoffEveryFrames int
+	// Seed drives the Monte-Carlo handoff estimation.
+	Seed int64
+}
+
+// FrameRecord is one frame of the session trace.
+type FrameRecord struct {
+	// Frame is the frame index q (1-based).
+	Frame int
+	// LatencyMs and EnergyMJ are the frame's end-to-end figures.
+	LatencyMs float64
+	EnergyMJ  float64
+	// CPUFreqGHz is the (possibly throttled) operating clock.
+	CPUFreqGHz float64
+	// TempC is the device temperature after the frame.
+	TempC float64
+	// BatterySoC is the state of charge after the frame.
+	BatterySoC float64
+	// HandoffProb is the current P(HO) estimate.
+	HandoffProb float64
+	// Throttled reports whether the governor capped the clock this
+	// frame.
+	Throttled bool
+}
+
+// Result is the full session outcome.
+type Result struct {
+	// Trace holds one record per completed frame.
+	Trace []FrameRecord
+	// CompletedFrames counts frames before battery depletion.
+	CompletedFrames int
+	// MeanLatencyMs and TotalEnergyMJ summarize the session.
+	MeanLatencyMs float64
+	TotalEnergyMJ float64
+	// ThrottledFrames counts frames spent throttled.
+	ThrottledFrames int
+	// Depleted reports whether the battery emptied.
+	Depleted bool
+}
+
+// Run executes the session.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("%w: nil framework", ErrConfig)
+	}
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("%w: nil scenario", ErrConfig)
+	}
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("%w: %d frames", ErrConfig, cfg.Frames)
+	}
+	if cfg.Thermal != nil {
+		if err := cfg.Thermal.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+
+	sc := *cfg.Scenario
+	rng := stats.NewRNG(cfg.Seed)
+	hoPeriod := cfg.HandoffEveryFrames
+	if hoPeriod <= 0 {
+		hoPeriod = 30
+	}
+
+	res := &Result{Trace: make([]FrameRecord, 0, cfg.Frames)}
+	temp := 25.0
+	if cfg.Thermal != nil {
+		temp = cfg.Thermal.AmbientC
+	}
+	baseFreq := sc.CPUFreqGHz
+	throttled := false
+	pHO := 0.0
+
+	for q := 1; q <= cfg.Frames; q++ {
+		// Mobility: refresh the handoff probability periodically.
+		if cfg.Walk != nil && (q == 1 || q%hoPeriod == 0) {
+			horizon := 1000.0 / sc.FPS * float64(hoPeriod)
+			p, err := cfg.Walk.HandoffProbability(cfg.Zone, horizon, 300, rng)
+			if err != nil {
+				return nil, fmt.Errorf("frame %d handoff: %w", q, err)
+			}
+			pHO = p
+			ho, err := mobility.NewHandoffModel(cfg.HandoffKind, p)
+			if err != nil {
+				return nil, fmt.Errorf("frame %d handoff model: %w", q, err)
+			}
+			sc.Handoff = &ho
+		}
+
+		rep, err := cfg.Framework.Analyze(&sc)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", q, err)
+		}
+
+		// Thermal integration and governor.
+		if t := cfg.Thermal; t != nil {
+			temp = t.AmbientC + (temp-t.AmbientC)*t.DecayPerFrame +
+				rep.Energy.Thermal*t.CPerMJ
+			switch {
+			case temp >= t.ThrottleAtC && sc.CPUFreqGHz > t.MinGHz:
+				sc.CPUFreqGHz -= t.StepGHz
+				if sc.CPUFreqGHz < t.MinGHz {
+					sc.CPUFreqGHz = t.MinGHz
+				}
+				throttled = true
+			case temp <= t.ResumeAtC && sc.CPUFreqGHz < baseFreq:
+				sc.CPUFreqGHz += t.StepGHz
+				if sc.CPUFreqGHz > baseFreq {
+					sc.CPUFreqGHz = baseFreq
+				}
+				if sc.CPUFreqGHz == baseFreq {
+					throttled = false
+				}
+			}
+		}
+
+		soc := 1.0
+		if cfg.Battery != nil {
+			alive := cfg.Battery.Drain(rep.Energy.Total)
+			soc = cfg.Battery.SoC()
+			if !alive {
+				res.Depleted = true
+			}
+		}
+
+		res.Trace = append(res.Trace, FrameRecord{
+			Frame:       q,
+			LatencyMs:   rep.Latency.Total,
+			EnergyMJ:    rep.Energy.Total,
+			CPUFreqGHz:  sc.CPUFreqGHz,
+			TempC:       temp,
+			BatterySoC:  soc,
+			HandoffProb: pHO,
+			Throttled:   throttled,
+		})
+		res.CompletedFrames = q
+		res.TotalEnergyMJ += rep.Energy.Total
+		res.MeanLatencyMs += rep.Latency.Total
+		if throttled {
+			res.ThrottledFrames++
+		}
+		if res.Depleted {
+			break
+		}
+	}
+	if res.CompletedFrames > 0 {
+		res.MeanLatencyMs /= float64(res.CompletedFrames)
+	}
+	return res, nil
+}
+
+// TraceTable exports the trace as a dataset table (CSV-ready).
+func (r *Result) TraceTable() (*dataset.Table, error) {
+	t, err := dataset.New("frame", "latency_ms", "energy_mj", "cpu_ghz",
+		"temp_c", "battery_soc", "p_handoff", "throttled")
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range r.Trace {
+		throttled := 0.0
+		if rec.Throttled {
+			throttled = 1
+		}
+		if err := t.Append(float64(rec.Frame), rec.LatencyMs, rec.EnergyMJ,
+			rec.CPUFreqGHz, rec.TempC, rec.BatterySoC, rec.HandoffProb,
+			throttled); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// BatteryLifeFrames extrapolates how many frames a full battery sustains
+// at the session's mean energy per frame.
+func (r *Result) BatteryLifeFrames(b Battery) (int, error) {
+	if r.CompletedFrames == 0 {
+		return 0, fmt.Errorf("%w: empty session", ErrConfig)
+	}
+	perFrame := r.TotalEnergyMJ / float64(r.CompletedFrames)
+	if perFrame <= 0 {
+		return 0, fmt.Errorf("%w: non-positive frame energy", ErrConfig)
+	}
+	return int(b.CapacityMJ / perFrame), nil
+}

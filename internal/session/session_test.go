@@ -1,0 +1,281 @@
+package session
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mobility"
+	"repro/internal/pipeline"
+	"repro/internal/wireless"
+)
+
+func baseConfig(t *testing.T, frames int) Config {
+	t.Helper()
+	d, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := pipeline.NewScenario(d, pipeline.WithCPUShare(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Framework: core.NewWithPaperCoefficients(),
+		Scenario:  sc,
+		Frames:    frames,
+		Seed:      1,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := baseConfig(t, 10)
+	bad := cfg
+	bad.Framework = nil
+	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+		t.Fatal("nil framework must error")
+	}
+	bad = cfg
+	bad.Scenario = nil
+	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+		t.Fatal("nil scenario must error")
+	}
+	bad = cfg
+	bad.Frames = 0
+	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero frames must error")
+	}
+	bad = cfg
+	th := DefaultThermal()
+	th.StepGHz = 0
+	bad.Thermal = &th
+	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+		t.Fatal("bad thermal model must error")
+	}
+}
+
+func TestThermalValidate(t *testing.T) {
+	good := DefaultThermal()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []func(*ThermalModel){
+		func(m *ThermalModel) { m.CPerMJ = -1 },
+		func(m *ThermalModel) { m.DecayPerFrame = 0 },
+		func(m *ThermalModel) { m.DecayPerFrame = 1.2 },
+		func(m *ThermalModel) { m.ResumeAtC = m.ThrottleAtC + 1 },
+		func(m *ThermalModel) { m.StepGHz = 0 },
+		func(m *ThermalModel) { m.MinGHz = 0 },
+	}
+	for i, mutate := range tests {
+		m := DefaultThermal()
+		mutate(&m)
+		if err := m.Validate(); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d must error", i)
+		}
+	}
+}
+
+func TestPlainSessionIsSteady(t *testing.T) {
+	cfg := baseConfig(t, 50)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedFrames != 50 || len(res.Trace) != 50 {
+		t.Fatalf("frames = %d/%d", res.CompletedFrames, len(res.Trace))
+	}
+	// No thermal/battery/mobility: every frame identical.
+	for _, rec := range res.Trace {
+		if rec.LatencyMs != res.Trace[0].LatencyMs {
+			t.Fatal("steady session must have constant latency")
+		}
+		if rec.Throttled {
+			t.Fatal("no thermal model, no throttling")
+		}
+		if rec.BatterySoC != 1 {
+			t.Fatal("no battery, SoC stays 1")
+		}
+	}
+	if math.Abs(res.MeanLatencyMs-res.Trace[0].LatencyMs) > 1e-9 {
+		t.Fatal("mean latency wrong")
+	}
+	if math.Abs(res.TotalEnergyMJ-50*res.Trace[0].EnergyMJ) > 1e-6 {
+		t.Fatal("total energy wrong")
+	}
+}
+
+func TestThermalThrottlingEngagesAndRecovers(t *testing.T) {
+	cfg := baseConfig(t, 400)
+	th := DefaultThermal()
+	// Aggressive heating so the governor must engage quickly.
+	th.CPerMJ = 0.5
+	th.DecayPerFrame = 0.97
+	cfg.Thermal = &th
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThrottledFrames == 0 {
+		t.Fatal("aggressive thermal model must throttle")
+	}
+	// The throttled clock must never go below the floor or above base.
+	base := cfg.Scenario.CPUFreqGHz
+	minSeen := base
+	for _, rec := range res.Trace {
+		if rec.CPUFreqGHz < th.MinGHz-1e-9 || rec.CPUFreqGHz > base+1e-9 {
+			t.Fatalf("clock %v out of [%v,%v]", rec.CPUFreqGHz, th.MinGHz, base)
+		}
+		if rec.CPUFreqGHz < minSeen {
+			minSeen = rec.CPUFreqGHz
+		}
+	}
+	if minSeen >= base {
+		t.Fatal("clock never stepped down")
+	}
+	// Throttling must raise latency: compare hottest vs first frame.
+	var throttledLat float64
+	for _, rec := range res.Trace {
+		if rec.Throttled && rec.LatencyMs > throttledLat {
+			throttledLat = rec.LatencyMs
+		}
+	}
+	if throttledLat <= res.Trace[0].LatencyMs {
+		t.Fatal("throttled frames must be slower")
+	}
+}
+
+func TestBatteryDepletion(t *testing.T) {
+	cfg := baseConfig(t, 100000)
+	// A tiny battery (1 mAh at 3.85 V ≈ 13.9 kJ → 13.9 MJ... in mJ:
+	// 13860 mJ) depletes within tens of frames at ≈800 mJ/frame.
+	b, err := NewBattery(1, 3.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Battery = &b
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Depleted {
+		t.Fatal("tiny battery must deplete")
+	}
+	if res.CompletedFrames >= 100000 {
+		t.Fatal("session must stop on depletion")
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.BatterySoC > 0 {
+		t.Fatalf("final SoC = %v, want 0", last.BatterySoC)
+	}
+}
+
+func TestNewBatteryValidation(t *testing.T) {
+	if _, err := NewBattery(0, 3.85); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero capacity must error")
+	}
+	if _, err := NewBattery(5000, 0); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero voltage must error")
+	}
+	b, err := NewBattery(5000, 3.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 mAh at 3.85 V = 69300 J = 69.3e6 mJ.
+	if math.Abs(b.CapacityMJ-69.3e6) > 1e3 {
+		t.Fatalf("capacity = %v mJ", b.CapacityMJ)
+	}
+	if b.SoC() != 1 {
+		t.Fatal("fresh battery SoC must be 1")
+	}
+}
+
+func TestMobilitySession(t *testing.T) {
+	cfg := baseConfig(t, 60)
+	sc := *cfg.Scenario
+	sc.Mode = pipeline.ModeRemote
+	cfg.Scenario = &sc
+	walk, err := mobility.NewWalk(10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Walk = &walk
+	cfg.Zone = mobility.Zone{Technology: wireless.WiFi5GHz, RadiusM: 25}
+	cfg.HandoffKind = mobility.HandoffVertical
+	cfg.HandoffEveryFrames = 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHO bool
+	for _, rec := range res.Trace {
+		if rec.HandoffProb > 0 {
+			sawHO = true
+		}
+	}
+	if !sawHO {
+		t.Fatal("mobile session must estimate a positive handoff probability")
+	}
+}
+
+func TestTraceTable(t *testing.T) {
+	cfg := baseConfig(t, 20)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := res.TraceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 20 {
+		t.Fatalf("table rows = %d", tbl.Len())
+	}
+	col, err := tbl.Col("latency_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != res.Trace[0].LatencyMs {
+		t.Fatal("table column mismatch")
+	}
+}
+
+func TestBatteryLifeFrames(t *testing.T) {
+	cfg := baseConfig(t, 10)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBattery(5000, 3.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := res.BatteryLifeFrames(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(b.CapacityMJ / (res.TotalEnergyMJ / 10))
+	if frames != want {
+		t.Fatalf("battery life = %d frames, want %d", frames, want)
+	}
+	empty := &Result{}
+	if _, err := empty.BatteryLifeFrames(b); !errors.Is(err, ErrConfig) {
+		t.Fatal("empty session must error")
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	a, err := Run(baseConfig(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatencyMs != b.MeanLatencyMs || a.TotalEnergyMJ != b.TotalEnergyMJ {
+		t.Fatal("sessions with identical config must reproduce")
+	}
+}

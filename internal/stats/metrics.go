@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root-mean-square error between predictions and truth.
+func RMSE(pred, truth []float64) (float64, error) {
+	if err := sameLength(pred, truth); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error between predictions and truth.
+func MAE(pred, truth []float64) (float64, error) {
+	if err := sameLength(pred, truth); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// MAPE returns the mean absolute percentage error (in percent, e.g. 2.74
+// for the paper's 2.74% local-inference latency error). Zero truth values
+// are skipped; if every truth value is zero an error is returned.
+func MAPE(pred, truth []float64) (float64, error) {
+	if err := sameLength(pred, truth); err != nil {
+		return 0, err
+	}
+	var s float64
+	n := 0
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs((pred[i] - truth[i]) / truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%w: all truth values are zero", ErrEmpty)
+	}
+	return 100 * s / float64(n), nil
+}
+
+// RSquared returns the coefficient of determination of predictions against
+// truth: 1 − SS_res/SS_tot. A perfect fit gives 1; predicting the mean
+// gives 0; worse-than-mean fits are negative.
+func RSquared(pred, truth []float64) (float64, error) {
+	if err := sameLength(pred, truth); err != nil {
+		return 0, err
+	}
+	if len(truth) < 2 {
+		return 0, fmt.Errorf("%w: R² needs n >= 2, have %d", ErrEmpty, len(truth))
+	}
+	mean, _ := Mean(truth)
+	var ssRes, ssTot float64
+	for i := range truth {
+		r := truth[i] - pred[i]
+		ssRes += r * r
+		d := truth[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 0, fmt.Errorf("stats: R² undefined for constant truth")
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// NormalizedAccuracy converts model output into the paper's Fig. 5 metric:
+// the percentage accuracy of a prediction relative to ground truth, where
+// ground truth itself scores 100%. Accuracy = 100·(1 − |pred−gt|/gt),
+// floored at 0 for wildly wrong predictions.
+func NormalizedAccuracy(pred, gt float64) float64 {
+	if gt == 0 {
+		if pred == 0 {
+			return 100
+		}
+		return 0
+	}
+	acc := 100 * (1 - math.Abs(pred-gt)/math.Abs(gt))
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}
+
+// MeanNormalizedAccuracy averages NormalizedAccuracy over paired samples.
+func MeanNormalizedAccuracy(pred, truth []float64) (float64, error) {
+	if err := sameLength(pred, truth); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range pred {
+		s += NormalizedAccuracy(pred[i], truth[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+func sameLength(a, b []float64) error {
+	if len(a) == 0 || len(b) == 0 {
+		return ErrEmpty
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("%w: %d vs %d", ErrLength, len(a), len(b))
+	}
+	return nil
+}

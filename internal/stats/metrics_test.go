@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("perfect RMSE = %v, want 0", got)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(12.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, -1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+	// Zero truth values are skipped.
+	got, err = MAPE([]float64{110, 5}, []float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE with zero truth = %v, want 10", got)
+	}
+	if _, err := MAPE([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero truth must error")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	truth := []float64{1, 2, 3, 4, 5}
+	perfect, err := RSquared(truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perfect-1) > 1e-12 {
+		t.Fatalf("perfect R² = %v, want 1", perfect)
+	}
+	// Predicting the mean gives R² = 0.
+	meanPred := []float64{3, 3, 3, 3, 3}
+	zero, err := RSquared(meanPred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zero) > 1e-12 {
+		t.Fatalf("mean-prediction R² = %v, want 0", zero)
+	}
+	// Worse than the mean gives negative R².
+	bad := []float64{5, 4, 3, 2, 1}
+	neg, err := RSquared(bad, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg >= 0 {
+		t.Fatalf("anti-correlated R² = %v, want < 0", neg)
+	}
+	if _, err := RSquared([]float64{1, 2}, []float64{3, 3}); err == nil {
+		t.Fatal("constant truth must error")
+	}
+}
+
+func TestNormalizedAccuracy(t *testing.T) {
+	tests := []struct {
+		name     string
+		pred, gt float64
+		want     float64
+	}{
+		{name: "exact", pred: 100, gt: 100, want: 100},
+		{name: "10 percent high", pred: 110, gt: 100, want: 90},
+		{name: "10 percent low", pred: 90, gt: 100, want: 90},
+		{name: "wildly wrong floors at zero", pred: 500, gt: 100, want: 0},
+		{name: "zero gt zero pred", pred: 0, gt: 0, want: 100},
+		{name: "zero gt nonzero pred", pred: 1, gt: 0, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NormalizedAccuracy(tt.pred, tt.gt); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("NormalizedAccuracy = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanNormalizedAccuracy(t *testing.T) {
+	got, err := MeanNormalizedAccuracy([]float64{110, 100}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-95) > 1e-9 {
+		t.Fatalf("mean accuracy = %v, want 95", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(1)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(10, 2)
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("normal mean = %v, want ≈10", mean)
+	}
+	if math.Abs(sd-2) > 0.1 {
+		t.Fatalf("normal sd = %v, want ≈2", sd)
+	}
+}
+
+func TestRNGExponential(t *testing.T) {
+	r := NewRNG(2)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		v, err := r.Exponential(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 {
+			t.Fatal("exponential variate must be non-negative")
+		}
+		xs[i] = v
+	}
+	mean, _ := Mean(xs)
+	if math.Abs(mean-0.25) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈0.25", mean)
+	}
+	if _, err := r.Exponential(0); err == nil {
+		t.Fatal("non-positive rate must error")
+	}
+}
+
+func TestRNGPoisson(t *testing.T) {
+	r := NewRNG(3)
+	for _, mean := range []float64{0, 0.5, 3, 12, 50} {
+		n := 5000
+		var sum float64
+		for i := 0; i < n; i++ {
+			k, err := r.Poisson(mean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k < 0 {
+				t.Fatal("poisson count must be non-negative")
+			}
+			sum += float64(k)
+		}
+		got := sum / float64(n)
+		tol := 0.15 * (1 + mean)
+		if math.Abs(got-mean) > tol {
+			t.Fatalf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if _, err := NewRNG(1).Poisson(-1); err == nil {
+		t.Fatal("negative mean must error")
+	}
+}
+
+func TestRNGJitterNonNegative(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if v := r.Jitter(1, 2.0); v < 0 {
+			t.Fatal("Jitter must floor at zero")
+		}
+	}
+	// Zero noise returns the value unchanged.
+	if v := r.Jitter(3.5, 0); v != 3.5 {
+		t.Fatalf("Jitter(x,0) = %v, want 3.5", v)
+	}
+}

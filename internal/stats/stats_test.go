@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "single", xs: []float64{5}, want: 5},
+		{name: "symmetric", xs: []float64{-1, 1}, want: 0},
+		{name: "typical", xs: []float64{1, 2, 3, 4}, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Fatalf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Mean(nil) must return ErrEmpty")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance with n−1 = 7 denominator: 32/7.
+	if want := 32.0 / 7.0; math.Abs(v-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", v, want)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("StdDev = %v", sd)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Variance of single sample must error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%v,%v), want (-1,7)", min, max)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("MinMax(nil) must error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range quantile must error")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Quantile(nil) must error")
+	}
+	one, err := Quantile([]float64{42}, 0.9)
+	if err != nil || one != 42 {
+		t.Fatalf("Quantile single = (%v,%v)", one, err)
+	}
+	// Quantile must not modify its input.
+	xs2 := []float64{3, 1, 2}
+	if _, err := Median(xs2); err != nil {
+		t.Fatal(err)
+	}
+	if xs2[0] != 3 || xs2[1] != 1 || xs2[2] != 2 {
+		t.Fatal("Quantile must not sort the caller's slice")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	mean, hw, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-4.5) > 1e-9 {
+		t.Fatalf("CI mean = %v, want 4.5", mean)
+	}
+	if hw <= 0 {
+		t.Fatalf("CI half-width = %v, want > 0", hw)
+	}
+	// 95% z CI: 1.96·sd/√n.
+	sd, _ := StdDev(xs)
+	want := 1.959964 * sd / 10
+	if math.Abs(hw-want) > 1e-3 {
+		t.Fatalf("half-width = %v, want ≈ %v", hw, want)
+	}
+	if _, _, err := MeanCI(xs, 1.5); err == nil {
+		t.Fatal("invalid level must error")
+	}
+	if _, _, err := MeanCI([]float64{1}, 0.95); !errors.Is(err, ErrEmpty) {
+		t.Fatal("short sample must error")
+	}
+}
+
+func TestZQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.84134, 0.99999}, // Φ(1) ≈ 0.84134
+	}
+	for _, tt := range tests {
+		got := zQuantile(tt.p)
+		if math.Abs(got-tt.want) > 5e-4 {
+			t.Fatalf("zQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String must be non-empty")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Summarize(nil) must error")
+	}
+}
+
+// Property: mean is translation-equivariant — Mean(xs + c) == Mean(xs) + c.
+func TestMeanTranslationProperty(t *testing.T) {
+	f := func(vals []float64, c float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e12 {
+			return true
+		}
+		m1, _ := Mean(vals)
+		shifted := make([]float64, len(vals))
+		for i, v := range vals {
+			shifted[i] = v + c
+		}
+		m2, _ := Mean(shifted)
+		tol := 1e-6 * (1 + math.Abs(m1) + math.Abs(c))
+		return math.Abs(m2-(m1+c)) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is translation-invariant.
+func TestVarianceTranslationProperty(t *testing.T) {
+	f := func(vals []float64, c float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e9 {
+			return true
+		}
+		v1, _ := Variance(vals)
+		shifted := make([]float64, len(vals))
+		for i, v := range vals {
+			shifted[i] = v + c
+		}
+		v2, _ := Variance(shifted)
+		tol := 1e-5 * (1 + v1)
+		return math.Abs(v2-v1) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package wireless models the edge-assisted wireless medium of the paper:
+// a link with a throughput (the available wireless resource r_w of Eq. 16),
+// a propagation distance, and optional path-loss models. The paper's base
+// model assumes "no path loss, shadowing, or fading" for sensor propagation
+// and transmission, but explicitly notes both "can be incorporated into the
+// model according to system requirements" — the PathLoss interface is that
+// extension point.
+package wireless
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// PropagationSpeed is the signal propagation speed c in meters per
+// millisecond (speed of light: 3·10⁸ m/s = 3·10⁵ m/ms).
+const PropagationSpeed = 3e5
+
+// Common errors.
+var (
+	// ErrThroughput indicates a non-positive link throughput.
+	ErrThroughput = errors.New("wireless: throughput must be positive")
+	// ErrDistance indicates a negative distance.
+	ErrDistance = errors.New("wireless: distance must be non-negative")
+)
+
+// AccessTechnology identifies the wireless access technology of a
+// sub-network, used by the mobility model to distinguish horizontal
+// (same technology) from vertical (different technology) handoffs.
+type AccessTechnology int
+
+// Supported access technologies. The testbed used a dual-band 802.11
+// router; 5G/LTE presets cover the heterogeneous-network scenarios of
+// Section I.
+const (
+	WiFi24GHz AccessTechnology = iota + 1
+	WiFi5GHz
+	LTE
+	FiveG
+)
+
+// String returns the technology name.
+func (a AccessTechnology) String() string {
+	switch a {
+	case WiFi24GHz:
+		return "wifi-2.4GHz"
+	case WiFi5GHz:
+		return "wifi-5GHz"
+	case LTE:
+		return "lte"
+	case FiveG:
+		return "5g"
+	default:
+		return fmt.Sprintf("AccessTechnology(%d)", int(a))
+	}
+}
+
+// TypicalThroughputMbps returns a representative TCP throughput for the
+// technology, used when a scenario does not pin the link rate explicitly.
+func (a AccessTechnology) TypicalThroughputMbps() float64 {
+	switch a {
+	case WiFi24GHz:
+		return 40
+	case WiFi5GHz:
+		return 120
+	case LTE:
+		return 25
+	case FiveG:
+		return 300
+	default:
+		return 40
+	}
+}
+
+// Link is a wireless link between an XR device and a peer (edge server,
+// external sensor, or cooperative device).
+type Link struct {
+	// Technology identifies the access technology.
+	Technology AccessTechnology
+	// ThroughputMbps is the available wireless resource r_w (Eq. 16).
+	ThroughputMbps float64
+	// DistanceM is the device↔peer distance d in meters.
+	DistanceM float64
+	// Loss optionally attenuates effective throughput; nil means the
+	// paper's base model (no path loss).
+	Loss PathLoss
+}
+
+// NewLink validates and constructs a link.
+func NewLink(tech AccessTechnology, throughputMbps, distanceM float64) (Link, error) {
+	if throughputMbps <= 0 {
+		return Link{}, fmt.Errorf("%w: %v Mbps", ErrThroughput, throughputMbps)
+	}
+	if distanceM < 0 {
+		return Link{}, fmt.Errorf("%w: %v m", ErrDistance, distanceM)
+	}
+	return Link{Technology: tech, ThroughputMbps: throughputMbps, DistanceM: distanceM}, nil
+}
+
+// PropagationDelayMs returns d/c in milliseconds (the d_ε/c term of
+// Eq. 16 and the d_m/c term of Eq. 23).
+func (l Link) PropagationDelayMs() float64 {
+	return l.DistanceM / PropagationSpeed
+}
+
+// EffectiveThroughputMbps returns the throughput after applying the
+// optional path-loss model.
+func (l Link) EffectiveThroughputMbps() float64 {
+	if l.Loss == nil {
+		return l.ThroughputMbps
+	}
+	return l.ThroughputMbps * l.Loss.ThroughputFactor(l.DistanceM)
+}
+
+// TransmitLatencyMs returns the transmission latency of Eq. (16) for a
+// payload of dataSizeMB megabytes: δ/r_w + d/c. Throughput converts as
+// 1 Mbps = 0.125 MB per 1000 ms.
+func (l Link) TransmitLatencyMs(dataSizeMB float64) (float64, error) {
+	if dataSizeMB < 0 {
+		return 0, fmt.Errorf("wireless: data size must be non-negative, have %v MB", dataSizeMB)
+	}
+	thr := l.EffectiveThroughputMbps()
+	if thr <= 0 {
+		return 0, fmt.Errorf("%w: effective throughput %v Mbps", ErrThroughput, thr)
+	}
+	mbPerMs := thr / 8 / 1000 // MB transferred per millisecond
+	return dataSizeMB/mbPerMs + l.PropagationDelayMs(), nil
+}
+
+// PathLoss attenuates link throughput as a function of distance. Factor 1
+// means no loss.
+type PathLoss interface {
+	// ThroughputFactor returns the multiplicative throughput factor in
+	// (0, 1] at the given distance in meters.
+	ThroughputFactor(distanceM float64) float64
+}
+
+// FreeSpace is a free-space path-loss model mapped onto throughput: the
+// factor decays with the square of distance beyond a reference distance,
+// floored so links never drop to exactly zero.
+type FreeSpace struct {
+	// ReferenceM is the distance at which no attenuation applies.
+	ReferenceM float64
+	// Floor is the minimum throughput factor.
+	Floor float64
+}
+
+var _ PathLoss = FreeSpace{}
+
+// ThroughputFactor implements PathLoss.
+func (f FreeSpace) ThroughputFactor(distanceM float64) float64 {
+	ref := f.ReferenceM
+	if ref <= 0 {
+		ref = 1
+	}
+	if distanceM <= ref {
+		return 1
+	}
+	factor := (ref / distanceM) * (ref / distanceM)
+	return clampFactor(factor, f.Floor)
+}
+
+// LogDistance is a log-distance path-loss model with exponent Gamma and
+// optional log-normal shadowing driven by a deterministic RNG.
+type LogDistance struct {
+	// ReferenceM is the reference distance.
+	ReferenceM float64
+	// Gamma is the path-loss exponent (2 free space, 2.7–3.5 urban).
+	Gamma float64
+	// ShadowSigmaDB is the shadowing standard deviation in dB; zero
+	// disables shadowing.
+	ShadowSigmaDB float64
+	// Rng drives shadowing; required when ShadowSigmaDB > 0.
+	Rng *stats.RNG
+	// Floor is the minimum throughput factor.
+	Floor float64
+}
+
+var _ PathLoss = (*LogDistance)(nil)
+
+// ThroughputFactor implements PathLoss.
+func (l *LogDistance) ThroughputFactor(distanceM float64) float64 {
+	ref := l.ReferenceM
+	if ref <= 0 {
+		ref = 1
+	}
+	if distanceM < ref {
+		distanceM = ref
+	}
+	lossDB := 10 * l.Gamma * math.Log10(distanceM/ref)
+	if l.ShadowSigmaDB > 0 && l.Rng != nil {
+		lossDB += l.Rng.Normal(0, l.ShadowSigmaDB)
+	}
+	// Map dB loss onto a throughput factor; 30 dB of extra loss roughly
+	// decimates usable TCP throughput on 802.11 links.
+	factor := math.Pow(10, -lossDB/30)
+	return clampFactor(factor, l.Floor)
+}
+
+func clampFactor(factor, floor float64) float64 {
+	if floor <= 0 {
+		floor = 0.01
+	}
+	if factor < floor {
+		return floor
+	}
+	if factor > 1 {
+		return 1
+	}
+	return factor
+}

@@ -1,0 +1,223 @@
+package wireless
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewLinkValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		thr, d  float64
+		wantErr error
+	}{
+		{name: "valid", thr: 100, d: 10},
+		{name: "zero distance ok", thr: 100, d: 0},
+		{name: "zero throughput", thr: 0, d: 10, wantErr: ErrThroughput},
+		{name: "negative throughput", thr: -5, d: 10, wantErr: ErrThroughput},
+		{name: "negative distance", thr: 100, d: -1, wantErr: ErrDistance},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewLink(WiFi5GHz, tt.thr, tt.d)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("NewLink: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	l, err := NewLink(WiFi5GHz, 100, 300) // 300 m
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 m / 3e5 m/ms = 1e-3 ms = 1 µs.
+	if got := l.PropagationDelayMs(); math.Abs(got-1e-3) > 1e-12 {
+		t.Fatalf("propagation delay = %v ms, want 1e-3", got)
+	}
+}
+
+func TestTransmitLatency(t *testing.T) {
+	l, err := NewLink(WiFi5GHz, 80, 0) // 80 Mbps = 10 MB/s = 0.01 MB/ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.TransmitLatencyMs(1) // 1 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("1 MB over 80 Mbps = %v ms, want 100", got)
+	}
+	if _, err := l.TransmitLatencyMs(-1); err == nil {
+		t.Fatal("negative payload must error")
+	}
+	zero, err := l.TransmitLatencyMs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != l.PropagationDelayMs() {
+		t.Fatal("zero payload latency must equal propagation delay")
+	}
+}
+
+func TestAccessTechnologyString(t *testing.T) {
+	tests := []struct {
+		tech AccessTechnology
+		want string
+	}{
+		{WiFi24GHz, "wifi-2.4GHz"},
+		{WiFi5GHz, "wifi-5GHz"},
+		{LTE, "lte"},
+		{FiveG, "5g"},
+		{AccessTechnology(99), "AccessTechnology(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.tech.String(); got != tt.want {
+			t.Fatalf("String(%d) = %q, want %q", int(tt.tech), got, tt.want)
+		}
+	}
+}
+
+func TestTypicalThroughputOrdering(t *testing.T) {
+	if WiFi5GHz.TypicalThroughputMbps() <= WiFi24GHz.TypicalThroughputMbps() {
+		t.Fatal("5 GHz Wi-Fi should out-throughput 2.4 GHz")
+	}
+	if FiveG.TypicalThroughputMbps() <= LTE.TypicalThroughputMbps() {
+		t.Fatal("5G should out-throughput LTE")
+	}
+	if AccessTechnology(99).TypicalThroughputMbps() <= 0 {
+		t.Fatal("unknown technology needs a positive default")
+	}
+}
+
+func TestFreeSpacePathLoss(t *testing.T) {
+	pl := FreeSpace{ReferenceM: 10, Floor: 0.05}
+	if got := pl.ThroughputFactor(5); got != 1 {
+		t.Fatalf("inside reference factor = %v, want 1", got)
+	}
+	if got := pl.ThroughputFactor(20); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("2x reference factor = %v, want 0.25", got)
+	}
+	if got := pl.ThroughputFactor(1e6); got != 0.05 {
+		t.Fatalf("far factor = %v, want floor 0.05", got)
+	}
+	// Zero reference defaults to 1 m.
+	pl0 := FreeSpace{}
+	if got := pl0.ThroughputFactor(0.5); got != 1 {
+		t.Fatalf("default-reference factor = %v, want 1", got)
+	}
+}
+
+func TestLogDistancePathLoss(t *testing.T) {
+	pl := &LogDistance{ReferenceM: 1, Gamma: 2, Floor: 0.01}
+	if got := pl.ThroughputFactor(1); got != 1 {
+		t.Fatalf("reference factor = %v, want 1", got)
+	}
+	// At 10 m with γ=2: loss = 20 dB → factor = 10^(−20/30) ≈ 0.215.
+	got := pl.ThroughputFactor(10)
+	if math.Abs(got-math.Pow(10, -20.0/30)) > 1e-9 {
+		t.Fatalf("factor(10m) = %v", got)
+	}
+	// Shadowing is deterministic under a seeded RNG.
+	a := &LogDistance{ReferenceM: 1, Gamma: 2, ShadowSigmaDB: 4, Rng: stats.NewRNG(1)}
+	b := &LogDistance{ReferenceM: 1, Gamma: 2, ShadowSigmaDB: 4, Rng: stats.NewRNG(1)}
+	if a.ThroughputFactor(50) != b.ThroughputFactor(50) {
+		t.Fatal("seeded shadowing must be reproducible")
+	}
+}
+
+func TestEffectiveThroughputWithLoss(t *testing.T) {
+	l, err := NewLink(WiFi5GHz, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EffectiveThroughputMbps(); got != 100 {
+		t.Fatalf("no-loss effective throughput = %v, want 100", got)
+	}
+	l.Loss = FreeSpace{ReferenceM: 10, Floor: 0.01}
+	if got := l.EffectiveThroughputMbps(); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("lossy effective throughput = %v, want 25", got)
+	}
+	// Latency with loss must exceed latency without.
+	lossless, _ := NewLink(WiFi5GHz, 100, 20)
+	a, err := l.TransmitLatencyMs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lossless.TransmitLatencyMs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= b {
+		t.Fatalf("lossy latency %v must exceed lossless %v", a, b)
+	}
+}
+
+// Property: transmit latency is monotonically increasing in payload size
+// and in distance.
+func TestTransmitLatencyMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		thr := 10 + 200*rng.Float64()
+		d := 500 * rng.Float64()
+		l, err := NewLink(WiFi5GHz, thr, d)
+		if err != nil {
+			return false
+		}
+		s1 := 5 * rng.Float64()
+		s2 := s1 + 0.1 + 5*rng.Float64()
+		a, err1 := l.TransmitLatencyMs(s1)
+		b, err2 := l.TransmitLatencyMs(s2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if b <= a {
+			return false
+		}
+		far, err := NewLink(WiFi5GHz, thr, d+100)
+		if err != nil {
+			return false
+		}
+		c, err := far.TransmitLatencyMs(s1)
+		if err != nil {
+			return false
+		}
+		return c > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: path-loss factors always lie in (0, 1].
+func TestPathLossFactorBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		d := 1000 * rng.Float64()
+		fs := FreeSpace{ReferenceM: 1 + 20*rng.Float64(), Floor: 0.01}
+		ld := &LogDistance{ReferenceM: 1, Gamma: 2 + 2*rng.Float64(),
+			ShadowSigmaDB: 6 * rng.Float64(), Rng: rng, Floor: 0.01}
+		for _, pl := range []PathLoss{fs, ld} {
+			got := pl.ThroughputFactor(d)
+			if got <= 0 || got > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

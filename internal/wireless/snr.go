@@ -1,0 +1,137 @@
+package wireless
+
+import (
+	"fmt"
+	"math"
+)
+
+// SNRLink derives link throughput from first principles instead of a
+// pinned rate: transmit power, log-distance path loss in dB, noise floor,
+// and Shannon capacity over the channel bandwidth. This is the "path loss
+// ... can be incorporated into the model according to system
+// requirements" extension point of Eq. (16), useful when a scenario needs
+// throughput to degrade with distance rather than stay fixed.
+type SNRLink struct {
+	// Technology identifies the access technology.
+	Technology AccessTechnology
+	// TxPowerDBm is the transmitter output power.
+	TxPowerDBm float64
+	// NoiseDBm is the receiver noise floor.
+	NoiseDBm float64
+	// BandwidthMHz is the channel bandwidth.
+	BandwidthMHz float64
+	// ReferenceLossDB is the path loss at 1 m.
+	ReferenceLossDB float64
+	// Gamma is the path-loss exponent.
+	Gamma float64
+	// Efficiency discounts Shannon capacity to a realistic MAC/TCP
+	// goodput fraction in (0,1].
+	Efficiency float64
+}
+
+// DefaultWiFi5SNR returns a typical 5 GHz 802.11ac configuration: 20 dBm
+// transmit power over an 80 MHz channel, −90 dBm noise floor, 46 dB loss
+// at 1 m, indoor exponent 3.0, and 65% protocol efficiency.
+func DefaultWiFi5SNR() SNRLink {
+	return SNRLink{
+		Technology:      WiFi5GHz,
+		TxPowerDBm:      20,
+		NoiseDBm:        -90,
+		BandwidthMHz:    80,
+		ReferenceLossDB: 46,
+		Gamma:           3.0,
+		Efficiency:      0.65,
+	}
+}
+
+// Validate checks the configuration.
+func (s SNRLink) Validate() error {
+	switch {
+	case s.BandwidthMHz <= 0:
+		return fmt.Errorf("%w: bandwidth %v MHz", ErrThroughput, s.BandwidthMHz)
+	case s.Gamma <= 0:
+		return fmt.Errorf("%w: path-loss exponent %v", ErrThroughput, s.Gamma)
+	case s.Efficiency <= 0 || s.Efficiency > 1:
+		return fmt.Errorf("%w: efficiency %v", ErrThroughput, s.Efficiency)
+	case s.TxPowerDBm <= s.NoiseDBm:
+		return fmt.Errorf("%w: tx power %v dBm below noise %v dBm",
+			ErrThroughput, s.TxPowerDBm, s.NoiseDBm)
+	}
+	return nil
+}
+
+// PathLossDB returns the log-distance path loss at the given distance.
+func (s SNRLink) PathLossDB(distanceM float64) float64 {
+	if distanceM < 1 {
+		distanceM = 1
+	}
+	return s.ReferenceLossDB + 10*s.Gamma*math.Log10(distanceM)
+}
+
+// SNRdB returns the received signal-to-noise ratio at the distance.
+func (s SNRLink) SNRdB(distanceM float64) float64 {
+	return s.TxPowerDBm - s.PathLossDB(distanceM) - s.NoiseDBm
+}
+
+// ThroughputMbps returns the Shannon-bounded goodput at the distance:
+// η·B·log2(1+SNR).
+func (s SNRLink) ThroughputMbps(distanceM float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if distanceM < 0 {
+		return 0, fmt.Errorf("%w: %v m", ErrDistance, distanceM)
+	}
+	snr := math.Pow(10, s.SNRdB(distanceM)/10)
+	cap := s.Efficiency * s.BandwidthMHz * math.Log2(1+snr)
+	if cap < 0.1 {
+		// Below any usable MCS the link is effectively down; keep a
+		// token floor so latency stays finite rather than dividing by
+		// zero.
+		cap = 0.1
+	}
+	return cap, nil
+}
+
+// LinkAt materializes a conventional Link at the given distance, with the
+// throughput implied by the SNR model.
+func (s SNRLink) LinkAt(distanceM float64) (Link, error) {
+	thr, err := s.ThroughputMbps(distanceM)
+	if err != nil {
+		return Link{}, err
+	}
+	return NewLink(s.Technology, thr, distanceM)
+}
+
+// RangeForThroughput returns the maximum distance (meters) at which the
+// link still sustains the wanted throughput, by bisection over [1, 10km].
+// It returns 0 when even 1 m cannot sustain it.
+func (s SNRLink) RangeForThroughput(wantMbps float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if wantMbps <= 0 {
+		return 0, fmt.Errorf("%w: want %v Mbps", ErrThroughput, wantMbps)
+	}
+	at, err := s.ThroughputMbps(1)
+	if err != nil {
+		return 0, err
+	}
+	if at < wantMbps {
+		return 0, nil
+	}
+	lo, hi := 1.0, 10000.0
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		thr, err := s.ThroughputMbps(mid)
+		if err != nil {
+			return 0, err
+		}
+		if thr >= wantMbps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

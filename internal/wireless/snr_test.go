@@ -1,0 +1,176 @@
+package wireless
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSNRLinkValidate(t *testing.T) {
+	good := DefaultWiFi5SNR()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []func(*SNRLink){
+		func(s *SNRLink) { s.BandwidthMHz = 0 },
+		func(s *SNRLink) { s.Gamma = 0 },
+		func(s *SNRLink) { s.Efficiency = 0 },
+		func(s *SNRLink) { s.Efficiency = 1.5 },
+		func(s *SNRLink) { s.TxPowerDBm = -100 },
+	}
+	for i, mutate := range tests {
+		s := DefaultWiFi5SNR()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d must error", i)
+		}
+	}
+}
+
+func TestPathLossAndSNR(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	// At 1 m: loss = reference loss; below 1 m clamps to 1 m.
+	if got := s.PathLossDB(1); got != s.ReferenceLossDB {
+		t.Fatalf("loss(1m) = %v", got)
+	}
+	if got := s.PathLossDB(0.1); got != s.ReferenceLossDB {
+		t.Fatalf("loss(<1m) = %v, want clamp to reference", got)
+	}
+	// At 10 m: +10·γ dB.
+	want := s.ReferenceLossDB + 10*s.Gamma
+	if got := s.PathLossDB(10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("loss(10m) = %v, want %v", got, want)
+	}
+	// SNR at 1 m: 20 − 46 − (−90) = 64 dB.
+	if got := s.SNRdB(1); math.Abs(got-64) > 1e-12 {
+		t.Fatalf("SNR(1m) = %v, want 64", got)
+	}
+}
+
+func TestThroughputDecreasesWithDistance(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	prev := math.Inf(1)
+	for _, d := range []float64{1, 5, 10, 25, 50, 100, 300} {
+		thr, err := s.ThroughputMbps(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if thr <= 0 {
+			t.Fatalf("throughput(%vm) = %v", d, thr)
+		}
+		if thr >= prev {
+			t.Fatalf("throughput must decay with distance at %v m", d)
+		}
+		prev = thr
+	}
+	if _, err := s.ThroughputMbps(-1); err == nil {
+		t.Fatal("negative distance must error")
+	}
+}
+
+func TestThroughputNearShannonAtShortRange(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	thr, err := s.ThroughputMbps(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 dB SNR over 80 MHz at 65%: 0.65·80·log2(1+10^6.4) ≈ 1105 Mbps.
+	want := 0.65 * 80 * math.Log2(1+math.Pow(10, 6.4))
+	if math.Abs(thr-want) > 1 {
+		t.Fatalf("throughput(1m) = %v, want ≈%v", thr, want)
+	}
+}
+
+func TestThroughputFloorAtExtremeRange(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	thr, err := s.ThroughputMbps(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 0.1 {
+		t.Fatalf("extreme-range throughput = %v, want floor 0.1", thr)
+	}
+}
+
+func TestLinkAt(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	link, err := s.LinkAt(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.DistanceM != 25 || link.Technology != WiFi5GHz {
+		t.Fatalf("link = %+v", link)
+	}
+	want, err := s.ThroughputMbps(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.ThroughputMbps != want {
+		t.Fatal("link throughput mismatch")
+	}
+	// The materialized link plugs into the Eq. (16) transmission model.
+	lat, err := link.TransmitLatencyMs(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatalf("latency = %v", lat)
+	}
+}
+
+func TestRangeForThroughput(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	r, err := s.RangeForThroughput(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 1 || r >= 10000 {
+		t.Fatalf("range = %v m", r)
+	}
+	// The throughput just inside the range must satisfy the demand; just
+	// outside must not.
+	in, err := s.ThroughputMbps(r * 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.ThroughputMbps(r * 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in < 100 || out > 100 {
+		t.Fatalf("range boundary wrong: in=%v out=%v", in, out)
+	}
+	// An impossible demand returns 0 range.
+	zero, err := s.RangeForThroughput(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Fatalf("impossible demand range = %v, want 0", zero)
+	}
+	if _, err := s.RangeForThroughput(0); err == nil {
+		t.Fatal("zero demand must error")
+	}
+}
+
+// Property: range is monotone — asking for more throughput never extends
+// the range.
+func TestRangeMonotoneProperty(t *testing.T) {
+	s := DefaultWiFi5SNR()
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		want1 := 10 + 200*rng.Float64()
+		want2 := want1 + 10 + 200*rng.Float64()
+		r1, err1 := s.RangeForThroughput(want1)
+		r2, err2 := s.RangeForThroughput(want2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2 <= r1+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
