@@ -8,12 +8,14 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/sweep"
 )
 
 var (
@@ -185,6 +187,64 @@ func BenchmarkFig5bAccuracyEnergy(b *testing.B) {
 	s := benchSuite(b)
 	benchFig5(b, s.Fig5b)
 }
+
+// sweepBenchGrid is the 64-point device × mode × resolution × clock grid
+// shared by the serial-vs-parallel engine benchmarks.
+func sweepBenchGrid(b *testing.B) sweep.Grid {
+	b.Helper()
+	names := []string{"XR1", "XR2", "XR6", "XR7"}
+	devs := make([]device.Device, len(names))
+	for i, n := range names {
+		d, err := device.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		devs[i] = d
+	}
+	g := sweep.Grid{
+		Devices:    devs,
+		Modes:      []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote},
+		FrameSizes: []float64{300, 400, 500, 600},
+		CPUFreqs:   []float64{1, 0}, // 0 = device max
+	}
+	if g.Size() != 64 {
+		b.Fatalf("bench grid size = %d, want 64", g.Size())
+	}
+	return g
+}
+
+// benchSweepGrid runs the 64-point grid with the given worker-pool size;
+// the serial/parallel pair pins the engine's speedup (results are
+// byte-identical either way, only wall-clock differs).
+func benchSweepGrid(b *testing.B, workers int) {
+	s := benchSuite(b)
+	grid := sweepBenchGrid(b)
+	prev := s.Workers
+	s.Workers = workers
+	defer func() { s.Workers = prev }()
+	b.ResetTimer()
+	var last *experiments.GridResult
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunGrid(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(float64(len(last.Points)), "points")
+		b.ReportMetric(last.MeanLatencyErrPct, "latErr%")
+		b.ReportMetric(last.MeanEnergyErrPct, "energyErr%")
+	}
+}
+
+// BenchmarkSweepSerial runs the grid on a single worker — the baseline
+// the pre-engine inline loops were equivalent to.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepGrid(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid across GOMAXPROCS workers;
+// with ≥4 cores this completes the grid ≥2× faster than the serial run.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepGrid(b, 0) }
 
 // BenchmarkAblationPaperVsFitted quantifies the DESIGN.md "re-fit, don't
 // replay" decision: the paper's published coefficients (trained on the

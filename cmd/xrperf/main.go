@@ -11,14 +11,17 @@
 //	xrperf experiment <id>              one experiment (fig4a…fig5b, table1…)
 //	xrperf all                          every experiment in paper order
 //	xrperf analyze [-mode local|remote] analyze one scenario
+//	xrperf sweep [-devices ...]         run an arbitrary scenario grid in parallel
 //	xrperf export [-rows N]             dump a synthetic resource dataset as CSV
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/cnn"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/sweep"
 	"repro/internal/testbed"
 )
 
@@ -55,6 +59,8 @@ func run(args []string, out io.Writer) error {
 		return runAll(args[1:], out)
 	case "analyze":
 		return runAnalyze(args[1:], out)
+	case "sweep":
+		return runSweep(args[1:], out)
 	case "export":
 		return runExport(args[1:], out)
 	case "report":
@@ -68,7 +74,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|export|report} (ids: %s)",
+	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|export|report} (ids: %s)",
 		strings.Join(experiments.IDs(), ", "))
 }
 
@@ -80,6 +86,9 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "  experiment <id> [flags]      run one experiment:", strings.Join(experiments.IDs(), " "))
 	fmt.Fprintln(out, "  all [flags]                  run every experiment in paper order")
 	fmt.Fprintln(out, "  analyze [-device XRn] [-mode local|remote] [-size px2] [-freq GHz]")
+	fmt.Fprintln(out, "  sweep [-devices XR1,..|all] [-modes local,remote] [-cnns M1,..]")
+	fmt.Fprintln(out, "        [-sizes 300,500,..] [-freqs 1,2,..] [-workers N]")
+	fmt.Fprintln(out, "                               run a scenario grid on the parallel sweep engine")
 	fmt.Fprintln(out, "  export [-rows N] [-kind K]   dump a synthetic dataset as CSV")
 	fmt.Fprintln(out, "  report [flags]               regenerate the full Markdown evaluation report")
 }
@@ -240,6 +249,99 @@ func runAnalyze(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprint(out, rep.Render())
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseFloats parses a comma-separated list of numbers.
+func parseFloats(flagName, s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not a number", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// sweepGrid translates the sweep subcommand's flags into an engine grid.
+func sweepGrid(devices, modes, cnns, sizes, freqs string) (sweep.Grid, error) {
+	var g sweep.Grid
+	if devices == "all" {
+		g.Devices = device.Catalog()
+	} else {
+		for _, name := range splitList(devices) {
+			d, err := device.ByName(name)
+			if err != nil {
+				return sweep.Grid{}, err
+			}
+			g.Devices = append(g.Devices, d)
+		}
+	}
+	if len(g.Devices) == 0 {
+		return sweep.Grid{}, fmt.Errorf("-devices: at least one device required")
+	}
+	for _, m := range splitList(modes) {
+		switch m {
+		case "local":
+			g.Modes = append(g.Modes, pipeline.ModeLocal)
+		case "remote":
+			g.Modes = append(g.Modes, pipeline.ModeRemote)
+		default:
+			return sweep.Grid{}, fmt.Errorf("-modes: unknown mode %q (local or remote)", m)
+		}
+	}
+	for _, name := range splitList(cnns) {
+		m, err := cnn.ByName(name)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		g.CNNs = append(g.CNNs, m)
+	}
+	var err error
+	if g.FrameSizes, err = parseFloats("sizes", sizes); err != nil {
+		return sweep.Grid{}, err
+	}
+	if g.CPUFreqs, err = parseFloats("freqs", freqs); err != nil {
+		return sweep.Grid{}, err
+	}
+	return g, nil
+}
+
+func runSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	devices := fs.String("devices", "XR1", "comma-separated Table I devices, or \"all\"")
+	modes := fs.String("modes", "local,remote", "comma-separated inference modes")
+	cnns := fs.String("cnns", "", "comma-separated Table II CNNs (empty = pipeline defaults)")
+	sizes := fs.String("sizes", "300,400,500,600,700", "comma-separated frame sizes (pixel² unit)")
+	freqs := fs.String("freqs", "0", "comma-separated CPU clocks in GHz (0 = device max, clamped)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	suite, err := buildSuite(fs, args)
+	if err != nil {
+		return err
+	}
+	grid, err := sweepGrid(*devices, *modes, *cnns, *sizes, *freqs)
+	if err != nil {
+		return err
+	}
+	suite.Workers = *workers
+	res, err := suite.RunGrid(context.Background(), grid)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
 	return nil
 }
 

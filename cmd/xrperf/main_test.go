@@ -112,6 +112,63 @@ func TestAnalyzeErrors(t *testing.T) {
 	}
 }
 
+func TestSweepGridTable(t *testing.T) {
+	out := runCLI(t, append([]string{"sweep",
+		"-devices", "XR1,XR6",
+		"-modes", "local,remote",
+		"-sizes", "400,600",
+		"-freqs", "1,0",
+		"-workers", "4",
+	}, fastFlags...)...)
+	if !strings.Contains(out, "16-point scenario grid") {
+		t.Fatalf("sweep header unexpected:\n%s", out)
+	}
+	for _, want := range []string{"XR1/local", "XR6/remote", "mean error: latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Header + 16 rows + aggregate line.
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 19 {
+		t.Fatalf("sweep lines = %d, want 19:\n%s", len(lines), out)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts pins the engine contract at
+// the CLI surface: one worker and many workers print identical tables.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	args := func(workers string) []string {
+		return append([]string{"sweep",
+			"-devices", "XR2", "-sizes", "300,700", "-freqs", "1,2",
+			"-workers", workers,
+		}, fastFlags...)
+	}
+	serial := runCLI(t, args("1")...)
+	parallel := runCLI(t, args("8")...)
+	if serial != parallel {
+		t.Fatalf("worker count changed sweep output:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"sweep", "-devices", "XR99"}, &buf); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	if err := run([]string{"sweep", "-devices", ""}, &buf); err == nil {
+		t.Fatal("empty device list must error")
+	}
+	if err := run([]string{"sweep", "-modes", "quantum"}, &buf); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if err := run([]string{"sweep", "-cnns", "NotANet"}, &buf); err == nil {
+		t.Fatal("unknown cnn must error")
+	}
+	if err := run([]string{"sweep", "-sizes", "tall"}, &buf); err == nil {
+		t.Fatal("non-numeric size must error")
+	}
+}
+
 func TestExportCSV(t *testing.T) {
 	out := runCLI(t, "export", "-rows", "50")
 	lines := strings.Split(strings.TrimSpace(out), "\n")

@@ -6,6 +6,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -13,11 +14,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/device"
+	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/queue"
 	"repro/internal/sensors"
 	"repro/internal/session"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/testbed"
 	"repro/internal/wireless"
 )
@@ -93,6 +96,100 @@ func TestFullStackFitAnalyzeSession(t *testing.T) {
 	}
 	if back.Len() != 120 {
 		t.Fatalf("csv round-trip rows = %d", back.Len())
+	}
+}
+
+// TestSweepEngineDeterministicAcrossWorkerCounts pins the sweep engine's
+// end-to-end determinism contract on the real evaluation stack: the
+// Fig. 4 panels, the ablation, and an arbitrary user grid must render
+// byte-identical output whether they run on one worker or many.
+func TestSweepEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	build := func(workers int) *experiments.Suite {
+		t.Helper()
+		s, err := experiments.NewSuite(42, 4000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Trials = 5
+		s.Workers = workers
+		return s
+	}
+	serial := build(1)
+	parallel := build(8)
+
+	for _, id := range []string{"fig4a", "fig4d", "fig4e", "ablation"} {
+		rs, err := serial.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := parallel.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Render() != rp.Render() {
+			t.Fatalf("%s differs between 1 and 8 workers:\n--- serial\n%s\n--- parallel\n%s",
+				id, rs.Render(), rp.Render())
+		}
+	}
+
+	dev, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sweep.Grid{
+		Devices:    []device.Device{dev},
+		Modes:      []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote},
+		FrameSizes: []float64{300, 500, 700},
+		CPUFreqs:   []float64{1, 3},
+	}
+	gs, err := serial.RunGrid(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := parallel.RunGrid(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Render() != gp.Render() {
+		t.Fatalf("grid sweep differs between worker counts:\n--- serial\n%s\n--- parallel\n%s",
+			gs.Render(), gp.Render())
+	}
+}
+
+// TestAnalyzeBatchMatchesAnalyze checks the core façade's parallel batch
+// API against the sequential one on a mixed scenario list.
+func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
+	fw := core.NewWithPaperCoefficients()
+	var scs []*pipeline.Scenario
+	for _, name := range []string{"XR1", "XR4", "XR6"} {
+		dev, err := device.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote} {
+			sc, err := pipeline.NewScenario(dev, pipeline.WithMode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scs = append(scs, sc)
+		}
+	}
+	batch, err := fw.AnalyzeBatch(context.Background(), scs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(scs) {
+		t.Fatalf("batch reports = %d, want %d", len(batch), len(scs))
+	}
+	for i, sc := range scs {
+		want, err := fw.Analyze(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Latency.Total != want.Latency.Total ||
+			batch[i].Energy.Total != want.Energy.Total {
+			t.Fatalf("batch[%d] diverges from sequential Analyze", i)
+		}
 	}
 }
 

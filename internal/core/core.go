@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/pipeline"
 	"repro/internal/queue"
+	"repro/internal/sweep"
 	"repro/internal/testbed"
 )
 
@@ -184,6 +186,19 @@ func (r *Report) Render() string {
 		}
 	}
 	return b.String()
+}
+
+// AnalyzeBatch analyzes many scenarios across the sweep engine's worker
+// pool and returns the reports in input order. The analytical models are
+// pure functions of the scenario, so the fan-out is race-free and the
+// output is identical to calling Analyze in a loop. workers ≤ 0 means
+// GOMAXPROCS; cancel ctx to abort a large batch early. The first
+// (lowest-index) scenario error is returned.
+func (f *Framework) AnalyzeBatch(ctx context.Context, scs []*pipeline.Scenario, workers int) ([]*Report, error) {
+	return sweep.Run(ctx, len(scs), sweep.Options{Workers: workers},
+		func(_ context.Context, sh sweep.Shard) (*Report, error) {
+			return f.Analyze(scs[sh.Index])
+		})
 }
 
 // CompareModes analyzes the scenario under both local and remote

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // AblationResult quantifies the DESIGN.md "re-fit, don't replay" decision:
@@ -37,32 +39,50 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-// Ablation runs the paper-vs-fitted comparison.
+// ablationCell is one sweep point's three-way evaluation.
+type ablationCell struct {
+	paperPred, fittedPred, gt float64
+}
+
+// Ablation runs the paper-vs-fitted comparison on the sweep engine.
 func (s *Suite) Ablation() (*AblationResult, error) {
 	paper := core.NewWithPaperCoefficients()
-	var paperPred, fittedPred, gts []float64
-	for _, size := range FrameSizes() {
-		for _, freq := range CPUFrequencies() {
-			sc, err := s.sweepScenario(pipeline.ModeLocal, size, freq)
+	cells := sweepCells()
+	evals, err := sweep.Run(context.Background(), len(cells), s.sweepOpts("ablation"),
+		func(_ context.Context, sh sweep.Shard) (ablationCell, error) {
+			c := cells[sh.Index]
+			sc, err := s.sweepScenario(pipeline.ModeLocal, c.size, c.freq)
 			if err != nil {
-				return nil, err
+				return ablationCell{}, err
 			}
-			meas, err := s.Bench.MeasureFrames(sc, s.Trials)
+			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("measure: %w", err)
+				return ablationCell{}, fmt.Errorf("measure: %w", err)
 			}
 			pRep, err := paper.Analyze(sc)
 			if err != nil {
-				return nil, fmt.Errorf("paper model: %w", err)
+				return ablationCell{}, fmt.Errorf("paper model: %w", err)
 			}
 			fLat, err := s.Latency.FrameLatency(sc)
 			if err != nil {
-				return nil, fmt.Errorf("fitted model: %w", err)
+				return ablationCell{}, fmt.Errorf("fitted model: %w", err)
 			}
-			paperPred = append(paperPred, pRep.Latency.Total)
-			fittedPred = append(fittedPred, fLat.Total)
-			gts = append(gts, meas.LatencyMs)
-		}
+			return ablationCell{
+				paperPred:  pRep.Latency.Total,
+				fittedPred: fLat.Total,
+				gt:         meas.LatencyMs,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	paperPred := make([]float64, len(evals))
+	fittedPred := make([]float64, len(evals))
+	gts := make([]float64, len(evals))
+	for i, e := range evals {
+		paperPred[i] = e.paperPred
+		fittedPred[i] = e.fittedPred
+		gts[i] = e.gt
 	}
 	paperErr, err := stats.MAPE(paperPred, gts)
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/sensors"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // SweepPoint is one (frame size, CPU frequency) cell of a Fig. 4 panel.
@@ -56,35 +58,54 @@ func (r *SweepResult) Render() string {
 	return b.String()
 }
 
-// runSweep evaluates a Fig. 4 panel: ground truth from the bench,
-// prediction from the fitted models.
+// sweepCell enumerates the Fig. 4 grid in panel order: frame sizes
+// outermost, CPU frequencies innermost.
+type sweepCell struct {
+	size, freq float64
+}
+
+func sweepCells() []sweepCell {
+	var cells []sweepCell
+	for _, size := range FrameSizes() {
+		for _, freq := range CPUFrequencies() {
+			cells = append(cells, sweepCell{size, freq})
+		}
+	}
+	return cells
+}
+
+// runSweep evaluates a Fig. 4 panel on the sweep engine: ground truth
+// from the bench, prediction from the fitted models. Every grid point is
+// independent, so the cells fan out across the suite's worker pool; the
+// per-shard seeds keep the panel byte-identical for any worker count.
 func (s *Suite) runSweep(id, title, unit string, mode pipeline.InferenceMode,
 	wantEnergy bool, paperErr float64) (*SweepResult, error) {
 	res := &SweepResult{id: id, Title: title, Unit: unit, PaperMeanErrPct: paperErr}
-	var preds, gts []float64
-	for _, size := range FrameSizes() {
-		for _, freq := range CPUFrequencies() {
-			sc, err := s.sweepScenario(mode, size, freq)
+	cells := sweepCells()
+	points, err := sweep.Run(context.Background(), len(cells), s.sweepOpts(id),
+		func(_ context.Context, sh sweep.Shard) (SweepPoint, error) {
+			c := cells[sh.Index]
+			sc, err := s.sweepScenario(mode, c.size, c.freq)
 			if err != nil {
-				return nil, err
+				return SweepPoint{}, err
 			}
-			meas, err := s.Bench.MeasureFrames(sc, s.Trials)
+			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("measure: %w", err)
+				return SweepPoint{}, fmt.Errorf("measure: %w", err)
 			}
 			var gt, pred float64
 			if wantEnergy {
 				gt = meas.EnergyMJ
 				eb, _, err := s.Energy.FrameEnergy(sc)
 				if err != nil {
-					return nil, fmt.Errorf("model energy: %w", err)
+					return SweepPoint{}, fmt.Errorf("model energy: %w", err)
 				}
 				pred = eb.Total
 			} else {
 				gt = meas.LatencyMs
 				lb, err := s.Latency.FrameLatency(sc)
 				if err != nil {
-					return nil, fmt.Errorf("model latency: %w", err)
+					return SweepPoint{}, fmt.Errorf("model latency: %w", err)
 				}
 				pred = lb.Total
 			}
@@ -92,13 +113,20 @@ func (s *Suite) runSweep(id, title, unit string, mode pipeline.InferenceMode,
 			if gt != 0 {
 				errPct = 100 * abs(pred-gt) / gt
 			}
-			res.Points = append(res.Points, SweepPoint{
-				FrameSizePx2: size, CPUFreqGHz: freq,
+			return SweepPoint{
+				FrameSizePx2: c.size, CPUFreqGHz: c.freq,
 				GroundTruth: gt, Proposed: pred, ErrPct: errPct,
-			})
-			preds = append(preds, pred)
-			gts = append(gts, gt)
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
+	preds := make([]float64, len(points))
+	gts := make([]float64, len(points))
+	for i, p := range points {
+		preds[i] = p.Proposed
+		gts[i] = p.GroundTruth
 	}
 	mape, err := stats.MAPE(preds, gts)
 	if err != nil {
@@ -204,32 +232,41 @@ func (s *Suite) Fig4e() (*Fig4eResult, error) {
 		{"200 Hz", 200}, {"100 Hz", 100}, {"67 Hz", 66.67},
 	}
 	const updates = 18 // covers the paper's 15–90 ms time axis
-	out := &Fig4eResult{}
-	for i, spec := range specs {
-		sen, err := sensors.NewSensor(spec.label, spec.hz, 30)
-		if err != nil {
-			return nil, fmt.Errorf("sensor %s: %w", spec.label, err)
-		}
-		cfg := aoi.Config{Sensor: sen, RequestFrequencyHz: 200, Buffer: buf}
-		model, err := cfg.Series(updates)
-		if err != nil {
-			return nil, fmt.Errorf("model series %s: %w", spec.label, err)
-		}
-		gt, err := cfg.Simulate(updates, 0.02, stats.NewRNG(1000+int64(i)))
-		if err != nil {
-			return nil, fmt.Errorf("simulate %s: %w", spec.label, err)
-		}
-		var gap float64
-		for j := range model {
-			gap += abs(gt[j].AoIMs - model[j].AoIMs)
-		}
-		out.Series = append(out.Series, AoISeriesResult{
-			Label: spec.label, SensorHz: spec.hz,
-			GroundTruth: gt, Model: model,
-			MeanErrMs: gap / float64(len(model)),
+	// The three series are independent discrete-event simulations, so they
+	// run on the sweep engine. The simulation keeps its historical fixed
+	// seeds (1000+index) rather than engine shard seeds so the figure
+	// reproduces the seed repository's trajectories exactly — hence only
+	// the worker count is taken from the suite, not a seed base.
+	series, err := sweep.Run(context.Background(), len(specs), sweep.Options{Workers: s.Workers},
+		func(_ context.Context, sh sweep.Shard) (AoISeriesResult, error) {
+			spec := specs[sh.Index]
+			sen, err := sensors.NewSensor(spec.label, spec.hz, 30)
+			if err != nil {
+				return AoISeriesResult{}, fmt.Errorf("sensor %s: %w", spec.label, err)
+			}
+			cfg := aoi.Config{Sensor: sen, RequestFrequencyHz: 200, Buffer: buf}
+			model, err := cfg.Series(updates)
+			if err != nil {
+				return AoISeriesResult{}, fmt.Errorf("model series %s: %w", spec.label, err)
+			}
+			gt, err := cfg.Simulate(updates, 0.02, stats.NewRNG(1000+int64(sh.Index)))
+			if err != nil {
+				return AoISeriesResult{}, fmt.Errorf("simulate %s: %w", spec.label, err)
+			}
+			var gap float64
+			for j := range model {
+				gap += abs(gt[j].AoIMs - model[j].AoIMs)
+			}
+			return AoISeriesResult{
+				Label: spec.label, SensorHz: spec.hz,
+				GroundTruth: gt, Model: model,
+				MeanErrMs: gap / float64(len(model)),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig4eResult{Series: series}, nil
 }
 
 // Fig4fResult reproduces Fig. 4(f): the AoI staircase and RoI of the

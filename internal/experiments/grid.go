@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// GridPoint is one evaluated point of a user-defined sweep grid: bench
+// ground truth versus the fitted models, for both latency and energy.
+type GridPoint struct {
+	// Spec is the grid point configuration.
+	Spec sweep.Spec
+	// LatencyGTMs and LatencyModelMs are measured vs predicted latency.
+	LatencyGTMs    float64
+	LatencyModelMs float64
+	// LatencyErrPct is |model−GT|/GT in percent.
+	LatencyErrPct float64
+	// EnergyGTMJ and EnergyModelMJ are measured vs predicted energy.
+	EnergyGTMJ    float64
+	EnergyModelMJ float64
+	// EnergyErrPct is |model−GT|/GT in percent.
+	EnergyErrPct float64
+}
+
+// GridResult aggregates a full grid sweep.
+type GridResult struct {
+	// Points holds every grid point in canonical grid order.
+	Points []GridPoint
+	// MeanLatencyErrPct and MeanEnergyErrPct are the grid-wide MAPEs.
+	MeanLatencyErrPct float64
+	MeanEnergyErrPct  float64
+}
+
+// ID implements Result.
+func (r *GridResult) ID() string { return "sweep" }
+
+// Render implements Result: one row per grid point plus the aggregate.
+func (r *GridResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep — %d-point scenario grid (GT vs fitted models)\n", len(r.Points))
+	fmt.Fprintf(&b, "%-42s %10s %10s %7s %10s %10s %7s\n",
+		"point", "GT(ms)", "model(ms)", "err%", "GT(mJ)", "model(mJ)", "err%")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-42s %10.1f %10.1f %7.2f %10.1f %10.1f %7.2f\n",
+			p.Spec.Label(),
+			p.LatencyGTMs, p.LatencyModelMs, p.LatencyErrPct,
+			p.EnergyGTMJ, p.EnergyModelMJ, p.EnergyErrPct)
+	}
+	fmt.Fprintf(&b, "mean error: latency %.2f%%, energy %.2f%%\n",
+		r.MeanLatencyErrPct, r.MeanEnergyErrPct)
+	return b.String()
+}
+
+// RunGrid evaluates an arbitrary device × CNN × mode × resolution × clock
+// grid on the sweep engine: each point measures ground truth on the bench
+// with a deterministic per-shard seed and predicts latency and energy
+// with the fitted models. Results are in canonical grid order and
+// byte-identical for any worker count. Cancel ctx to abort mid-sweep.
+func (s *Suite) RunGrid(ctx context.Context, grid sweep.Grid) (*GridResult, error) {
+	specs := grid.Points()
+	points, err := sweep.Run(ctx, len(specs), s.sweepOpts("sweep"),
+		func(_ context.Context, sh sweep.Shard) (GridPoint, error) {
+			spec := specs[sh.Index]
+			sc, err := spec.Scenario()
+			if err != nil {
+				return GridPoint{}, err
+			}
+			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
+			if err != nil {
+				return GridPoint{}, fmt.Errorf("measure %s: %w", spec.Label(), err)
+			}
+			eb, lb, err := s.Energy.FrameEnergy(sc)
+			if err != nil {
+				return GridPoint{}, fmt.Errorf("model %s: %w", spec.Label(), err)
+			}
+			p := GridPoint{
+				Spec:           spec,
+				LatencyGTMs:    meas.LatencyMs,
+				LatencyModelMs: lb.Total,
+				EnergyGTMJ:     meas.EnergyMJ,
+				EnergyModelMJ:  eb.Total,
+			}
+			if p.LatencyGTMs != 0 {
+				p.LatencyErrPct = 100 * abs(p.LatencyModelMs-p.LatencyGTMs) / p.LatencyGTMs
+			}
+			if p.EnergyGTMJ != 0 {
+				p.EnergyErrPct = 100 * abs(p.EnergyModelMJ-p.EnergyGTMJ) / p.EnergyGTMJ
+			}
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &GridResult{Points: points}
+	if len(points) == 0 {
+		return res, nil
+	}
+	latPred := make([]float64, len(points))
+	latGT := make([]float64, len(points))
+	enPred := make([]float64, len(points))
+	enGT := make([]float64, len(points))
+	for i, p := range points {
+		latPred[i], latGT[i] = p.LatencyModelMs, p.LatencyGTMs
+		enPred[i], enGT[i] = p.EnergyModelMJ, p.EnergyGTMJ
+	}
+	if res.MeanLatencyErrPct, err = stats.MAPE(latPred, latGT); err != nil {
+		return nil, fmt.Errorf("latency mean error: %w", err)
+	}
+	if res.MeanEnergyErrPct, err = stats.MAPE(enPred, enGT); err != nil {
+		return nil, fmt.Errorf("energy mean error: %w", err)
+	}
+	return res, nil
+}

@@ -9,11 +9,13 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/device"
 	"repro/internal/energy"
 	"repro/internal/latency"
 	"repro/internal/pipeline"
+	"repro/internal/sweep"
 	"repro/internal/testbed"
 )
 
@@ -59,6 +61,24 @@ type Suite struct {
 	Energy energy.Models
 	// Trials is the measurement-averaging count for ground truth.
 	Trials int
+	// Seed is the bench seed; sweep shard seeds derive from it so every
+	// figure is reproducible run-to-run and worker-count-independent.
+	Seed int64
+	// Workers sizes the sweep worker pool; 0 means GOMAXPROCS. Results
+	// are byte-identical for any worker count.
+	Workers int
+}
+
+// sweepOpts returns the engine options for one experiment: the shard
+// seed base mixes the suite seed with the experiment id so panels draw
+// independent noise streams.
+func (s *Suite) sweepOpts(id string) sweep.Options {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return sweep.Options{
+		Workers:  s.Workers,
+		BaseSeed: s.Seed ^ int64(h.Sum64()),
+	}
 }
 
 // NewSuite builds a suite: spin up the bench, generate the synthetic
@@ -80,6 +100,7 @@ func NewSuite(seed int64, trainRows, testRows int) (*Suite, error) {
 		Latency: lm,
 		Energy:  energy.Models{Latency: lm, Power: fitted.Power},
 		Trials:  DefaultTrials,
+		Seed:    seed,
 	}, nil
 }
 

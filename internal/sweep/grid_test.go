@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnn"
+	"repro/internal/device"
+	"repro/internal/pipeline"
+)
+
+func testDevices(t *testing.T, names ...string) []device.Device {
+	t.Helper()
+	out := make([]device.Device, len(names))
+	for i, n := range names {
+		d, err := device.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func TestGridSizeAndOrder(t *testing.T) {
+	g := Grid{
+		Devices:    testDevices(t, "XR1", "XR2"),
+		Modes:      []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote},
+		FrameSizes: []float64{300, 500},
+		CPUFreqs:   []float64{1, 2},
+	}
+	pts := g.Points()
+	if len(pts) != g.Size() || len(pts) != 16 {
+		t.Fatalf("points = %d, size = %d, want 16", len(pts), g.Size())
+	}
+	// Row-major order: devices outermost, frequencies innermost.
+	if pts[0].Device.Name != "XR1" || pts[0].CPUFreqGHz != 1 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[1].CPUFreqGHz != 2 || pts[1].FrameSizePx2 != 300 {
+		t.Fatalf("second point %+v", pts[1])
+	}
+	if pts[8].Device.Name != "XR2" {
+		t.Fatalf("ninth point device = %s, want XR2", pts[8].Device.Name)
+	}
+}
+
+func TestGridDefaultsFillEmptyAxes(t *testing.T) {
+	g := Grid{Devices: testDevices(t, "XR1")}
+	pts := g.Points()
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1", len(pts))
+	}
+	sc, err := pts[0].Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mode != pipeline.ModeLocal || sc.FrameSizePx2 != 500 {
+		t.Fatalf("defaults not applied: mode=%v size=%v", sc.Mode, sc.FrameSizePx2)
+	}
+	if sc.CPUFreqGHz != pts[0].Device.CPUGHz {
+		t.Fatalf("zero freq must mean device max, got %v", sc.CPUFreqGHz)
+	}
+}
+
+func TestGridEmptyDevicesYieldsZeroPoints(t *testing.T) {
+	if n := (Grid{}).Size(); n != 0 {
+		t.Fatalf("empty grid size = %d", n)
+	}
+	if pts := (Grid{}).Points(); len(pts) != 0 {
+		t.Fatalf("empty grid points = %d", len(pts))
+	}
+}
+
+// TestSpecClampsFrequency checks that one grid can span heterogeneous
+// devices: a clock above a device's maximum clamps instead of failing
+// scenario validation.
+func TestSpecClampsFrequency(t *testing.T) {
+	devs := testDevices(t, "XR5") // Snapdragon XR1, low max clock
+	spec := Spec{
+		Device:       devs[0],
+		Mode:         pipeline.ModeLocal,
+		FrameSizePx2: 500,
+		CPUFreqGHz:   99,
+	}
+	sc, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.CPUFreqGHz != devs[0].CPUGHz {
+		t.Fatalf("freq = %v, want clamped to %v", sc.CPUFreqGHz, devs[0].CPUGHz)
+	}
+}
+
+func TestSpecCNNOverridePerMode(t *testing.T) {
+	dev := testDevices(t, "XR1")[0]
+	model, err := cnn.ByName("EfficientNet_Float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := Spec{Device: dev, Mode: pipeline.ModeLocal, CNN: model, FrameSizePx2: 500}
+	sc, err := local.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.LocalCNN.Name != model.Name {
+		t.Fatalf("local CNN = %s", sc.LocalCNN.Name)
+	}
+	remote := Spec{Device: dev, Mode: pipeline.ModeRemote, CNN: model, FrameSizePx2: 500}
+	sc, err = remote.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.RemoteCNN.Name != model.Name {
+		t.Fatalf("remote CNN = %s", sc.RemoteCNN.Name)
+	}
+	if sc.LocalCNN.Name == model.Name {
+		t.Fatal("remote override must not touch the local CNN")
+	}
+}
+
+func TestSpecLabel(t *testing.T) {
+	dev := testDevices(t, "XR1")[0]
+	spec := Spec{Device: dev, Mode: pipeline.ModeRemote, FrameSizePx2: 600, CPUFreqGHz: 2}
+	label := spec.Label()
+	for _, want := range []string{"XR1", "remote", "default", "600"} {
+		if !strings.Contains(label, want) {
+			t.Fatalf("label %q missing %q", label, want)
+		}
+	}
+}

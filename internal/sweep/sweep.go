@@ -1,0 +1,219 @@
+// Package sweep is the parallel scenario-sweep execution engine. The
+// paper's evaluation (Section VII, Fig. 4a–e) is a grid of independent
+// scenario points — device × CNN × inference mode × resolution × clock —
+// and every point is a pure function of its configuration plus a
+// deterministic noise seed. The engine fans such grids out across a
+// worker pool with context cancelation, per-shard deterministic seeding,
+// early error propagation, and streaming aggregation that delivers
+// results in grid order despite out-of-order completion.
+//
+// Determinism contract: a point's seed depends only on (base seed, point
+// index), never on worker identity or completion order, so a sweep's
+// output is byte-identical whether it runs on one worker or on
+// GOMAXPROCS workers.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Common errors.
+var (
+	// ErrBadGrid indicates an invalid grid size.
+	ErrBadGrid = errors.New("sweep: negative grid size")
+)
+
+// Shard identifies one grid point handed to a worker.
+type Shard struct {
+	// Index is the point's position in grid order (0-based).
+	Index int
+	// Seed is the point's deterministic RNG seed, derived from the
+	// engine's base seed and Index only.
+	Seed int64
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Workers is the pool size; 0 or negative means GOMAXPROCS. The
+	// pool never exceeds the grid size.
+	Workers int
+	// BaseSeed is mixed into every shard seed. Two runs with the same
+	// base seed and grid produce identical results.
+	BaseSeed int64
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// ShardSeed derives the deterministic seed of grid point idx from base
+// using a SplitMix64 finalizer, so adjacent indices land on statistically
+// independent streams.
+func ShardSeed(base int64, idx int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// indexed pairs a result with its grid position for reordering.
+type indexed[T any] struct {
+	idx int
+	val T
+}
+
+// pointError carries a failed point's position so error selection favors
+// the lowest-index failure among those reported, regardless of which
+// worker observed its error first.
+type pointError struct {
+	idx int
+	err error
+}
+
+// Run evaluates n grid points across the worker pool and returns their
+// results in grid order. fn receives a canceled context as soon as any
+// point fails or the caller's context ends; the first (lowest-index)
+// point error is returned. A zero-size grid returns an empty slice.
+func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, sh Shard) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadGrid, n)
+	}
+	out := make([]T, 0, n)
+	err := Stream(ctx, n, opts, fn, func(_ int, v T) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream evaluates n grid points across the worker pool and invokes emit
+// on the caller's goroutine in strict grid order, as soon as each prefix
+// of the grid completes — point k is emitted the moment points 0..k are
+// all done, even while later points are still in flight. Results that
+// finish out of order are buffered until their turn. A non-nil error
+// from emit cancels the sweep and is returned.
+func Stream[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, sh Shard) (T, error), emit func(idx int, v T) error) error {
+	if n < 0 {
+		return fmt.Errorf("%w: %d", ErrBadGrid, n)
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	results := make(chan indexed[T], n)
+	workers := opts.workers(n)
+
+	// Failed points report under the mutex; among all reported failures
+	// the lowest-index one is surfaced, so the caller sees the earliest
+	// grid point's error no matter which worker lost the race to cancel.
+	var (
+		errMu    sync.Mutex
+		firstErr *pointError
+	)
+	report := func(idx int, err error) {
+		errMu.Lock()
+		if firstErr == nil || idx < firstErr.idx {
+			firstErr = &pointError{idx, err}
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if cctx.Err() != nil {
+					return
+				}
+				v, err := fn(cctx, Shard{Index: idx, Seed: ShardSeed(opts.BaseSeed, idx)})
+				if err != nil {
+					report(idx, err)
+					return
+				}
+				results <- indexed[T]{idx, v}
+			}
+		}()
+	}
+
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Ordered streaming aggregation: buffer out-of-order completions and
+	// flush each contiguous prefix as it forms.
+	pending := make(map[int]T)
+	next := 0
+	var emitErr error
+	for r := range results {
+		if emitErr != nil {
+			continue // drain; the sweep is already canceled
+		}
+		pending[r.idx] = r.val
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if err := emit(next, v); err != nil {
+				emitErr = fmt.Errorf("sweep: emit point %d: %w", next, err)
+				cancel()
+				break
+			}
+			next++
+		}
+	}
+
+	errMu.Lock()
+	pe := firstErr
+	errMu.Unlock()
+	if pe != nil {
+		return fmt.Errorf("sweep: point %d: %w", pe.idx, pe.err)
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if next != n {
+		// Cancelation raced result delivery: some points never ran.
+		return fmt.Errorf("sweep: %w", cctx.Err())
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunZeroSizeGrid(t *testing.T) {
+	out, err := Run(context.Background(), 0, Options{},
+		func(context.Context, Shard) (int, error) {
+			t.Fatal("fn must not run on an empty grid")
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("results = %d, want 0", len(out))
+	}
+}
+
+func TestRunNegativeGrid(t *testing.T) {
+	_, err := Run(context.Background(), -1, Options{},
+		func(context.Context, Shard) (int, error) { return 0, nil })
+	if !errors.Is(err, ErrBadGrid) {
+		t.Fatalf("err = %v, want ErrBadGrid", err)
+	}
+}
+
+// TestRunOrdersResults checks ordered collection despite out-of-order
+// completion: early indices sleep so later ones finish first.
+func TestRunOrdersResults(t *testing.T) {
+	const n = 32
+	out, err := Run(context.Background(), n, Options{Workers: 8},
+		func(_ context.Context, sh Shard) (int, error) {
+			if sh.Index < 8 {
+				time.Sleep(3 * time.Millisecond)
+			}
+			return sh.Index * sh.Index, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("results = %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts checks the engine's core
+// contract: shard seeds depend only on (base seed, index), so any worker
+// count produces identical results.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 40
+	run := func(workers int) []int64 {
+		t.Helper()
+		out, err := Run(context.Background(), n, Options{Workers: workers, BaseSeed: 7},
+			func(_ context.Context, sh Shard) (int64, error) { return sh.Seed, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 16, 0} {
+		got := run(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: seed[%d] = %d, serial = %d",
+					workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestShardSeedsDiffer(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := ShardSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: indices %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if ShardSeed(1, 0) == ShardSeed(2, 0) {
+		t.Fatal("base seed must change shard seeds")
+	}
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	var active, maxActive int32
+	out, err := Run(context.Background(), 20, Options{Workers: 1},
+		func(_ context.Context, sh Shard) (int, error) {
+			cur := atomic.AddInt32(&active, 1)
+			defer atomic.AddInt32(&active, -1)
+			for {
+				prev := atomic.LoadInt32(&maxActive)
+				if cur <= prev || atomic.CompareAndSwapInt32(&maxActive, prev, cur) {
+					break
+				}
+			}
+			return sh.Index, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("results = %d", len(out))
+	}
+	if got := atomic.LoadInt32(&maxActive); got != 1 {
+		t.Fatalf("max concurrent points = %d, want 1", got)
+	}
+}
+
+// TestRunErrorStopsEarly checks error propagation: a failing point must
+// surface its error and cancel the remaining grid.
+func TestRunErrorStopsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	const n = 10000
+	_, err := Run(context.Background(), n, Options{Workers: 4},
+		func(_ context.Context, sh Shard) (int, error) {
+			atomic.AddInt32(&ran, 1)
+			if sh.Index == 5 {
+				return 0, boom
+			}
+			return sh.Index, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := atomic.LoadInt32(&ran); got >= n {
+		t.Fatalf("engine ran all %d points despite an early error", got)
+	}
+}
+
+// TestRunLowestIndexErrorWins checks that simultaneous failures surface
+// the earliest grid point's error.
+func TestRunLowestIndexErrorWins(t *testing.T) {
+	var gate sync.WaitGroup
+	gate.Add(4)
+	_, err := Run(context.Background(), 4, Options{Workers: 4},
+		func(_ context.Context, sh Shard) (int, error) {
+			gate.Done()
+			gate.Wait() // all four points fail together
+			return 0, fmt.Errorf("point-%d failed", sh.Index)
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	want := "sweep: point 0: point-0 failed"
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+// TestRunMidSweepCancelation checks that canceling the caller context
+// aborts the sweep and surfaces context.Canceled.
+func TestRunMidSweepCancelation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	const n = 100000
+	_, err := Run(ctx, n, Options{Workers: 2},
+		func(ctx context.Context, sh Shard) (int, error) {
+			if atomic.AddInt32(&ran, 1) == 10 {
+				cancel()
+			}
+			return sh.Index, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got >= n {
+		t.Fatal("cancelation did not stop the sweep early")
+	}
+}
+
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 8, Options{},
+		func(_ context.Context, sh Shard) (int, error) { return sh.Index, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamEmitsPrefixesInOrder checks the streaming contract: emit is
+// called in strict index order with each contiguous completed prefix.
+func TestStreamEmitsPrefixesInOrder(t *testing.T) {
+	const n = 64
+	var got []int
+	err := Stream(context.Background(), n, Options{Workers: 8},
+		func(_ context.Context, sh Shard) (int, error) {
+			if sh.Index%7 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			return sh.Index, nil
+		},
+		func(idx int, v int) error {
+			if idx != v {
+				t.Errorf("emit idx %d carries value %d", idx, v)
+			}
+			got = append(got, idx)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d, want %d", len(got), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("emit order broken at %d: got index %d", i, idx)
+		}
+	}
+}
+
+func TestStreamEmitErrorCancels(t *testing.T) {
+	halt := errors.New("halt")
+	var emitted int
+	err := Stream(context.Background(), 1000, Options{Workers: 4},
+		func(_ context.Context, sh Shard) (int, error) { return sh.Index, nil },
+		func(idx int, _ int) error {
+			emitted++
+			if idx == 3 {
+				return halt
+			}
+			return nil
+		})
+	if !errors.Is(err, halt) {
+		t.Fatalf("err = %v, want halt", err)
+	}
+	if emitted != 4 {
+		t.Fatalf("emitted %d points, want 4", emitted)
+	}
+}

@@ -55,8 +55,15 @@ type Measurement struct {
 }
 
 // MeasureFrame runs one frame of the scenario on the hidden physics and
-// returns the noisy observation.
+// returns the noisy observation. It draws from the bench's shared monitor
+// stream and is therefore not safe for concurrent use; parallel sweeps
+// use MeasureFramesSeeded instead.
 func (b *Bench) MeasureFrame(sc *pipeline.Scenario) (Measurement, error) {
+	return b.measureFrame(sc, b.rng)
+}
+
+// measureFrame samples the hidden physics once, jittered by rng.
+func (b *Bench) measureFrame(sc *pipeline.Scenario, rng *stats.RNG) (Measurement, error) {
 	if sc == nil {
 		return Measurement{}, errors.New("testbed: nil scenario")
 	}
@@ -66,8 +73,8 @@ func (b *Bench) MeasureFrame(sc *pipeline.Scenario) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("true physics: %w", err)
 	}
 	return Measurement{
-		LatencyMs: b.rng.Jitter(lb.Total, b.NoiseRel),
-		EnergyMJ:  b.rng.Jitter(eb.Total, b.NoiseRel),
+		LatencyMs: rng.Jitter(lb.Total, b.NoiseRel),
+		EnergyMJ:  rng.Jitter(eb.Total, b.NoiseRel),
 		Latency:   lb,
 		Energy:    eb,
 	}, nil
@@ -75,14 +82,30 @@ func (b *Bench) MeasureFrame(sc *pipeline.Scenario) (Measurement, error) {
 
 // MeasureFrames averages n frame measurements, mimicking the repeated
 // controlled trials of Section VII. The mean suppresses monitor noise by
-// √n while systematic physics remains.
+// √n while systematic physics remains. It draws from the bench's shared
+// monitor stream and is therefore not safe for concurrent use.
 func (b *Bench) MeasureFrames(sc *pipeline.Scenario, n int) (Measurement, error) {
+	return b.measureFrames(sc, n, b.rng)
+}
+
+// MeasureFramesSeeded averages n frame measurements whose monitor noise is
+// drawn from a fresh RNG seeded with seed, independent of the bench's
+// shared stream. The observation depends only on (scenario, n, seed) — not
+// on what was measured before — which makes it safe for concurrent use
+// across sweep workers (the hidden physics is read-only) and lets a
+// parallel sweep reproduce a serial one bit-for-bit.
+func (b *Bench) MeasureFramesSeeded(sc *pipeline.Scenario, n int, seed int64) (Measurement, error) {
+	return b.measureFrames(sc, n, stats.NewRNG(seed))
+}
+
+// measureFrames averages n measurements jittered by rng.
+func (b *Bench) measureFrames(sc *pipeline.Scenario, n int, rng *stats.RNG) (Measurement, error) {
 	if n <= 0 {
 		return Measurement{}, fmt.Errorf("testbed: trial count %d", n)
 	}
 	var acc Measurement
 	for i := 0; i < n; i++ {
-		m, err := b.MeasureFrame(sc)
+		m, err := b.measureFrame(sc, rng)
 		if err != nil {
 			return Measurement{}, err
 		}

@@ -262,3 +262,40 @@ func TestFittedModelsPlugIntoAnalysis(t *testing.T) {
 			rel, lb.Total, truth.Total)
 	}
 }
+
+// TestMeasureFramesSeededDeterministic checks the seeded measurement
+// path the parallel sweep engine relies on: the observation depends only
+// on (scenario, trials, seed), not on the bench's shared monitor stream
+// or on how many measurements ran before.
+func TestMeasureFramesSeededDeterministic(t *testing.T) {
+	sc := scenario(t)
+	b := NewBench(42)
+	first, err := b.MeasureFramesSeeded(sc, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the shared stream; the seeded path must not notice.
+	if _, err := b.MeasureFrames(sc, 25); err != nil {
+		t.Fatal(err)
+	}
+	again, err := b.MeasureFramesSeeded(sc, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.LatencyMs != again.LatencyMs || first.EnergyMJ != again.EnergyMJ {
+		t.Fatalf("seeded measurement not reproducible: %+v vs %+v", first, again)
+	}
+	other, err := b.MeasureFramesSeeded(sc, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.LatencyMs == first.LatencyMs {
+		t.Fatal("different seeds must draw different noise")
+	}
+	if _, err := b.MeasureFramesSeeded(sc, 0, 7); err == nil {
+		t.Fatal("zero trials must error")
+	}
+	if _, err := b.MeasureFramesSeeded(nil, 5, 7); err == nil {
+		t.Fatal("nil scenario must error")
+	}
+}
