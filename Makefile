@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt ci
+.PHONY: all build test race bench lint fmt docs ci
 
 all: build
 
@@ -26,4 +26,7 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race bench
+docs:
+	sh scripts/check_docs.sh
+
+ci: build lint race bench docs

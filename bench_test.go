@@ -44,7 +44,7 @@ func benchSuite(b *testing.B) *experiments.Suite {
 func BenchmarkTable1Devices(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		res, err := s.Table1()
+		res, err := s.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func BenchmarkTable1Devices(b *testing.B) {
 func BenchmarkTable2CNNs(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		res, err := s.Table2()
+		res, err := s.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func BenchmarkRegressionFits(b *testing.B) {
 	s := benchSuite(b)
 	var last *experiments.FitSummaryResult
 	for i := 0; i < b.N; i++ {
-		res, err := s.FitSummary()
+		res, err := s.FitSummary(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,11 +86,11 @@ func BenchmarkRegressionFits(b *testing.B) {
 }
 
 // benchSweep shares the Fig. 4(a)-(d) benchmark shape.
-func benchSweep(b *testing.B, run func() (*experiments.SweepResult, error)) {
+func benchSweep(b *testing.B, run func(context.Context) (*experiments.SweepResult, error)) {
 	benchSuite(b)
 	var last *experiments.SweepResult
 	for i := 0; i < b.N; i++ {
-		res, err := run()
+		res, err := run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func BenchmarkFig4eAoI(b *testing.B) {
 	s := benchSuite(b)
 	var last *experiments.Fig4eResult
 	for i := 0; i < b.N; i++ {
-		res, err := s.Fig4e()
+		res, err := s.Fig4e(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func BenchmarkFig4fRoI(b *testing.B) {
 	s := benchSuite(b)
 	var last *experiments.Fig4fResult
 	for i := 0; i < b.N; i++ {
-		res, err := s.Fig4f()
+		res, err := s.Fig4f(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,11 +159,11 @@ func BenchmarkFig4fRoI(b *testing.B) {
 }
 
 // benchFig5 shares the Fig. 5 benchmark shape.
-func benchFig5(b *testing.B, run func() (*experiments.Fig5Result, error)) {
+func benchFig5(b *testing.B, run func(context.Context) (*experiments.Fig5Result, error)) {
 	benchSuite(b)
 	var last *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
-		res, err := run()
+		res, err := run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,7 +255,7 @@ func BenchmarkAblationPaperVsFitted(b *testing.B) {
 	s := benchSuite(b)
 	var last *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
-		res, err := s.Ablation()
+		res, err := s.Ablation(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

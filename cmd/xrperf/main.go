@@ -13,6 +13,11 @@
 //	xrperf analyze [-mode local|remote] analyze one scenario
 //	xrperf sweep [-devices ...]         run an arbitrary scenario grid in parallel
 //	xrperf export [-rows N]             dump a synthetic resource dataset as CSV
+//	xrperf report [-stream]             regenerate the full Markdown evaluation report
+//
+// The experiment, all, sweep, and report subcommands share the suite
+// flags -seed/-train/-test/-trials/-workers; every output is
+// byte-identical for any -workers value.
 package main
 
 import (
@@ -90,12 +95,16 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "        [-sizes 300,500,..] [-freqs 1,2,..] [-workers N]")
 	fmt.Fprintln(out, "                               run a scenario grid on the parallel sweep engine")
 	fmt.Fprintln(out, "  export [-rows N] [-kind K]   dump a synthetic dataset as CSV")
-	fmt.Fprintln(out, "  report [flags]               regenerate the full Markdown evaluation report")
+	fmt.Fprintln(out, "  report [-stream] [flags]     regenerate the full Markdown evaluation report;")
+	fmt.Fprintln(out, "                               -stream emits each section as soon as it completes")
+	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report): -seed N -train N -test N")
+	fmt.Fprintln(out, "                               -trials N -workers N (0 = GOMAXPROCS;")
+	fmt.Fprintln(out, "                               output is byte-identical for any worker count)")
 }
 
 func runDevices(out io.Writer) error {
 	s := &experiments.Suite{}
-	t1, err := s.Table1()
+	t1, err := s.Table1(context.Background())
 	if err != nil {
 		return err
 	}
@@ -109,7 +118,7 @@ func runCNNs(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	t2, err := suite.Table2()
+	t2, err := suite.Table2(context.Background())
 	if err != nil {
 		return err
 	}
@@ -117,16 +126,17 @@ func runCNNs(out io.Writer) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials *int) {
+func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int) {
 	seed = fs.Int64("seed", 42, "bench RNG seed")
 	train = fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
 	test = fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
 	trials = fs.Int("trials", experiments.DefaultTrials, "ground-truth trials per point")
+	workers = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; output identical for any value)")
 	return
 }
 
 func buildSuite(fs *flag.FlagSet, args []string) (*experiments.Suite, error) {
-	seed, train, test, trials := suiteFlags(fs)
+	seed, train, test, trials, workers := suiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -135,13 +145,19 @@ func buildSuite(fs *flag.FlagSet, args []string) (*experiments.Suite, error) {
 		return nil, err
 	}
 	suite.Trials = *trials
+	suite.Workers = *workers
 	return suite, nil
 }
 
 func runFit(args []string, out io.Writer) error {
+	// fit registers only the flags it uses: it neither measures
+	// (-trials) nor sweeps (-workers), and silently accepting them would
+	// suggest otherwise.
 	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
 	paper := fs.Bool("paper-scale", false, "use the paper's 119,465/36,083 dataset sizes")
-	seed, train, test, _ := suiteFlags(fs)
+	seed := fs.Int64("seed", 42, "bench RNG seed")
+	train := fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
+	test := fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,7 +169,7 @@ func runFit(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := suite.FitSummary()
+	res, err := suite.FitSummary(context.Background())
 	if err != nil {
 		return err
 	}
@@ -197,9 +213,13 @@ func runAll(args []string, out io.Writer) error {
 
 func runReport(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	stream := fs.Bool("stream", false, "write each section as soon as it completes instead of buffering the whole report")
 	suite, err := buildSuite(fs, args)
 	if err != nil {
 		return err
+	}
+	if *stream {
+		return suite.StreamReport(context.Background(), out)
 	}
 	return suite.WriteReport(out)
 }
@@ -327,7 +347,6 @@ func runSweep(args []string, out io.Writer) error {
 	cnns := fs.String("cnns", "", "comma-separated Table II CNNs (empty = pipeline defaults)")
 	sizes := fs.String("sizes", "300,400,500,600,700", "comma-separated frame sizes (pixel² unit)")
 	freqs := fs.String("freqs", "0", "comma-separated CPU clocks in GHz (0 = device max, clamped)")
-	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	suite, err := buildSuite(fs, args)
 	if err != nil {
 		return err
@@ -336,7 +355,6 @@ func runSweep(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	suite.Workers = *workers
 	res, err := suite.RunGrid(context.Background(), grid)
 	if err != nil {
 		return err

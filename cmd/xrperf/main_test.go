@@ -169,6 +169,37 @@ func TestSweepErrors(t *testing.T) {
 	}
 }
 
+// TestReportStreamMatchesBuffered pins the two report modes against each
+// other and across worker counts: -stream only changes when bytes are
+// written, never which bytes, and -workers never changes the report.
+func TestReportStreamMatchesBuffered(t *testing.T) {
+	buffered := runCLI(t, append([]string{"report", "-workers", "1"}, fastFlags...)...)
+	streamed := runCLI(t, append([]string{"report", "-stream", "-workers", "8"}, fastFlags...)...)
+	if buffered != streamed {
+		t.Fatalf("report -stream diverges from buffered report:\n--- buffered\n%s\n--- streamed\n%s",
+			buffered, streamed)
+	}
+	for _, want := range []string{
+		"# XR performance-analysis reproduction report",
+		"## Table I", "## Fig. 5(b)", "## Verdict",
+	} {
+		if !strings.Contains(buffered, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+// TestExperimentWorkersFlag pins the suite-level -workers flag on a
+// single experiment: fig5a at 1 and 8 workers must print the same panel.
+func TestExperimentWorkersFlag(t *testing.T) {
+	args := func(workers string) []string {
+		return append([]string{"experiment", "fig5a", "-workers", workers}, fastFlags...)
+	}
+	if serial, parallel := runCLI(t, args("1")...), runCLI(t, args("8")...); serial != parallel {
+		t.Fatalf("-workers changed fig5a output:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+}
+
 func TestExportCSV(t *testing.T) {
 	out := runCLI(t, "export", "-rows", "50")
 	lines := strings.Split(strings.TrimSpace(out), "\n")

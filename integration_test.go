@@ -117,7 +117,7 @@ func TestSweepEngineDeterministicAcrossWorkerCounts(t *testing.T) {
 	serial := build(1)
 	parallel := build(8)
 
-	for _, id := range []string{"fig4a", "fig4d", "fig4e", "ablation"} {
+	for _, id := range []string{"fig4a", "fig4d", "fig4e", "fig5a", "fig5b", "table2", "ablation"} {
 		rs, err := serial.Run(id)
 		if err != nil {
 			t.Fatal(err)
@@ -153,6 +153,44 @@ func TestSweepEngineDeterministicAcrossWorkerCounts(t *testing.T) {
 	if gs.Render() != gp.Render() {
 		t.Fatalf("grid sweep differs between worker counts:\n--- serial\n%s\n--- parallel\n%s",
 			gs.Render(), gp.Render())
+	}
+}
+
+// TestFullReportDeterministicAcrossWorkerCounts pins the tentpole
+// acceptance criterion end to end: the complete report — every table,
+// figure, and the verdict, with experiments themselves fanned out
+// concurrently — must be byte-identical at 1 and 8 workers, in both the
+// buffered and streaming modes.
+func TestFullReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	report := func(workers int, stream bool) string {
+		t.Helper()
+		s, err := experiments.NewSuite(42, 4000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Trials = 5
+		s.Workers = workers
+		var buf bytes.Buffer
+		if stream {
+			err = s.StreamReport(context.Background(), &buf)
+		} else {
+			err = s.WriteReport(&buf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	serial := report(1, false)
+	parallel := report(8, false)
+	if serial != parallel {
+		t.Fatalf("report differs between 1 and 8 workers:\n--- serial\n%s\n--- parallel\n%s",
+			serial, parallel)
+	}
+	if streamed := report(8, true); streamed != serial {
+		t.Fatalf("streamed report diverges from buffered report:\n--- buffered\n%s\n--- streamed\n%s",
+			serial, streamed)
 	}
 }
 

@@ -1,27 +1,3 @@
-// Package baseline re-implements the two state-of-the-art analytical
-// models the paper compares against (Section VIII-D):
-//
-//   - FACT [20] — an edge-network-orchestrator model that folds the whole
-//     service latency into computation + wireless + core-network terms.
-//     Computation latency is a pure cycles/capability ratio — one
-//     complexity coefficient over the effective clock frequency — with no
-//     per-segment breakdown, no memory term, and no constant overhead;
-//     energy is a single power constant times latency.
-//
-//   - LEAF [21] — an edge-assisted energy-aware object-detection model
-//     that does break the pipeline into segments (so it carries
-//     per-segment constants FACT lacks) but keeps the cycles-style
-//     computation form: every computation term scales exactly as 1/f with
-//     clock frequency, and segment powers are constants rather than
-//     frequency-dependent.
-//
-// Both baselines estimate their constants from measurements at a small
-// reference campaign (the way the original papers parameterized their
-// models on their own testbeds) and are then applied across the
-// evaluation sweep. Their structural assumption — computation capability
-// ≡ raw clock frequency — is precisely the gap the proposed framework's
-// allocated-resource regression (Eq. 3) closes, and it is what costs them
-// accuracy away from the reference operating point.
 package baseline
 
 import (
@@ -49,6 +25,20 @@ type Observation struct {
 	LatencyMs float64
 	// EnergyMJ is the measured end-to-end energy.
 	EnergyMJ float64
+}
+
+// CalibratePair calibrates both baselines on the same reference
+// campaign, the way the Fig. 5 comparison uses them.
+func CalibratePair(obs []Observation) (*FACT, *LEAF, error) {
+	fact := NewFACT()
+	if err := fact.Calibrate(obs); err != nil {
+		return nil, nil, fmt.Errorf("calibrate FACT: %w", err)
+	}
+	leaf := NewLEAF()
+	if err := leaf.Calibrate(obs); err != nil {
+		return nil, nil, fmt.Errorf("calibrate LEAF: %w", err)
+	}
+	return fact, leaf, nil
 }
 
 // effectiveGHz is the naive capability both baselines share: the raw

@@ -45,10 +45,10 @@ type ablationCell struct {
 }
 
 // Ablation runs the paper-vs-fitted comparison on the sweep engine.
-func (s *Suite) Ablation() (*AblationResult, error) {
+func (s *Suite) Ablation(ctx context.Context) (*AblationResult, error) {
 	paper := core.NewWithPaperCoefficients()
 	cells := sweepCells()
-	evals, err := sweep.Run(context.Background(), len(cells), s.sweepOpts("ablation"),
+	evals, err := sweep.Run(ctx, len(cells), s.sweepOpts("ablation"),
 		func(_ context.Context, sh sweep.Shard) (ablationCell, error) {
 			c := cells[sh.Index]
 			sc, err := s.sweepScenario(pipeline.ModeLocal, c.size, c.freq)

@@ -1,0 +1,15 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section VIII): the Fig. 4 latency/energy validation sweeps,
+// the Fig. 4e/4f AoI and RoI emulation, the Fig. 5 comparison against FACT
+// and LEAF, the Table I/II catalogs, and the regression-fit R² summary of
+// Section VII. Each runner returns a typed result plus a Render method
+// producing the rows/series the paper reports.
+//
+// Every runner evaluates on the sweep engine with per-cell deterministic
+// seeds derived from (Suite.Seed, experiment id, cell index); no path
+// touches the bench's shared serial RNG. Consequently each experiment's
+// output is independent of worker count and of whatever ran before it,
+// RunAll can fan the whole evaluation out concurrently, and StreamAll /
+// Suite.WriteReport emit sections in paper order as each prefix of the
+// evaluation completes.
+package experiments

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func TestIDsCoverAllRunners(t *testing.T) {
 
 func TestFig4aAccuracy(t *testing.T) {
 	s := getSuite(t)
-	res, err := s.Fig4a()
+	res, err := s.Fig4a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig4aAccuracy(t *testing.T) {
 
 func TestFig4bAccuracy(t *testing.T) {
 	s := getSuite(t)
-	res, err := s.Fig4b()
+	res, err := s.Fig4b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +113,14 @@ func TestFig4bAccuracy(t *testing.T) {
 
 func TestFig4cdAccuracy(t *testing.T) {
 	s := getSuite(t)
-	c, err := s.Fig4c()
+	c, err := s.Fig4c(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.MeanErrPct > 12 {
 		t.Fatalf("fig4c mean error = %v%%, want < 12%%", c.MeanErrPct)
 	}
-	d, err := s.Fig4d()
+	d, err := s.Fig4d(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFig4cdAccuracy(t *testing.T) {
 
 func TestFig4eOrdering(t *testing.T) {
 	s := getSuite(t)
-	res, err := s.Fig4e()
+	res, err := s.Fig4e(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig4eOrdering(t *testing.T) {
 
 func TestFig4fAnchors(t *testing.T) {
 	s := getSuite(t)
-	res, err := s.Fig4f()
+	res, err := s.Fig4f(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,8 +188,8 @@ func TestFig4fAnchors(t *testing.T) {
 
 func TestFig5Ordering(t *testing.T) {
 	s := getSuite(t)
-	for _, run := range []func() (*Fig5Result, error){s.Fig5a, s.Fig5b} {
-		res, err := run()
+	for _, run := range []func(context.Context) (*Fig5Result, error){s.Fig5a, s.Fig5b} {
+		res, err := run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,9 +210,88 @@ func TestFig5Ordering(t *testing.T) {
 	}
 }
 
+// TestFig5IndependentOfPriorMeasurements is the regression test for the
+// latent order-dependence bug: the Fig. 5 calibration campaign used to
+// draw from the bench's shared serial RNG, so its observations — and the
+// calibrated FACT/LEAF constants — changed if any measurement ran before
+// it. With seeded measurements, Fig5a after a full Fig4a run must match
+// Fig5a on a fresh suite byte for byte.
+func TestFig5IndependentOfPriorMeasurements(t *testing.T) {
+	build := func() *Suite {
+		t.Helper()
+		s, err := NewSuite(7, 4000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Trials = 5
+		return s
+	}
+
+	fresh := build()
+	want, err := fresh.Fig5a(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	used := build()
+	if _, err := used.Fig4a(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := used.Fig5a(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatalf("Fig5a depends on prior measurements:\n--- fresh suite\n%s\n--- after Fig4a\n%s",
+			want.Render(), got.Render())
+	}
+}
+
+// TestRunContextCanceled pins the cancelation contract: a canceled
+// context must abort an experiment's in-flight sweeps instead of letting
+// the full measurement grid run to completion.
+func TestRunContextCanceled(t *testing.T) {
+	s := getSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"fig4a", "fig5a", "ablation"} {
+		if _, err := s.RunContext(ctx, id); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s with canceled ctx: err = %v, want context.Canceled", id, err)
+		}
+	}
+}
+
+// TestStreamAllOrderAndEquivalence checks that StreamAll emits every
+// experiment in paper order and produces the same results as RunAll.
+func TestStreamAllOrderAndEquivalence(t *testing.T) {
+	s := getSuite(t)
+	all, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Result
+	if err := s.StreamAll(context.Background(), func(r Result) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(IDs()) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(IDs()))
+	}
+	for i, id := range IDs() {
+		if streamed[i].ID() != id {
+			t.Fatalf("streamed[%d] = %s, want %s", i, streamed[i].ID(), id)
+		}
+		if streamed[i].Render() != all[i].Render() {
+			t.Fatalf("%s: StreamAll diverges from RunAll", id)
+		}
+	}
+}
+
 func TestTableRenders(t *testing.T) {
 	s := getSuite(t)
-	t1, err := s.Table1()
+	t1, err := s.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +303,7 @@ func TestTableRenders(t *testing.T) {
 			t.Fatalf("table1 missing %q", want)
 		}
 	}
-	t2, err := s.Table2()
+	t2, err := s.Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +317,7 @@ func TestTableRenders(t *testing.T) {
 
 func TestFitSummaryAgainstPaper(t *testing.T) {
 	s := getSuite(t)
-	res, err := s.FitSummary()
+	res, err := s.FitSummary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

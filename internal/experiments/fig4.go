@@ -78,11 +78,11 @@ func sweepCells() []sweepCell {
 // from the bench, prediction from the fitted models. Every grid point is
 // independent, so the cells fan out across the suite's worker pool; the
 // per-shard seeds keep the panel byte-identical for any worker count.
-func (s *Suite) runSweep(id, title, unit string, mode pipeline.InferenceMode,
+func (s *Suite) runSweep(ctx context.Context, id, title, unit string, mode pipeline.InferenceMode,
 	wantEnergy bool, paperErr float64) (*SweepResult, error) {
 	res := &SweepResult{id: id, Title: title, Unit: unit, PaperMeanErrPct: paperErr}
 	cells := sweepCells()
-	points, err := sweep.Run(context.Background(), len(cells), s.sweepOpts(id),
+	points, err := sweep.Run(ctx, len(cells), s.sweepOpts(id),
 		func(_ context.Context, sh sweep.Shard) (SweepPoint, error) {
 			c := cells[sh.Index]
 			sc, err := s.sweepScenario(mode, c.size, c.freq)
@@ -144,27 +144,27 @@ func abs(x float64) float64 {
 }
 
 // Fig4a reproduces Fig. 4(a): end-to-end latency, local inference.
-func (s *Suite) Fig4a() (*SweepResult, error) {
-	return s.runSweep("fig4a", "end-to-end latency, local inference (GT vs proposed)",
+func (s *Suite) Fig4a(ctx context.Context) (*SweepResult, error) {
+	return s.runSweep(ctx, "fig4a", "end-to-end latency, local inference (GT vs proposed)",
 		"ms", pipeline.ModeLocal, false, 2.74)
 }
 
 // Fig4b reproduces Fig. 4(b): end-to-end latency, remote inference
 // (no device mobility).
-func (s *Suite) Fig4b() (*SweepResult, error) {
-	return s.runSweep("fig4b", "end-to-end latency, remote inference (GT vs proposed)",
+func (s *Suite) Fig4b(ctx context.Context) (*SweepResult, error) {
+	return s.runSweep(ctx, "fig4b", "end-to-end latency, remote inference (GT vs proposed)",
 		"ms", pipeline.ModeRemote, false, 3.23)
 }
 
 // Fig4c reproduces Fig. 4(c): end-to-end energy, local inference.
-func (s *Suite) Fig4c() (*SweepResult, error) {
-	return s.runSweep("fig4c", "end-to-end energy, local inference (GT vs proposed)",
+func (s *Suite) Fig4c(ctx context.Context) (*SweepResult, error) {
+	return s.runSweep(ctx, "fig4c", "end-to-end energy, local inference (GT vs proposed)",
 		"mJ", pipeline.ModeLocal, true, 3.52)
 }
 
 // Fig4d reproduces Fig. 4(d): end-to-end energy, remote inference.
-func (s *Suite) Fig4d() (*SweepResult, error) {
-	return s.runSweep("fig4d", "end-to-end energy, remote inference (GT vs proposed)",
+func (s *Suite) Fig4d(ctx context.Context) (*SweepResult, error) {
+	return s.runSweep(ctx, "fig4d", "end-to-end energy, remote inference (GT vs proposed)",
 		"mJ", pipeline.ModeRemote, true, 5.38)
 }
 
@@ -220,7 +220,7 @@ func fig4eBuffer() (queue.MM1, error) {
 
 // Fig4e reproduces the AoI emulation: three sensors generating every 5,
 // 10, and 15 ms against an application requiring one update per 5 ms.
-func (s *Suite) Fig4e() (*Fig4eResult, error) {
+func (s *Suite) Fig4e(ctx context.Context) (*Fig4eResult, error) {
 	buf, err := fig4eBuffer()
 	if err != nil {
 		return nil, fmt.Errorf("buffer: %w", err)
@@ -237,7 +237,7 @@ func (s *Suite) Fig4e() (*Fig4eResult, error) {
 	// seeds (1000+index) rather than engine shard seeds so the figure
 	// reproduces the seed repository's trajectories exactly — hence only
 	// the worker count is taken from the suite, not a seed base.
-	series, err := sweep.Run(context.Background(), len(specs), sweep.Options{Workers: s.Workers},
+	series, err := sweep.Run(ctx, len(specs), sweep.Options{Workers: s.Workers},
 		func(_ context.Context, sh sweep.Shard) (AoISeriesResult, error) {
 			spec := specs[sh.Index]
 			sen, err := sensors.NewSensor(spec.label, spec.hz, 30)
@@ -294,7 +294,7 @@ func (r *Fig4fResult) Render() string {
 // Fig4f reproduces the 100 Hz staircase with a near-ideal buffer so the
 // paper's exact anchor values (AoI 10/15/20 ms ↔ RoI 0.5/0.33/0.25) are
 // visible.
-func (s *Suite) Fig4f() (*Fig4fResult, error) {
+func (s *Suite) Fig4f(_ context.Context) (*Fig4fResult, error) {
 	sen, err := sensors.NewSensor("100 Hz", 100, 0)
 	if err != nil {
 		return nil, err

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // AccuracyPoint is one frame-size cell of a Fig. 5 panel: normalized
@@ -66,56 +68,71 @@ func (r *Fig5Result) Render() string {
 // testbeds). The evaluation grid then stresses the corners — 1 and 3 GHz —
 // where the baselines' cycles-over-frequency assumption departs from the
 // allocated-resource reality.
-func (s *Suite) calibrationGrid() ([]baseline.Observation, error) {
-	var obs []baseline.Observation
+// Its observations are measured with per-cell deterministic seeds on the
+// sweep engine, so the campaign — and therefore the calibrated baselines —
+// depends only on (Suite.Seed, id, cell index), never on measurements
+// that happened to run earlier in the process.
+func (s *Suite) calibrationGrid(ctx context.Context, id string) ([]baseline.Observation, error) {
+	type calCell struct{ size, freq float64 }
+	var cells []calCell
 	for _, size := range []float64{400, 500, 600} {
 		for _, freq := range []float64{1.5, 2, 2.5} {
-			sc, err := s.sweepScenario(pipeline.ModeRemote, size, freq)
-			if err != nil {
-				return nil, err
-			}
-			m, err := s.Bench.MeasureFrames(sc, s.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("calibration measure: %w", err)
-			}
-			obs = append(obs, baseline.Observation{
-				Scenario: sc, LatencyMs: m.LatencyMs, EnergyMJ: m.EnergyMJ,
-			})
+			cells = append(cells, calCell{size, freq})
 		}
 	}
-	return obs, nil
+	return sweep.Run(ctx, len(cells), s.sweepOpts(id+"/calibration"),
+		func(_ context.Context, sh sweep.Shard) (baseline.Observation, error) {
+			c := cells[sh.Index]
+			sc, err := s.sweepScenario(pipeline.ModeRemote, c.size, c.freq)
+			if err != nil {
+				return baseline.Observation{}, err
+			}
+			m, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
+			if err != nil {
+				return baseline.Observation{}, fmt.Errorf("calibration measure: %w", err)
+			}
+			return baseline.Observation{
+				Scenario: sc, LatencyMs: m.LatencyMs, EnergyMJ: m.EnergyMJ,
+			}, nil
+		})
+}
+
+// fig5Cell is one (frame size, CPU frequency) cell's normalized
+// accuracies.
+type fig5Cell struct {
+	accP, accF, accL float64
 }
 
 // runFig5 evaluates one Fig. 5 panel across frame sizes, averaging each
-// model's normalized accuracy over the 1/2/3 GHz operating points.
-func (s *Suite) runFig5(id, title string, wantEnergy bool, paperGapFACT, paperGapLEAF float64) (*Fig5Result, error) {
-	obs, err := s.calibrationGrid()
+// model's normalized accuracy over the 1/2/3 GHz operating points. The
+// calibrated baselines are read-only after Calibrate, so the evaluation
+// cells fan out across the suite's worker pool with seeded ground-truth
+// measurements; the panel is byte-identical for any worker count.
+func (s *Suite) runFig5(ctx context.Context, id, title string, wantEnergy bool, paperGapFACT, paperGapLEAF float64) (*Fig5Result, error) {
+	obs, err := s.calibrationGrid(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	fact := baseline.NewFACT()
-	if err := fact.Calibrate(obs); err != nil {
-		return nil, fmt.Errorf("calibrate FACT: %w", err)
-	}
-	leaf := baseline.NewLEAF()
-	if err := leaf.Calibrate(obs); err != nil {
-		return nil, fmt.Errorf("calibrate LEAF: %w", err)
+	fact, leaf, err := baseline.CalibratePair(obs)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Fig5Result{
 		id: id, Title: title,
 		PaperGapFACT: paperGapFACT, PaperGapLEAF: paperGapLEAF,
 	}
-	for _, size := range FrameSizes() {
-		var accP, accF, accL float64
-		for _, freq := range CPUFrequencies() {
-			sc, err := s.sweepScenario(pipeline.ModeRemote, size, freq)
+	cells := sweepCells()
+	evals, err := sweep.Run(ctx, len(cells), s.sweepOpts(id),
+		func(_ context.Context, sh sweep.Shard) (fig5Cell, error) {
+			c := cells[sh.Index]
+			sc, err := s.sweepScenario(pipeline.ModeRemote, c.size, c.freq)
 			if err != nil {
-				return nil, err
+				return fig5Cell{}, err
 			}
-			meas, err := s.Bench.MeasureFrames(sc, s.Trials)
+			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("measure: %w", err)
+				return fig5Cell{}, fmt.Errorf("measure: %w", err)
 			}
 
 			var gt, proposed, factPred, leafPred float64
@@ -123,40 +140,53 @@ func (s *Suite) runFig5(id, title string, wantEnergy bool, paperGapFACT, paperGa
 				gt = meas.EnergyMJ
 				eb, _, err := s.Energy.FrameEnergy(sc)
 				if err != nil {
-					return nil, err
+					return fig5Cell{}, err
 				}
 				proposed = eb.Total
 				if factPred, err = fact.EnergyMJ(sc); err != nil {
-					return nil, err
+					return fig5Cell{}, err
 				}
 				if leafPred, err = leaf.EnergyMJ(sc); err != nil {
-					return nil, err
+					return fig5Cell{}, err
 				}
 			} else {
 				gt = meas.LatencyMs
 				lb, err := s.Latency.FrameLatency(sc)
 				if err != nil {
-					return nil, err
+					return fig5Cell{}, err
 				}
 				proposed = lb.Total
 				if factPred, err = fact.LatencyMs(sc); err != nil {
-					return nil, err
+					return fig5Cell{}, err
 				}
 				if leafPred, err = leaf.LatencyMs(sc); err != nil {
-					return nil, err
+					return fig5Cell{}, err
 				}
 			}
-			accP += stats.NormalizedAccuracy(proposed, gt)
-			accF += stats.NormalizedAccuracy(factPred, gt)
-			accL += stats.NormalizedAccuracy(leafPred, gt)
-		}
-		nf := float64(len(CPUFrequencies()))
-		res.Points = append(res.Points, AccuracyPoint{
-			FrameSizePx2: size,
-			Proposed:     accP / nf,
-			FACT:         accF / nf,
-			LEAF:         accL / nf,
+			return fig5Cell{
+				accP: stats.NormalizedAccuracy(proposed, gt),
+				accF: stats.NormalizedAccuracy(factPred, gt),
+				accL: stats.NormalizedAccuracy(leafPred, gt),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	// sweepCells enumerates frequencies innermost, so each frame size owns
+	// one contiguous run of len(CPUFrequencies()) cells.
+	nf := len(CPUFrequencies())
+	for i, size := range FrameSizes() {
+		var p AccuracyPoint
+		p.FrameSizePx2 = size
+		for _, c := range evals[i*nf : (i+1)*nf] {
+			p.Proposed += c.accP
+			p.FACT += c.accF
+			p.LEAF += c.accL
+		}
+		p.Proposed /= float64(nf)
+		p.FACT /= float64(nf)
+		p.LEAF /= float64(nf)
+		res.Points = append(res.Points, p)
 	}
 	for _, p := range res.Points {
 		res.MeanProposed += p.Proposed
@@ -174,14 +204,14 @@ func (s *Suite) runFig5(id, title string, wantEnergy bool, paperGapFACT, paperGa
 
 // Fig5a reproduces Fig. 5(a): end-to-end latency accuracy for remote
 // inference — proposed vs FACT vs LEAF.
-func (s *Suite) Fig5a() (*Fig5Result, error) {
-	return s.runFig5("fig5a", "end-to-end latency accuracy, remote inference",
+func (s *Suite) Fig5a(ctx context.Context) (*Fig5Result, error) {
+	return s.runFig5(ctx, "fig5a", "end-to-end latency accuracy, remote inference",
 		false, 17.59, 7.49)
 }
 
 // Fig5b reproduces Fig. 5(b): end-to-end energy accuracy for remote
 // inference.
-func (s *Suite) Fig5b() (*Fig5Result, error) {
-	return s.runFig5("fig5b", "end-to-end energy accuracy, remote inference",
+func (s *Suite) Fig5b(ctx context.Context) (*Fig5Result, error) {
+	return s.runFig5(ctx, "fig5b", "end-to-end energy accuracy, remote inference",
 		true, 15.30, 8.71)
 }

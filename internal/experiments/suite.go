@@ -1,15 +1,9 @@
-// Package experiments reproduces every table and figure of the paper's
-// evaluation (Section VIII): the Fig. 4 latency/energy validation sweeps,
-// the Fig. 4e/4f AoI and RoI emulation, the Fig. 5 comparison against FACT
-// and LEAF, the Table I/II catalogs, and the regression-fit R² summary of
-// Section VII. Each runner returns a typed result plus a Render method
-// producing the rows/series the paper reports.
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/device"
 	"repro/internal/energy"
@@ -71,13 +65,13 @@ type Suite struct {
 
 // sweepOpts returns the engine options for one experiment: the shard
 // seed base mixes the suite seed with the experiment id so panels draw
-// independent noise streams.
+// independent noise streams, and an experiment's measurements therefore
+// depend only on (Suite.Seed, id, cell index) — never on what ran before
+// it or on how many workers ran it.
 func (s *Suite) sweepOpts(id string) sweep.Options {
-	h := fnv.New64a()
-	h.Write([]byte(id))
 	return sweep.Options{
 		Workers:  s.Workers,
-		BaseSeed: s.Seed ^ int64(h.Sum64()),
+		BaseSeed: sweep.TaskSeed(s.Seed, id),
 	}
 }
 
@@ -142,45 +136,82 @@ func IDs() []string {
 
 // Run executes one experiment by id.
 func (s *Suite) Run(id string) (Result, error) {
+	return s.RunContext(context.Background(), id)
+}
+
+// RunContext executes one experiment by id; canceling ctx aborts the
+// experiment's in-flight sweeps.
+func (s *Suite) RunContext(ctx context.Context, id string) (Result, error) {
 	switch id {
 	case "table1":
-		return s.Table1()
+		return s.Table1(ctx)
 	case "table2":
-		return s.Table2()
+		return s.Table2(ctx)
 	case "fit":
-		return s.FitSummary()
+		return s.FitSummary(ctx)
 	case "fig4a":
-		return s.Fig4a()
+		return s.Fig4a(ctx)
 	case "fig4b":
-		return s.Fig4b()
+		return s.Fig4b(ctx)
 	case "fig4c":
-		return s.Fig4c()
+		return s.Fig4c(ctx)
 	case "fig4d":
-		return s.Fig4d()
+		return s.Fig4d(ctx)
 	case "fig4e":
-		return s.Fig4e()
+		return s.Fig4e(ctx)
 	case "fig4f":
-		return s.Fig4f()
+		return s.Fig4f(ctx)
 	case "fig5a":
-		return s.Fig5a()
+		return s.Fig5a(ctx)
 	case "fig5b":
-		return s.Fig5b()
+		return s.Fig5b(ctx)
 	case "ablation":
-		return s.Ablation()
+		return s.Ablation(ctx)
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
 	}
 }
 
-// RunAll executes every experiment in paper order.
-func (s *Suite) RunAll() ([]Result, error) {
-	out := make([]Result, 0, len(IDs()))
+// tasks wraps every experiment as a named sweep task. The experiments
+// are mutually independent — they share only read-only suite state (the
+// bench physics, the fitted models) and draw noise from per-experiment
+// seed streams — so the group can run at any parallelism.
+func (s *Suite) tasks() []sweep.Task[Result] {
+	tasks := make([]sweep.Task[Result], 0, len(IDs()))
 	for _, id := range IDs() {
-		r, err := s.Run(id)
-		if err != nil {
-			return nil, fmt.Errorf("experiment %s: %w", id, err)
-		}
-		out = append(out, r)
+		id := id
+		tasks = append(tasks, sweep.Task[Result]{
+			Name: id,
+			Run: func(ctx context.Context) (Result, error) {
+				r, err := s.RunContext(ctx, id)
+				if err != nil {
+					return nil, fmt.Errorf("experiment %s: %w", id, err)
+				}
+				return r, nil
+			},
+		})
 	}
-	return out, nil
+	return tasks
+}
+
+// RunAll executes every experiment concurrently across the suite's worker
+// pool and returns the results in paper order. Output is byte-identical
+// for any worker count. Workers bounds each pool level, not their
+// product: the task group runs up to Workers experiments at once and
+// each experiment's inner sweep uses its own Workers-sized pool, so the
+// transient goroutine count can reach Workers²; on oversubscribed hosts
+// this costs scheduler time only, never changes a byte of output.
+func (s *Suite) RunAll() ([]Result, error) {
+	return sweep.RunTasks(context.Background(), s.tasks(),
+		sweep.Options{Workers: s.Workers})
+}
+
+// StreamAll executes every experiment concurrently and invokes emit in
+// paper order as soon as each prefix of the evaluation completes —
+// experiment k is emitted the moment experiments 0..k are all done, even
+// while later ones are still running. A non-nil error from emit cancels
+// the remaining experiments.
+func (s *Suite) StreamAll(ctx context.Context, emit func(r Result) error) error {
+	return sweep.StreamTasks(ctx, s.tasks(), sweep.Options{Workers: s.Workers},
+		func(_ int, _ string, r Result) error { return emit(r) })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,7 +40,7 @@ func (r *Table1Result) Render() string {
 }
 
 // Table1 dumps the device catalog.
-func (s *Suite) Table1() (*Table1Result, error) {
+func (s *Suite) Table1(_ context.Context) (*Table1Result, error) {
 	return &Table1Result{Devices: device.Catalog()}, nil
 }
 
@@ -75,8 +76,14 @@ func (r *Table2Result) Render() string {
 	return b.String()
 }
 
-// Table2 dumps the CNN catalog with the suite's fitted complexities.
-func (s *Suite) Table2() (*Table2Result, error) {
+// Table2 dumps the CNN catalog with the suite's fitted complexities. The
+// fitted complexity model is a deterministic in-memory evaluation, so the
+// table needs no measurement seeds and no engine fan-out of its own; it
+// parallelizes with the other experiments as a RunAll task.
+func (s *Suite) Table2(ctx context.Context) (*Table2Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	models := cnn.Catalog()
 	cplx := make([]float64, len(models))
 	for i, m := range models {
@@ -115,6 +122,6 @@ func (r *FitSummaryResult) Render() string {
 }
 
 // FitSummary reports the suite's regression fits.
-func (s *Suite) FitSummary() (*FitSummaryResult, error) {
+func (s *Suite) FitSummary(_ context.Context) (*FitSummaryResult, error) {
 	return &FitSummaryResult{Report: s.Fitted.Report}, nil
 }

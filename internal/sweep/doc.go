@@ -1,0 +1,24 @@
+// Package sweep is the parallel scenario-sweep execution engine. The
+// paper's evaluation (Section VII, Fig. 4a–e) is a grid of independent
+// scenario points — device × CNN × inference mode × resolution × clock —
+// and every point is a pure function of its configuration plus a
+// deterministic noise seed. The engine fans such grids out across a
+// worker pool with context cancelation, per-shard deterministic seeding,
+// early error propagation, and streaming aggregation that delivers
+// results in grid order despite out-of-order completion.
+//
+// Two layers build on the core Run/Stream primitives:
+//
+//   - Grid/Spec enumerate cartesian scenario grids in a canonical
+//     row-major order, so point indices — and therefore shard seeds —
+//     are stable for a given grid shape.
+//   - Task/RunTasks/StreamTasks group heterogeneous named units of work
+//     (e.g. the full set of paper experiments) under one pool with the
+//     same ordered-streaming guarantees; TaskSeed gives each unit an
+//     independent deterministic seed stream derived from its name.
+//
+// Determinism contract: a point's seed depends only on (base seed, point
+// index) — or, for task groups, (base seed, task name) — never on worker
+// identity or completion order, so a sweep's output is byte-identical
+// whether it runs on one worker or on GOMAXPROCS workers.
+package sweep

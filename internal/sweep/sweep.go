@@ -1,16 +1,3 @@
-// Package sweep is the parallel scenario-sweep execution engine. The
-// paper's evaluation (Section VII, Fig. 4a–e) is a grid of independent
-// scenario points — device × CNN × inference mode × resolution × clock —
-// and every point is a pure function of its configuration plus a
-// deterministic noise seed. The engine fans such grids out across a
-// worker pool with context cancelation, per-shard deterministic seeding,
-// early error propagation, and streaming aggregation that delivers
-// results in grid order despite out-of-order completion.
-//
-// Determinism contract: a point's seed depends only on (base seed, point
-// index), never on worker identity or completion order, so a sweep's
-// output is byte-identical whether it runs on one worker or on
-// GOMAXPROCS workers.
 package sweep
 
 import (
@@ -78,7 +65,9 @@ type indexed[T any] struct {
 
 // pointError carries a failed point's position so error selection favors
 // the lowest-index failure among those reported, regardless of which
-// worker observed its error first.
+// worker observed its error first. A genuine failure always outranks a
+// consequential context.Canceled from a point that died only because a
+// sibling's failure canceled the sweep.
 type pointError struct {
 	idx int
 	err error
@@ -124,16 +113,21 @@ func Stream[T any](ctx context.Context, n int, opts Options, fn func(ctx context
 	results := make(chan indexed[T], n)
 	workers := opts.workers(n)
 
-	// Failed points report under the mutex; among all reported failures
-	// the lowest-index one is surfaced, so the caller sees the earliest
-	// grid point's error no matter which worker lost the race to cancel.
+	// Failed points report under the mutex. A ctx-aware point that dies
+	// with context.Canceled only did so because a sibling's failure (or a
+	// failed emit) canceled the sweep, so genuine errors outrank Canceled
+	// ones; within the same class the lowest-index failure is surfaced,
+	// no matter which worker lost the race to cancel.
 	var (
 		errMu    sync.Mutex
 		firstErr *pointError
 	)
 	report := func(idx int, err error) {
+		canceled := errors.Is(err, context.Canceled)
 		errMu.Lock()
-		if firstErr == nil || idx < firstErr.idx {
+		if firstErr == nil ||
+			(!canceled && errors.Is(firstErr.err, context.Canceled)) ||
+			(canceled == errors.Is(firstErr.err, context.Canceled) && idx < firstErr.idx) {
 			firstErr = &pointError{idx, err}
 		}
 		errMu.Unlock()
@@ -202,7 +196,11 @@ func Stream[T any](ctx context.Context, n int, opts Options, fn func(ctx context
 	errMu.Lock()
 	pe := firstErr
 	errMu.Unlock()
-	if pe != nil {
+	// An emit failure cancels the sweep, so workers dying afterwards
+	// report consequential context.Canceled errors; prefer the emit error
+	// (the root cause) over those, but never over a genuine point
+	// failure.
+	if pe != nil && (emitErr == nil || !errors.Is(pe.err, context.Canceled)) {
 		return fmt.Errorf("sweep: point %d: %w", pe.idx, pe.err)
 	}
 	if emitErr != nil {

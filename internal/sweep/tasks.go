@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// ErrTaskName indicates an unusable task declaration.
+var ErrTaskName = errors.New("sweep: task needs a name and a Run func")
+
+// TaskSeed derives a task-scoped seed base by mixing base with the FNV-1a
+// hash of the task's name, so heterogeneous tasks grouped under one pool
+// draw independent noise streams. The derivation depends only on
+// (base, name) — never on task order — which keeps a task's output stable
+// when tasks are added, removed, or reordered around it.
+func TaskSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base ^ int64(h.Sum64())
+}
+
+// Task is one named unit of a heterogeneous sweep group — typically a
+// whole experiment that internally fans out its own grid. Run must be
+// safe to execute concurrently with the group's other tasks and must
+// derive any randomness from deterministic seeds, never from shared
+// mutable state, so the group's output is independent of scheduling.
+// The engine does not inject seeds into Run; a task needing one derives
+// it itself as TaskSeed(base, Name), which keeps its stream independent
+// of sibling tasks and of its position in the group.
+type Task[T any] struct {
+	// Name identifies the task and scopes TaskSeed derivations.
+	Name string
+	// Run produces the task's result; ctx is canceled when a sibling
+	// task fails, emit errors, or the caller's context ends.
+	Run func(ctx context.Context) (T, error)
+}
+
+// RunTasks executes a task group across the worker pool and returns the
+// results in declaration order. The first (lowest-index) task error
+// cancels the remaining tasks and is returned.
+func RunTasks[T any](ctx context.Context, tasks []Task[T], opts Options) ([]T, error) {
+	out := make([]T, 0, len(tasks))
+	err := StreamTasks(ctx, tasks, opts, func(_ int, _ string, v T) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamTasks executes a task group across the worker pool and invokes
+// emit on the caller's goroutine in strict declaration order, as soon as
+// each prefix of the group completes — task k is emitted the moment tasks
+// 0..k are all done, even while later tasks are still in flight. A
+// non-nil error from emit cancels the group and is returned.
+func StreamTasks[T any](ctx context.Context, tasks []Task[T], opts Options, emit func(idx int, name string, v T) error) error {
+	for i, t := range tasks {
+		if t.Name == "" || t.Run == nil {
+			return fmt.Errorf("%w (task %d)", ErrTaskName, i)
+		}
+	}
+	return Stream(ctx, len(tasks), opts,
+		func(ctx context.Context, sh Shard) (T, error) {
+			return tasks[sh.Index].Run(ctx)
+		},
+		func(idx int, v T) error {
+			return emit(idx, tasks[idx].Name, v)
+		})
+}

@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRunTasksOrdersResults(t *testing.T) {
+	var tasks []Task[string]
+	for i := 0; i < 16; i++ {
+		i := i
+		tasks = append(tasks, Task[string]{
+			Name: fmt.Sprintf("task-%d", i),
+			Run: func(context.Context) (string, error) {
+				if i < 4 {
+					time.Sleep(3 * time.Millisecond) // later tasks finish first
+				}
+				return fmt.Sprintf("result-%d", i), nil
+			},
+		})
+	}
+	out, err := RunTasks(context.Background(), tasks, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(tasks) {
+		t.Fatalf("results = %d, want %d", len(out), len(tasks))
+	}
+	for i, v := range out {
+		if want := fmt.Sprintf("result-%d", i); v != want {
+			t.Fatalf("out[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestStreamTasksEmitsPrefixesInOrder(t *testing.T) {
+	tasks := []Task[int]{
+		{Name: "slow", Run: func(context.Context) (int, error) {
+			time.Sleep(3 * time.Millisecond)
+			return 10, nil
+		}},
+		{Name: "fast", Run: func(context.Context) (int, error) { return 20, nil }},
+	}
+	var names []string
+	err := StreamTasks(context.Background(), tasks, Options{Workers: 2},
+		func(idx int, name string, v int) error {
+			if v != (idx+1)*10 {
+				t.Fatalf("task %d value = %d", idx, v)
+			}
+			names = append(names, name)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "slow" || names[1] != "fast" {
+		t.Fatalf("emit order = %v, want [slow fast]", names)
+	}
+}
+
+func TestRunTasksPropagatesLowestIndexError(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task[int]{
+		{Name: "ok", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Name: "bad", Run: func(context.Context) (int, error) { return 0, boom }},
+	}
+	if _, err := RunTasks(context.Background(), tasks, Options{Workers: 1}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunTasksRejectsAnonymousTasks(t *testing.T) {
+	tasks := []Task[int]{{Name: "", Run: func(context.Context) (int, error) { return 0, nil }}}
+	if _, err := RunTasks(context.Background(), tasks, Options{}); !errors.Is(err, ErrTaskName) {
+		t.Fatalf("err = %v, want ErrTaskName", err)
+	}
+	tasks = []Task[int]{{Name: "nil-run"}}
+	if _, err := RunTasks(context.Background(), tasks, Options{}); !errors.Is(err, ErrTaskName) {
+		t.Fatalf("err = %v, want ErrTaskName", err)
+	}
+}
+
+func TestStreamTasksEmitErrorCancels(t *testing.T) {
+	stop := errors.New("stop")
+	tasks := []Task[int]{
+		{Name: "a", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Name: "b", Run: func(ctx context.Context) (int, error) {
+			select { // give the emit error time to cancel the group
+			case <-ctx.Done():
+			case <-time.After(time.Second):
+			}
+			return 2, nil
+		}},
+	}
+	err := StreamTasks(context.Background(), tasks, Options{Workers: 2},
+		func(int, string, int) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+}
+
+// TestRunTasksRealErrorNotMaskedByCanceledSibling pins error precedence
+// for ctx-aware tasks: when a later task's genuine failure cancels the
+// group, an earlier in-flight task that dies with the consequential
+// context.Canceled must not mask the root cause just by having the
+// lower index.
+func TestRunTasksRealErrorNotMaskedByCanceledSibling(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task[int]{
+		{Name: "ctx-aware", Run: func(ctx context.Context) (int, error) {
+			<-ctx.Done() // dies only because the sibling's failure canceled us
+			return 0, ctx.Err()
+		}},
+		{Name: "genuinely-broken", Run: func(context.Context) (int, error) {
+			return 0, boom
+		}},
+	}
+	if _, err := RunTasks(context.Background(), tasks, Options{Workers: 2}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the genuine task error", err)
+	}
+}
+
+// TestStreamEmitErrorNotMaskedByCanceledWorkers pins the error
+// precedence of a failed emit: the cancelation it triggers makes
+// in-flight workers die with context.Canceled, and the root-cause emit
+// error — not a consequential worker error — must surface.
+func TestStreamEmitErrorNotMaskedByCanceledWorkers(t *testing.T) {
+	writeErr := errors.New("write failed")
+	err := Stream(context.Background(), 2, Options{Workers: 2},
+		func(ctx context.Context, sh Shard) (int, error) {
+			if sh.Index == 1 {
+				<-ctx.Done() // dies only because the emit error canceled us
+				return 0, ctx.Err()
+			}
+			return 1, nil
+		},
+		func(int, int) error { return writeErr })
+	if !errors.Is(err, writeErr) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+}
+
+// TestTaskSeedIndependentOfOrder pins the property RunAll-style groups
+// rely on: a task's seed stream depends only on (base, name), so adding
+// or reordering sibling tasks never changes its output.
+func TestTaskSeedIndependentOfOrder(t *testing.T) {
+	if TaskSeed(42, "fig5a") != TaskSeed(42, "fig5a") {
+		t.Fatal("TaskSeed not stable")
+	}
+	if TaskSeed(42, "fig5a") == TaskSeed(42, "fig5b") {
+		t.Fatal("distinct names must map to distinct seeds")
+	}
+	if TaskSeed(42, "fig5a") == TaskSeed(43, "fig5a") {
+		t.Fatal("distinct bases must map to distinct seeds")
+	}
+}

@@ -1,0 +1,19 @@
+// Package testbed substitutes the paper's physical experiment
+// infrastructure (seven XR devices, two Jetson edge servers, and a Monsoon
+// power monitor) with a synthetic equivalent. A hidden "true physics" layer
+// implements the same component interfaces the analytical models do —
+// computation resource, encoder, CNN complexity, and power — but with
+// nonlinearities (cubic and fractional-power frequency terms, interaction
+// terms) that the paper-form quadratic/linear regressions can only
+// approximate. Measurements sample this physics with multiplicative noise,
+// exactly the role field data plays for the paper: the framework fits its
+// regressions on noisy training-device samples and is judged on held-out
+// devices.
+//
+// The physics itself is immutable after construction; only the monitor
+// noise stream carries state. Bench.MeasureFrame/MeasureFrames draw from
+// the bench's shared serial RNG and therefore depend on measurement
+// order, while Bench.MeasureFramesSeeded draws from a caller-supplied
+// seed and is the concurrency-safe, order-independent form every
+// experiment and sweep uses.
+package testbed

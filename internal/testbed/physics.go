@@ -1,14 +1,3 @@
-// Package testbed substitutes the paper's physical experiment
-// infrastructure (seven XR devices, two Jetson edge servers, and a Monsoon
-// power monitor) with a synthetic equivalent. A hidden "true physics" layer
-// implements the same component interfaces the analytical models do —
-// computation resource, encoder, CNN complexity, and power — but with
-// nonlinearities (cubic and fractional-power frequency terms, interaction
-// terms) that the paper-form quadratic/linear regressions can only
-// approximate. Measurements sample this physics with multiplicative noise,
-// exactly the role field data plays for the paper: the framework fits its
-// regressions on noisy training-device samples and is judged on held-out
-// devices.
 package testbed
 
 import (

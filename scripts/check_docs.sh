@@ -1,0 +1,53 @@
+#!/bin/sh
+# Documentation gate, run by `make docs` and the CI docs job:
+#   1. every relative Markdown link in README/ROADMAP/docs/ resolves;
+#   2. every internal package and command carries a godoc package comment.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. Markdown link check ------------------------------------------------
+# Extract ](target) links, keep only repo-relative ones (skip http(s),
+# mailto, and pure #anchors), strip anchors, and require the target file
+# or directory to exist relative to the linking file.
+for md in README.md ROADMAP.md CHANGES.md docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    links=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//') || true
+    for link in $links; do
+        case "$link" in
+        # ../../... climbs above the repo root: a GitHub-web-relative URL
+        # (e.g. the CI badge), not a repository file.
+        http://*|https://*|mailto:*|\#*|../../*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "$md: broken link: $link"
+            fail=1
+        fi
+    done
+done
+
+# --- 2. godoc package-comment presence -------------------------------------
+# Every internal package needs a "// Package <name> ..." comment and every
+# command a "// Command <name> ..." (or Package) comment, in some .go file.
+for d in internal/*/; do
+    if ! grep -q "^// Package " "$d"*.go 2>/dev/null; then
+        echo "$d: missing godoc package comment (// Package ...)"
+        fail=1
+    fi
+done
+for d in cmd/*/; do
+    if ! grep -qE "^// (Command|Package) " "$d"*.go 2>/dev/null; then
+        echo "$d: missing godoc command comment (// Command ...)"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check FAILED"
+    exit 1
+fi
+echo "docs check OK"
