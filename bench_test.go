@@ -26,13 +26,17 @@ var (
 
 // benchSuite shares one fitted suite across benchmarks: dataset generation
 // and regression fitting is the expensive setup, not the per-figure
-// evaluation.
+// evaluation. The suite is pinned to an uncached in-process backend so
+// every iteration measures real work — the default memoizing cache would
+// make iterations 2..N free and turn the timings into cache-lookup
+// benchmarks (BenchmarkSweepCached measures that case explicitly).
 func benchSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
 		suite, suiteErr = experiments.NewSuite(42, 12000, 3000)
 		if suite != nil {
 			suite.Trials = 15
+			suite.Runner = &sweep.PoolRunner{}
 		}
 	})
 	if suiteErr != nil {
@@ -213,15 +217,16 @@ func sweepBenchGrid(b *testing.B) sweep.Grid {
 	return g
 }
 
-// benchSweepGrid runs the 64-point grid with the given worker-pool size;
-// the serial/parallel pair pins the engine's speedup (results are
-// byte-identical either way, only wall-clock differs).
-func benchSweepGrid(b *testing.B, workers int) {
+// benchSweepGrid runs the 64-point grid on the given backend; the
+// serial/parallel/proc set pins each backend's cost on identical work
+// (results are byte-identical across all of them, only wall-clock
+// differs).
+func benchSweepGrid(b *testing.B, runner sweep.Runner) {
 	s := benchSuite(b)
 	grid := sweepBenchGrid(b)
-	prev := s.Workers
-	s.Workers = workers
-	defer func() { s.Workers = prev }()
+	prev := s.Runner
+	s.Runner = runner
+	defer func() { s.Runner = prev }()
 	b.ResetTimer()
 	var last *experiments.GridResult
 	for i := 0; i < b.N; i++ {
@@ -240,11 +245,30 @@ func benchSweepGrid(b *testing.B, workers int) {
 
 // BenchmarkSweepSerial runs the grid on a single worker — the baseline
 // the pre-engine inline loops were equivalent to.
-func BenchmarkSweepSerial(b *testing.B) { benchSweepGrid(b, 1) }
+func BenchmarkSweepSerial(b *testing.B) { benchSweepGrid(b, &sweep.PoolRunner{Workers: 1}) }
 
 // BenchmarkSweepParallel runs the same grid across GOMAXPROCS workers;
 // with ≥4 cores this completes the grid ≥2× faster than the serial run.
-func BenchmarkSweepParallel(b *testing.B) { benchSweepGrid(b, 0) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweepGrid(b, &sweep.PoolRunner{}) }
+
+// BenchmarkSweepProc runs the same grid across GOMAXPROCS worker
+// subprocesses, pinning the proc backend's dispatch and serialization
+// overhead against the in-process pool on identical work. The worker
+// pool persists across iterations, so spawn cost amortizes the way it
+// does in a real multi-sweep run.
+func BenchmarkSweepProc(b *testing.B) {
+	pr := &sweep.ProcRunner{}
+	defer pr.Close()
+	benchSweepGrid(b, pr)
+}
+
+// BenchmarkSweepCached runs the grid through the memoizing measurement
+// cache: iteration 1 measures the 64 cells, iterations 2..N are pure
+// cache replays — the repeated-cell cost the default backend eliminates
+// across Fig. 4/Fig. 5/ablation.
+func BenchmarkSweepCached(b *testing.B) {
+	benchSweepGrid(b, sweep.NewCachedRunner(&sweep.PoolRunner{}))
+}
 
 // BenchmarkAblationPaperVsFitted quantifies the DESIGN.md "re-fit, don't
 // replay" decision: the paper's published coefficients (trained on the

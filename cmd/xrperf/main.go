@@ -14,14 +14,20 @@
 //	xrperf sweep [-devices ...]         run an arbitrary scenario grid in parallel
 //	xrperf export [-rows N]             dump a synthetic resource dataset as CSV
 //	xrperf report [-stream]             regenerate the full Markdown evaluation report
+//	xrperf worker                       serve measurement requests over stdin/stdout
 //
 // The experiment, all, sweep, and report subcommands share the suite
-// flags -seed/-train/-test/-trials/-workers; every output is
-// byte-identical for any -workers value.
+// flags -seed/-train/-test/-trials/-workers plus the backend flags
+// -backend pool|proc and -procs; every output is byte-identical for any
+// backend at any -workers/-procs value. The proc backend shards
+// measurements across `xrperf worker` subprocesses speaking a
+// length-delimited JSON protocol; both backends run under a memoizing
+// measurement cache, whose counters are reported on stderr.
 package main
 
 import (
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -70,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		return runExport(args[1:], out)
 	case "report":
 		return runReport(args[1:], out)
+	case "worker":
+		return runWorker(out)
 	case "help", "-h", "--help":
 		printUsage(out)
 		return nil
@@ -79,8 +87,13 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|export|report} (ids: %s)",
+	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|export|report|worker} (ids: %s)",
 		strings.Join(experiments.IDs(), ", "))
+}
+
+// runWorker serves the proc backend's wire protocol on stdin until EOF.
+func runWorker(out io.Writer) error {
+	return testbed.Serve(os.Stdin, out)
 }
 
 func printUsage(out io.Writer) {
@@ -93,13 +106,18 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "  analyze [-device XRn] [-mode local|remote] [-size px2] [-freq GHz]")
 	fmt.Fprintln(out, "  sweep [-devices XR1,..|all] [-modes local,remote] [-cnns M1,..]")
 	fmt.Fprintln(out, "        [-sizes 300,500,..] [-freqs 1,2,..] [-workers N]")
-	fmt.Fprintln(out, "                               run a scenario grid on the parallel sweep engine")
+	fmt.Fprintln(out, "        [-stream] [-format table|csv]")
+	fmt.Fprintln(out, "                               run a scenario grid on the parallel sweep engine;")
+	fmt.Fprintln(out, "                               -stream emits rows as grid prefixes complete")
 	fmt.Fprintln(out, "  export [-rows N] [-kind K]   dump a synthetic dataset as CSV")
 	fmt.Fprintln(out, "  report [-stream] [flags]     regenerate the full Markdown evaluation report;")
 	fmt.Fprintln(out, "                               -stream emits each section as soon as it completes")
+	fmt.Fprintln(out, "  worker                       serve measurement requests over stdin/stdout")
+	fmt.Fprintln(out, "                               (spawned by -backend proc; length-delimited JSON)")
 	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report): -seed N -train N -test N")
-	fmt.Fprintln(out, "                               -trials N -workers N (0 = GOMAXPROCS;")
-	fmt.Fprintln(out, "                               output is byte-identical for any worker count)")
+	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc -procs N")
+	fmt.Fprintln(out, "                               (0 = GOMAXPROCS; output is byte-identical for any")
+	fmt.Fprintln(out, "                               backend at any parallelism)")
 }
 
 func runDevices(out io.Writer) error {
@@ -126,27 +144,54 @@ func runCNNs(out io.Writer) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int) {
+func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int, backend *string, procs *int) {
 	seed = fs.Int64("seed", 42, "bench RNG seed")
 	train = fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
 	test = fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
 	trials = fs.Int("trials", experiments.DefaultTrials, "ground-truth trials per point")
 	workers = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; output identical for any value)")
+	backend = fs.String("backend", "pool", "measurement backend: pool (in-process) or proc (xrperf worker subprocesses)")
+	procs = fs.Int("procs", 0, "proc backend: worker subprocess count (0 = GOMAXPROCS)")
 	return
 }
 
-func buildSuite(fs *flag.FlagSet, args []string) (*experiments.Suite, error) {
-	seed, train, test, trials, workers := suiteFlags(fs)
+// buildSuite parses the shared suite flags and assembles the suite with
+// its measurement backend; cleanup reaps backend resources (the proc
+// backend's worker subprocesses) and must run after the command's last
+// measurement.
+func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, cleanup func(), err error) {
+	seed, train, test, trials, workers, backend, procs := suiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	suite, err := experiments.NewSuite(*seed, *train, *test)
+	suite, err = experiments.NewSuite(*seed, *train, *test)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	suite.Trials = *trials
 	suite.Workers = *workers
-	return suite, nil
+	cleanup = func() {}
+	switch *backend {
+	case "pool":
+		// Default backend: suite builds its own cached in-process pool.
+	case "proc":
+		pr := &sweep.ProcRunner{Procs: *procs}
+		suite.Runner = sweep.NewCachedRunner(pr)
+		cleanup = func() { _ = pr.Close() }
+	default:
+		return nil, nil, fmt.Errorf("-backend: unknown backend %q (pool or proc)", *backend)
+	}
+	return suite, cleanup, nil
+}
+
+// printCacheStats reports the measurement cache's counters on stderr —
+// never stdout, which stays byte-identical across backends and
+// parallelism.
+func printCacheStats(suite *experiments.Suite) {
+	if st, ok := suite.CacheStats(); ok && st.Misses+st.Hits > 0 {
+		fmt.Fprintf(os.Stderr, "xrperf: measurement cache: %d unique cells measured, %d served from cache\n",
+			st.Misses, st.Hits)
+	}
 }
 
 func runFit(args []string, out io.Writer) error {
@@ -183,24 +228,27 @@ func runExperiment(args []string, out io.Writer) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
-	suite, err := buildSuite(fs, args[1:])
+	suite, cleanup, err := buildSuite(fs, args[1:])
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	res, err := suite.Run(id)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, res.Render())
+	printCacheStats(suite)
 	return nil
 }
 
 func runAll(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
-	suite, err := buildSuite(fs, args)
+	suite, cleanup, err := buildSuite(fs, args)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	results, err := suite.RunAll()
 	if err != nil {
 		return err
@@ -208,16 +256,19 @@ func runAll(args []string, out io.Writer) error {
 	for _, r := range results {
 		fmt.Fprintln(out, r.Render())
 	}
+	printCacheStats(suite)
 	return nil
 }
 
 func runReport(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	stream := fs.Bool("stream", false, "write each section as soon as it completes instead of buffering the whole report")
-	suite, err := buildSuite(fs, args)
+	suite, cleanup, err := buildSuite(fs, args)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
+	defer printCacheStats(suite)
 	if *stream {
 		return suite.StreamReport(context.Background(), out)
 	}
@@ -347,20 +398,84 @@ func runSweep(args []string, out io.Writer) error {
 	cnns := fs.String("cnns", "", "comma-separated Table II CNNs (empty = pipeline defaults)")
 	sizes := fs.String("sizes", "300,400,500,600,700", "comma-separated frame sizes (pixel² unit)")
 	freqs := fs.String("freqs", "0", "comma-separated CPU clocks in GHz (0 = device max, clamped)")
-	suite, err := buildSuite(fs, args)
+	stream := fs.Bool("stream", false, "write each grid row as soon as its prefix completes instead of buffering the table")
+	format := fs.String("format", "table", "output format: table or csv")
+	suite, cleanup, err := buildSuite(fs, args)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	grid, err := sweepGrid(*devices, *modes, *cnns, *sizes, *freqs)
 	if err != nil {
 		return err
 	}
-	res, err := suite.RunGrid(context.Background(), grid)
+	defer printCacheStats(suite)
+	switch *format {
+	case "table":
+		return sweepTable(suite, grid, *stream, out)
+	case "csv":
+		return sweepCSV(suite, grid, *stream, out)
+	default:
+		return fmt.Errorf("-format: unknown format %q (table or csv)", *format)
+	}
+}
+
+// sweepTable renders the sweep as the human-readable table. With stream,
+// rows are written as grid prefixes complete; the bytes are identical to
+// the buffered table, only the timing differs. The header carries the
+// grid size, which is known up front, and the aggregate line follows the
+// last row.
+func sweepTable(suite *experiments.Suite, grid sweep.Grid, stream bool, out io.Writer) error {
+	if !stream {
+		res, err := suite.RunGrid(context.Background(), grid)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprint(out, res.Render())
+		return err
+	}
+	header := (&experiments.GridResult{Points: make([]experiments.GridPoint, grid.Size())}).RenderHeader()
+	if _, err := fmt.Fprint(out, header); err != nil {
+		return err
+	}
+	res, err := suite.StreamGrid(context.Background(), grid, func(p experiments.GridPoint) error {
+		_, err := fmt.Fprint(out, p.RenderRow())
+		return err
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(out, res.Render())
-	return nil
+	_, err = fmt.Fprint(out, res.RenderFooter())
+	return err
+}
+
+// sweepCSV renders the sweep as machine-readable CSV (full float
+// precision, data rows only), optionally streaming records as grid
+// prefixes complete.
+func sweepCSV(suite *experiments.Suite, grid sweep.Grid, stream bool, out io.Writer) error {
+	if !stream {
+		res, err := suite.RunGrid(context.Background(), grid)
+		if err != nil {
+			return err
+		}
+		return res.WriteCSV(out)
+	}
+	cw := csv.NewWriter(out)
+	if err := cw.Write(experiments.CSVHeader()); err != nil {
+		return err
+	}
+	cw.Flush()
+	if _, err := suite.StreamGrid(context.Background(), grid, func(p experiments.GridPoint) error {
+		if err := cw.Write(p.CSVRecord()); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func runExport(args []string, out io.Writer) error {

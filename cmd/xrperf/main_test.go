@@ -2,9 +2,21 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/testbed"
 )
+
+// TestMain lets the proc backend re-execute this test binary as a
+// measurement worker: `-backend proc` spawns os.Executable(), which
+// under `go test` is this binary, and the marker routes it into the
+// worker loop instead of the tests.
+func TestMain(m *testing.M) {
+	testbed.MaybeServeWorker()
+	os.Exit(m.Run())
+}
 
 // small dataset flags keep CLI tests fast.
 var fastFlags = []string{"-train", "2000", "-test", "500", "-trials", "5"}
@@ -186,6 +198,102 @@ func TestReportStreamMatchesBuffered(t *testing.T) {
 		if !strings.Contains(buffered, want) {
 			t.Fatalf("report missing %q", want)
 		}
+	}
+}
+
+// TestReportBackendsIdentical pins the tentpole invariant at the CLI
+// surface: `-backend pool` and `-backend proc` print byte-identical
+// reports at any parallelism.
+func TestReportBackendsIdentical(t *testing.T) {
+	pool := runCLI(t, append([]string{"report", "-backend", "pool", "-workers", "2"}, fastFlags...)...)
+	proc := runCLI(t, append([]string{"report", "-backend", "proc", "-procs", "2", "-workers", "2"}, fastFlags...)...)
+	if pool != proc {
+		t.Fatalf("-backend changed the report:\n--- pool\n%s\n--- proc\n%s", pool, proc)
+	}
+}
+
+// TestSweepBackendsIdentical pins the same invariant for an arbitrary
+// grid sweep.
+func TestSweepBackendsIdentical(t *testing.T) {
+	args := func(backend string) []string {
+		return append([]string{"sweep",
+			"-devices", "XR2", "-sizes", "300,700", "-freqs", "1,2",
+			"-backend", backend, "-procs", "2",
+		}, fastFlags...)
+	}
+	if pool, proc := runCLI(t, args("pool")...), runCLI(t, args("proc")...); pool != proc {
+		t.Fatalf("-backend changed the sweep:\n--- pool\n%s\n--- proc\n%s", pool, proc)
+	}
+}
+
+func TestBackendErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"report", "-backend", "quantum"}, &buf); err == nil || !strings.Contains(err.Error(), "-backend") {
+		t.Fatalf("unknown backend error = %v", err)
+	}
+}
+
+// TestSweepStreamMatchesBuffered pins the sweep streaming mode: -stream
+// only changes when bytes are written, never which bytes.
+func TestSweepStreamMatchesBuffered(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append(append([]string{"sweep",
+			"-devices", "XR1,XR6", "-sizes", "400,600", "-freqs", "0",
+		}, extra...), fastFlags...)
+	}
+	buffered := runCLI(t, args()...)
+	streamed := runCLI(t, args("-stream", "-workers", "8")...)
+	if buffered != streamed {
+		t.Fatalf("sweep -stream diverges from buffered output:\n--- buffered\n%s\n--- streamed\n%s",
+			buffered, streamed)
+	}
+}
+
+// TestSweepFormatCSV checks the machine-readable sweep output: schema
+// header, one record per grid point, full-precision floats, and
+// stream/buffered equality.
+func TestSweepFormatCSV(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append(append([]string{"sweep",
+			"-devices", "XR1", "-modes", "local,remote", "-sizes", "400,600", "-freqs", "0",
+			"-format", "csv",
+		}, extra...), fastFlags...)
+	}
+	out := runCLI(t, args()...)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 grid points
+		t.Fatalf("csv lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "device,mode,cnn,size_px2,cpu_ghz,gt_latency_ms,model_latency_ms,latency_err_pct,gt_energy_mj,model_energy_mj,energy_err_pct" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "XR1,local,") {
+		t.Fatalf("csv first record = %q", lines[1])
+	}
+	// Full precision: ground-truth values carry more digits than the
+	// table's one-decimal rendering.
+	if fields := strings.Split(lines[1], ","); len(fields) != 11 || !strings.Contains(fields[5], ".") || len(fields[5]) < 6 {
+		t.Fatalf("csv record not full precision: %q", lines[1])
+	}
+	if streamed := runCLI(t, args("-stream")...); streamed != out {
+		t.Fatalf("csv -stream diverges from buffered csv:\n--- buffered\n%s\n--- streamed\n%s", out, streamed)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"sweep", "-format", "tsv"}, &buf); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+// TestWorkerSubcommandEOF checks that `xrperf worker` with an empty
+// stdin (EOF immediately — go test wires /dev/null) exits cleanly with
+// no output.
+func TestWorkerSubcommandEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"worker"}, &buf); err != nil {
+		t.Fatalf("worker at EOF: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("worker wrote %d bytes with no requests", buf.Len())
 	}
 }
 

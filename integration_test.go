@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"os"
 	"testing"
 
 	"repro/internal/aoi"
@@ -24,6 +25,14 @@ import (
 	"repro/internal/testbed"
 	"repro/internal/wireless"
 )
+
+// TestMain lets the proc sweep backend re-execute this test binary as a
+// measurement worker: with the worker marker set, the process serves the
+// wire protocol instead of running the tests.
+func TestMain(m *testing.M) {
+	testbed.MaybeServeWorker()
+	os.Exit(m.Run())
+}
 
 // TestFullStackFitAnalyzeSession drives the complete workflow a
 // downstream user would run: fit models on the synthetic testbed, analyze
@@ -194,8 +203,11 @@ func TestFullReportDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-// TestAnalyzeBatchMatchesAnalyze checks the core façade's parallel batch
-// API against the sequential one on a mixed scenario list.
+// TestAnalyzeBatchMatchesAnalyze checks the core façade's batch API
+// against the sequential one on a mixed scenario list, across every
+// backend: the in-process default (nil runner), an explicit pool runner,
+// and worker subprocesses — each must reproduce sequential Analyze
+// exactly.
 func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
 	fw := core.NewWithPaperCoefficients()
 	var scs []*pipeline.Scenario
@@ -212,21 +224,96 @@ func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
 			scs = append(scs, sc)
 		}
 	}
-	batch, err := fw.AnalyzeBatch(context.Background(), scs, 4)
-	if err != nil {
-		t.Fatal(err)
+	proc := &sweep.ProcRunner{Procs: 2}
+	defer proc.Close()
+	backends := []struct {
+		name   string
+		runner sweep.Runner
+	}{
+		{"nil (in-process)", nil},
+		{"pool", &sweep.PoolRunner{Workers: 4}},
+		{"proc", proc},
 	}
-	if len(batch) != len(scs) {
-		t.Fatalf("batch reports = %d, want %d", len(batch), len(scs))
+	for _, b := range backends {
+		batch, err := fw.AnalyzeBatch(context.Background(), scs, b.runner)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if len(batch) != len(scs) {
+			t.Fatalf("%s: batch reports = %d, want %d", b.name, len(batch), len(scs))
+		}
+		for i, sc := range scs {
+			want, err := fw.Analyze(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i].Latency.Total != want.Latency.Total ||
+				batch[i].Energy.Total != want.Energy.Total {
+				t.Fatalf("%s: batch[%d] diverges from sequential Analyze", b.name, i)
+			}
+		}
 	}
-	for i, sc := range scs {
-		want, err := fw.Analyze(sc)
+
+	// A hand-assembled framework has no wire provenance: batch analysis
+	// must work in-process and reject dispatching backends.
+	hand := &core.Framework{Latency: fw.Latency, Energy: fw.Energy}
+	if _, err := hand.AnalyzeBatch(context.Background(), scs, nil); err != nil {
+		t.Fatalf("hand-assembled in-process batch: %v", err)
+	}
+	if _, err := hand.AnalyzeBatch(context.Background(), scs, &sweep.PoolRunner{}); err == nil {
+		t.Fatal("hand-assembled framework must reject a dispatching backend")
+	}
+}
+
+// TestReportByteIdenticalAcrossBackends pins this PR's tentpole
+// acceptance criterion end to end: the full report must be byte-identical
+// across the pool and proc backends at any parallelism, and the
+// measurement cache must collapse every repeated grid cell into a single
+// backend measurement.
+func TestReportByteIdenticalAcrossBackends(t *testing.T) {
+	report := func(runner sweep.Runner, workers int) (string, *experiments.Suite) {
+		t.Helper()
+		s, err := experiments.NewSuite(42, 4000, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if batch[i].Latency.Total != want.Latency.Total ||
-			batch[i].Energy.Total != want.Energy.Total {
-			t.Fatalf("batch[%d] diverges from sequential Analyze", i)
+		s.Trials = 5
+		s.Workers = workers
+		s.Runner = runner
+		var buf bytes.Buffer
+		if err := s.WriteReport(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), s
+	}
+
+	want, poolSuite := report(nil, 1)
+
+	// The cache sees each repeated cell exactly once: the Fig. 4 panels,
+	// the Fig. 5 evaluation grids, and the ablation share 30 scenario
+	// cells (15 local + 15 remote); the two Fig. 5 calibration campaigns
+	// share 9 more, of which the three 2 GHz cells coincide with the
+	// evaluation grid — 36 unique cells for 123 measurement requests.
+	st, ok := poolSuite.CacheStats()
+	if !ok {
+		t.Fatal("default suite must run on the cached backend")
+	}
+	if st.Misses != 36 || st.Hits != 123-36 {
+		t.Fatalf("cache counters: measured %d cells with %d hits, want 36 measured / 87 hits", st.Misses, st.Hits)
+	}
+
+	if got, _ := report(nil, 8); got != want {
+		t.Fatal("pool report differs between 1 and 8 workers")
+	}
+	for _, procs := range []int{1, 4} {
+		pr := &sweep.ProcRunner{Procs: procs}
+		got, procSuite := report(sweep.NewCachedRunner(pr), 8)
+		_ = pr.Close()
+		if got != want {
+			t.Fatalf("proc report (procs=%d) differs from pool report", procs)
+		}
+		if pst, ok := procSuite.CacheStats(); !ok || pst.Misses != 36 {
+			t.Fatalf("proc cache measured %d cells, want 36", pst.Misses)
 		}
 	}
 }

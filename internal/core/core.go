@@ -34,14 +34,27 @@ type Framework struct {
 	Latency latency.Models
 	// Energy is the energy-consumption model.
 	Energy energy.Models
+
+	// provenance records how a worker process can reconstruct the model
+	// bundle — the paper coefficients or a FitConfig — which is what lets
+	// AnalyzeBatch dispatch analysis over a sweep backend. Nil for
+	// hand-assembled frameworks, which are process-local.
+	provenance *provenance
+}
+
+// provenance identifies a reconstructible model bundle.
+type provenance struct {
+	// fit is nil for the paper's published coefficients.
+	fit *testbed.FitConfig
 }
 
 // NewWithPaperCoefficients builds the framework from the paper's published
 // Eq. (3)/(10)/(12)/(21) coefficients.
 func NewWithPaperCoefficients() *Framework {
 	return &Framework{
-		Latency: latency.PaperModels(),
-		Energy:  energy.PaperModels(),
+		Latency:    latency.PaperModels(),
+		Energy:     energy.PaperModels(),
+		provenance: &provenance{},
 	}
 }
 
@@ -62,6 +75,9 @@ func NewFitted(seed int64, trainRows, testRows int) (*Framework, *testbed.FitRep
 	fw := &Framework{
 		Latency: lm,
 		Energy:  energy.Models{Latency: lm, Power: fitted.Power},
+		provenance: &provenance{fit: &testbed.FitConfig{
+			Seed: seed, TrainRows: trainRows, TestRows: testRows,
+		}},
 	}
 	return fw, &fitted.Report, nil
 }
@@ -103,6 +119,14 @@ func (f *Framework) Analyze(sc *pipeline.Scenario) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAnalyze, err)
 	}
+	return finishReport(sc, lb, eb)
+}
+
+// finishReport derives the scenario-local parts of a report — achievable
+// FPS and the AoI/RoI sensor assessment — from the model breakdowns. It
+// is shared by Analyze and the backend-dispatched AnalyzeBatch, whose
+// workers return only the breakdowns.
+func finishReport(sc *pipeline.Scenario, lb latency.Breakdown, eb energy.Breakdown) (*Report, error) {
 	rep := &Report{Latency: lb, Energy: eb}
 	if lb.Total > 0 {
 		rep.FPSAchievable = 1000 / lb.Total
@@ -188,17 +212,54 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// AnalyzeBatch analyzes many scenarios across the sweep engine's worker
-// pool and returns the reports in input order. The analytical models are
-// pure functions of the scenario, so the fan-out is race-free and the
-// output is identical to calling Analyze in a loop. workers ≤ 0 means
-// GOMAXPROCS; cancel ctx to abort a large batch early. The first
-// (lowest-index) scenario error is returned.
-func (f *Framework) AnalyzeBatch(ctx context.Context, scs []*pipeline.Scenario, workers int) ([]*Report, error) {
-	return sweep.Run(ctx, len(scs), sweep.Options{Workers: workers},
-		func(_ context.Context, sh sweep.Shard) (*Report, error) {
-			return f.Analyze(scs[sh.Index])
-		})
+// AnalyzeBatch analyzes many scenarios and returns the reports in input
+// order. A nil runner evaluates the framework's own models across an
+// in-process GOMAXPROCS pool — the fan-out is race-free because the
+// models are pure functions of the scenario. A non-nil runner dispatches
+// the model evaluation as serializable analyze requests over that sweep
+// backend (in-process pool, worker subprocesses, or a memoizing cache);
+// workers reconstruct the exact model bundle from the framework's
+// provenance — the paper coefficients or the deterministic fit config —
+// so every backend returns identical reports. Frameworks assembled by
+// hand carry no provenance and reject non-nil runners. Cancel ctx to
+// abort a large batch early; the first (lowest-index) scenario error is
+// returned.
+func (f *Framework) AnalyzeBatch(ctx context.Context, scs []*pipeline.Scenario, r sweep.Runner) ([]*Report, error) {
+	if r == nil {
+		return sweep.Run(ctx, len(scs), sweep.Options{},
+			func(_ context.Context, sh sweep.Shard) (*Report, error) {
+				return f.Analyze(scs[sh.Index])
+			})
+	}
+	if f.provenance == nil {
+		return nil, fmt.Errorf("%w: hand-assembled framework has no serializable model provenance; use a nil runner", ErrAnalyze)
+	}
+	reqs := make([]testbed.Request, len(scs))
+	for i, sc := range scs {
+		if sc == nil {
+			return nil, fmt.Errorf("%w: nil scenario %d", ErrAnalyze, i)
+		}
+		reqs[i] = testbed.Request{Op: testbed.OpAnalyze, Scenario: sc, Fit: f.provenance.fit}
+	}
+	reports := make([]*Report, 0, len(scs))
+	err := r.Stream(ctx, reqs, func(i int, m testbed.Measurement) error {
+		rep, err := finishReport(scs[i], m.Latency, m.Energy)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		return nil
+	})
+	if err != nil {
+		// Match the nil-runner path's error identity: analysis failures
+		// satisfy errors.Is(err, ErrAnalyze) regardless of backend,
+		// while cancelation stays bare.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %w", ErrAnalyze, err)
+	}
+	return reports, nil
 }
 
 // CompareModes analyzes the scenario under both local and remote

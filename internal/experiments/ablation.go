@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
-	"repro/internal/sweep"
 )
 
 // AblationResult quantifies the DESIGN.md "re-fit, don't replay" decision:
@@ -39,50 +38,34 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-// ablationCell is one sweep point's three-way evaluation.
-type ablationCell struct {
-	paperPred, fittedPred, gt float64
-}
-
-// Ablation runs the paper-vs-fitted comparison on the sweep engine.
+// Ablation runs the paper-vs-fitted comparison: ground truth on the
+// suite's backend (the same local cells Fig. 4(a)/(c) measure, served
+// from the cache), predictions from both coefficient sets in-process.
 func (s *Suite) Ablation(ctx context.Context) (*AblationResult, error) {
 	paper := core.NewWithPaperCoefficients()
-	cells := sweepCells()
-	evals, err := sweep.Run(ctx, len(cells), s.sweepOpts("ablation"),
-		func(_ context.Context, sh sweep.Shard) (ablationCell, error) {
-			c := cells[sh.Index]
-			sc, err := s.sweepScenario(pipeline.ModeLocal, c.size, c.freq)
-			if err != nil {
-				return ablationCell{}, err
-			}
-			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
-			if err != nil {
-				return ablationCell{}, fmt.Errorf("measure: %w", err)
-			}
-			pRep, err := paper.Analyze(sc)
-			if err != nil {
-				return ablationCell{}, fmt.Errorf("paper model: %w", err)
-			}
-			fLat, err := s.Latency.FrameLatency(sc)
-			if err != nil {
-				return ablationCell{}, fmt.Errorf("fitted model: %w", err)
-			}
-			return ablationCell{
-				paperPred:  pRep.Latency.Total,
-				fittedPred: fLat.Total,
-				gt:         meas.LatencyMs,
-			}, nil
-		})
+	scs, err := s.sweepScenarios(pipeline.ModeLocal)
 	if err != nil {
 		return nil, err
 	}
-	paperPred := make([]float64, len(evals))
-	fittedPred := make([]float64, len(evals))
-	gts := make([]float64, len(evals))
-	for i, e := range evals {
-		paperPred[i] = e.paperPred
-		fittedPred[i] = e.fittedPred
-		gts[i] = e.gt
+	ms, err := s.measure(ctx, scs)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	paperPred := make([]float64, len(scs))
+	fittedPred := make([]float64, len(scs))
+	gts := make([]float64, len(scs))
+	for i, sc := range scs {
+		pRep, err := paper.Analyze(sc)
+		if err != nil {
+			return nil, fmt.Errorf("paper model: %w", err)
+		}
+		fLat, err := s.Latency.FrameLatency(sc)
+		if err != nil {
+			return nil, fmt.Errorf("fitted model: %w", err)
+		}
+		paperPred[i] = pRep.Latency.Total
+		fittedPred[i] = fLat.Total
+		gts[i] = ms[i].LatencyMs
 	}
 	paperErr, err := stats.MAPE(paperPred, gts)
 	if err != nil {

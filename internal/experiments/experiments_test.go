@@ -6,6 +6,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sweep"
 )
 
 // suite is shared across tests: construction fits four regressions, which
@@ -286,6 +289,91 @@ func TestStreamAllOrderAndEquivalence(t *testing.T) {
 		if streamed[i].Render() != all[i].Render() {
 			t.Fatalf("%s: StreamAll diverges from RunAll", id)
 		}
+	}
+}
+
+// TestStreamGridMatchesRunGrid pins the streaming grid API: emitted
+// points arrive in canonical order and match the buffered result
+// exactly.
+func TestStreamGridMatchesRunGrid(t *testing.T) {
+	s := getSuite(t)
+	grid := sweep.Grid{
+		Devices:    deviceList(t, "XR1", "XR6"),
+		FrameSizes: []float64{300, 700},
+		CPUFreqs:   []float64{1, 2},
+	}
+	want, err := s.RunGrid(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []GridPoint
+	got, err := s.StreamGrid(context.Background(), grid, func(p GridPoint) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(want.Points) {
+		t.Fatalf("streamed %d points, want %d", len(streamed), len(want.Points))
+	}
+	for i := range streamed {
+		if streamed[i] != want.Points[i] {
+			t.Fatalf("streamed[%d] diverges from RunGrid", i)
+		}
+	}
+	if got.Render() != want.Render() {
+		t.Fatal("StreamGrid result diverges from RunGrid")
+	}
+	// The incremental render pieces reassemble the exact buffered table.
+	var b strings.Builder
+	b.WriteString(want.RenderHeader())
+	for _, p := range want.Points {
+		b.WriteString(p.RenderRow())
+	}
+	b.WriteString(want.RenderFooter())
+	if b.String() != want.Render() {
+		t.Fatal("header/row/footer pieces diverge from Render")
+	}
+}
+
+func deviceList(t *testing.T, names ...string) []device.Device {
+	t.Helper()
+	out := make([]device.Device, len(names))
+	for i, n := range names {
+		d, err := device.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// TestCacheSharesCellsAcrossExperiments pins the memoizing cache at the
+// experiments layer: the ablation evaluates exactly the Fig. 4(a) local
+// grid, so running it after Fig. 4(a) must measure nothing new.
+func TestCacheSharesCellsAcrossExperiments(t *testing.T) {
+	s, err := NewSuite(7, 4000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trials = 5
+	if _, err := s.Fig4a(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("default suite must expose cache stats")
+	}
+	if st.Misses != 15 || st.Hits != 0 {
+		t.Fatalf("after fig4a: %+v, want 15 misses / 0 hits", st)
+	}
+	if _, err := s.Ablation(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ = s.CacheStats(); st.Misses != 15 || st.Hits != 15 {
+		t.Fatalf("after ablation: %+v, want 15 misses / 15 hits", st)
 	}
 }
 

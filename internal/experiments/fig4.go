@@ -74,52 +74,63 @@ func sweepCells() []sweepCell {
 	return cells
 }
 
-// runSweep evaluates a Fig. 4 panel on the sweep engine: ground truth
-// from the bench, prediction from the fitted models. Every grid point is
-// independent, so the cells fan out across the suite's worker pool; the
-// per-shard seeds keep the panel byte-identical for any worker count.
+// sweepScenarios materializes the Fig. 4 grid for one inference mode.
+func (s *Suite) sweepScenarios(mode pipeline.InferenceMode) ([]*pipeline.Scenario, error) {
+	cells := sweepCells()
+	scs := make([]*pipeline.Scenario, len(cells))
+	for i, c := range cells {
+		sc, err := s.sweepScenario(mode, c.size, c.freq)
+		if err != nil {
+			return nil, err
+		}
+		scs[i] = sc
+	}
+	return scs, nil
+}
+
+// runSweep evaluates a Fig. 4 panel: ground truth measured on the suite's
+// execution backend (in-process pool, subprocess shards, or the
+// memoizing cache over either), predictions from the fitted models. The
+// content-addressed measurement seeds keep the panel byte-identical for
+// any backend at any parallelism.
 func (s *Suite) runSweep(ctx context.Context, id, title, unit string, mode pipeline.InferenceMode,
 	wantEnergy bool, paperErr float64) (*SweepResult, error) {
 	res := &SweepResult{id: id, Title: title, Unit: unit, PaperMeanErrPct: paperErr}
 	cells := sweepCells()
-	points, err := sweep.Run(ctx, len(cells), s.sweepOpts(id),
-		func(_ context.Context, sh sweep.Shard) (SweepPoint, error) {
-			c := cells[sh.Index]
-			sc, err := s.sweepScenario(mode, c.size, c.freq)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
-			if err != nil {
-				return SweepPoint{}, fmt.Errorf("measure: %w", err)
-			}
-			var gt, pred float64
-			if wantEnergy {
-				gt = meas.EnergyMJ
-				eb, _, err := s.Energy.FrameEnergy(sc)
-				if err != nil {
-					return SweepPoint{}, fmt.Errorf("model energy: %w", err)
-				}
-				pred = eb.Total
-			} else {
-				gt = meas.LatencyMs
-				lb, err := s.Latency.FrameLatency(sc)
-				if err != nil {
-					return SweepPoint{}, fmt.Errorf("model latency: %w", err)
-				}
-				pred = lb.Total
-			}
-			errPct := 0.0
-			if gt != 0 {
-				errPct = 100 * abs(pred-gt) / gt
-			}
-			return SweepPoint{
-				FrameSizePx2: c.size, CPUFreqGHz: c.freq,
-				GroundTruth: gt, Proposed: pred, ErrPct: errPct,
-			}, nil
-		})
+	scs, err := s.sweepScenarios(mode)
 	if err != nil {
 		return nil, err
+	}
+	ms, err := s.measure(ctx, scs)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	points := make([]SweepPoint, len(cells))
+	for i, c := range cells {
+		var gt, pred float64
+		if wantEnergy {
+			gt = ms[i].EnergyMJ
+			eb, _, err := s.Energy.FrameEnergy(scs[i])
+			if err != nil {
+				return nil, fmt.Errorf("model energy: %w", err)
+			}
+			pred = eb.Total
+		} else {
+			gt = ms[i].LatencyMs
+			lb, err := s.Latency.FrameLatency(scs[i])
+			if err != nil {
+				return nil, fmt.Errorf("model latency: %w", err)
+			}
+			pred = lb.Total
+		}
+		errPct := 0.0
+		if gt != 0 {
+			errPct = 100 * abs(pred-gt) / gt
+		}
+		points[i] = SweepPoint{
+			FrameSizePx2: c.size, CPUFreqGHz: c.freq,
+			GroundTruth: gt, Proposed: pred, ErrPct: errPct,
+		}
 	}
 	res.Points = points
 	preds := make([]float64, len(points))

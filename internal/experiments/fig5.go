@@ -8,7 +8,6 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
-	"repro/internal/sweep"
 )
 
 // AccuracyPoint is one frame-size cell of a Fig. 5 panel: normalized
@@ -68,33 +67,33 @@ func (r *Fig5Result) Render() string {
 // testbeds). The evaluation grid then stresses the corners — 1 and 3 GHz —
 // where the baselines' cycles-over-frequency assumption departs from the
 // allocated-resource reality.
-// Its observations are measured with per-cell deterministic seeds on the
-// sweep engine, so the campaign — and therefore the calibrated baselines —
-// depends only on (Suite.Seed, id, cell index), never on measurements
-// that happened to run earlier in the process.
-func (s *Suite) calibrationGrid(ctx context.Context, id string) ([]baseline.Observation, error) {
-	type calCell struct{ size, freq float64 }
-	var cells []calCell
+// Its observations are measured with content-addressed seeds on the
+// suite's backend, so the campaign — and therefore the calibrated
+// baselines — depends only on (Suite.Seed, cell configuration), never on
+// measurements that happened to run earlier in the process; the two
+// Fig. 5 panels share one campaign through the measurement cache.
+func (s *Suite) calibrationGrid(ctx context.Context) ([]baseline.Observation, error) {
+	var scs []*pipeline.Scenario
 	for _, size := range []float64{400, 500, 600} {
 		for _, freq := range []float64{1.5, 2, 2.5} {
-			cells = append(cells, calCell{size, freq})
+			sc, err := s.sweepScenario(pipeline.ModeRemote, size, freq)
+			if err != nil {
+				return nil, err
+			}
+			scs = append(scs, sc)
 		}
 	}
-	return sweep.Run(ctx, len(cells), s.sweepOpts(id+"/calibration"),
-		func(_ context.Context, sh sweep.Shard) (baseline.Observation, error) {
-			c := cells[sh.Index]
-			sc, err := s.sweepScenario(pipeline.ModeRemote, c.size, c.freq)
-			if err != nil {
-				return baseline.Observation{}, err
-			}
-			m, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
-			if err != nil {
-				return baseline.Observation{}, fmt.Errorf("calibration measure: %w", err)
-			}
-			return baseline.Observation{
-				Scenario: sc, LatencyMs: m.LatencyMs, EnergyMJ: m.EnergyMJ,
-			}, nil
-		})
+	ms, err := s.measure(ctx, scs)
+	if err != nil {
+		return nil, fmt.Errorf("calibration measure: %w", err)
+	}
+	obs := make([]baseline.Observation, len(scs))
+	for i, sc := range scs {
+		obs[i] = baseline.Observation{
+			Scenario: sc, LatencyMs: ms[i].LatencyMs, EnergyMJ: ms[i].EnergyMJ,
+		}
+	}
+	return obs, nil
 }
 
 // fig5Cell is one (frame size, CPU frequency) cell's normalized
@@ -105,11 +104,12 @@ type fig5Cell struct {
 
 // runFig5 evaluates one Fig. 5 panel across frame sizes, averaging each
 // model's normalized accuracy over the 1/2/3 GHz operating points. The
-// calibrated baselines are read-only after Calibrate, so the evaluation
-// cells fan out across the suite's worker pool with seeded ground-truth
-// measurements; the panel is byte-identical for any worker count.
+// evaluation grid's ground truth is measured on the suite's backend with
+// content-addressed seeds — the same remote cells Fig. 4(b)/(d) measure,
+// so the cache serves them without re-measuring — and the panel is
+// byte-identical for any backend at any parallelism.
 func (s *Suite) runFig5(ctx context.Context, id, title string, wantEnergy bool, paperGapFACT, paperGapLEAF float64) (*Fig5Result, error) {
-	obs, err := s.calibrationGrid(ctx, id)
+	obs, err := s.calibrationGrid(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -122,55 +122,49 @@ func (s *Suite) runFig5(ctx context.Context, id, title string, wantEnergy bool, 
 		id: id, Title: title,
 		PaperGapFACT: paperGapFACT, PaperGapLEAF: paperGapLEAF,
 	}
-	cells := sweepCells()
-	evals, err := sweep.Run(ctx, len(cells), s.sweepOpts(id),
-		func(_ context.Context, sh sweep.Shard) (fig5Cell, error) {
-			c := cells[sh.Index]
-			sc, err := s.sweepScenario(pipeline.ModeRemote, c.size, c.freq)
-			if err != nil {
-				return fig5Cell{}, err
-			}
-			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
-			if err != nil {
-				return fig5Cell{}, fmt.Errorf("measure: %w", err)
-			}
-
-			var gt, proposed, factPred, leafPred float64
-			if wantEnergy {
-				gt = meas.EnergyMJ
-				eb, _, err := s.Energy.FrameEnergy(sc)
-				if err != nil {
-					return fig5Cell{}, err
-				}
-				proposed = eb.Total
-				if factPred, err = fact.EnergyMJ(sc); err != nil {
-					return fig5Cell{}, err
-				}
-				if leafPred, err = leaf.EnergyMJ(sc); err != nil {
-					return fig5Cell{}, err
-				}
-			} else {
-				gt = meas.LatencyMs
-				lb, err := s.Latency.FrameLatency(sc)
-				if err != nil {
-					return fig5Cell{}, err
-				}
-				proposed = lb.Total
-				if factPred, err = fact.LatencyMs(sc); err != nil {
-					return fig5Cell{}, err
-				}
-				if leafPred, err = leaf.LatencyMs(sc); err != nil {
-					return fig5Cell{}, err
-				}
-			}
-			return fig5Cell{
-				accP: stats.NormalizedAccuracy(proposed, gt),
-				accF: stats.NormalizedAccuracy(factPred, gt),
-				accL: stats.NormalizedAccuracy(leafPred, gt),
-			}, nil
-		})
+	scs, err := s.sweepScenarios(pipeline.ModeRemote)
 	if err != nil {
 		return nil, err
+	}
+	ms, err := s.measure(ctx, scs)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	evals := make([]fig5Cell, len(scs))
+	for i, sc := range scs {
+		var gt, proposed, factPred, leafPred float64
+		if wantEnergy {
+			gt = ms[i].EnergyMJ
+			eb, _, err := s.Energy.FrameEnergy(sc)
+			if err != nil {
+				return nil, err
+			}
+			proposed = eb.Total
+			if factPred, err = fact.EnergyMJ(sc); err != nil {
+				return nil, err
+			}
+			if leafPred, err = leaf.EnergyMJ(sc); err != nil {
+				return nil, err
+			}
+		} else {
+			gt = ms[i].LatencyMs
+			lb, err := s.Latency.FrameLatency(sc)
+			if err != nil {
+				return nil, err
+			}
+			proposed = lb.Total
+			if factPred, err = fact.LatencyMs(sc); err != nil {
+				return nil, err
+			}
+			if leafPred, err = leaf.LatencyMs(sc); err != nil {
+				return nil, err
+			}
+		}
+		evals[i] = fig5Cell{
+			accP: stats.NormalizedAccuracy(proposed, gt),
+			accF: stats.NormalizedAccuracy(factPred, gt),
+			accL: stats.NormalizedAccuracy(leafPred, gt),
+		}
 	}
 	// sweepCells enumerates frequencies innermost, so each frame size owns
 	// one contiguous run of len(CPUFrequencies()) cells.

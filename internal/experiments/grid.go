@@ -2,11 +2,16 @@ package experiments
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
 
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/testbed"
 )
 
 // GridPoint is one evaluated point of a user-defined sweep grid: bench
@@ -41,61 +46,136 @@ func (r *GridResult) ID() string { return "sweep" }
 // Render implements Result: one row per grid point plus the aggregate.
 func (r *GridResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep — %d-point scenario grid (GT vs fitted models)\n", len(r.Points))
-	fmt.Fprintf(&b, "%-42s %10s %10s %7s %10s %10s %7s\n",
-		"point", "GT(ms)", "model(ms)", "err%", "GT(mJ)", "model(mJ)", "err%")
+	b.WriteString(r.RenderHeader())
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%-42s %10.1f %10.1f %7.2f %10.1f %10.1f %7.2f\n",
-			p.Spec.Label(),
-			p.LatencyGTMs, p.LatencyModelMs, p.LatencyErrPct,
-			p.EnergyGTMJ, p.EnergyModelMJ, p.EnergyErrPct)
+		b.WriteString(p.RenderRow())
 	}
-	fmt.Fprintf(&b, "mean error: latency %.2f%%, energy %.2f%%\n",
-		r.MeanLatencyErrPct, r.MeanEnergyErrPct)
+	b.WriteString(r.RenderFooter())
 	return b.String()
 }
 
+// RenderHeader returns the table header lines; with RenderRow and
+// RenderFooter it lets a streaming caller emit the exact bytes of
+// Render incrementally.
+func (r *GridResult) RenderHeader() string {
+	return fmt.Sprintf("sweep — %d-point scenario grid (GT vs fitted models)\n", len(r.Points)) +
+		fmt.Sprintf("%-42s %10s %10s %7s %10s %10s %7s\n",
+			"point", "GT(ms)", "model(ms)", "err%", "GT(mJ)", "model(mJ)", "err%")
+}
+
+// RenderRow returns the point's table line.
+func (p GridPoint) RenderRow() string {
+	return fmt.Sprintf("%-42s %10.1f %10.1f %7.2f %10.1f %10.1f %7.2f\n",
+		p.Spec.Label(),
+		p.LatencyGTMs, p.LatencyModelMs, p.LatencyErrPct,
+		p.EnergyGTMJ, p.EnergyModelMJ, p.EnergyErrPct)
+}
+
+// RenderFooter returns the aggregate line.
+func (r *GridResult) RenderFooter() string {
+	return fmt.Sprintf("mean error: latency %.2f%%, energy %.2f%%\n",
+		r.MeanLatencyErrPct, r.MeanEnergyErrPct)
+}
+
+// CSVHeader is the machine-readable sweep schema.
+func CSVHeader() []string {
+	return []string{
+		"device", "mode", "cnn", "size_px2", "cpu_ghz",
+		"gt_latency_ms", "model_latency_ms", "latency_err_pct",
+		"gt_energy_mj", "model_energy_mj", "energy_err_pct",
+	}
+}
+
+// CSVRecord renders the point as one CSV record with full float
+// precision (shortest round-trip form), so downstream tooling sees the
+// exact evaluated numbers rather than the table's display rounding.
+func (p GridPoint) CSVRecord() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	cnnName := p.Spec.CNN.Name
+	if cnnName == "" {
+		cnnName = "default"
+	}
+	return []string{
+		p.Spec.Device.Name, p.Spec.Mode.String(), cnnName,
+		f(p.Spec.FrameSizePx2), f(p.Spec.CPUFreqGHz),
+		f(p.LatencyGTMs), f(p.LatencyModelMs), f(p.LatencyErrPct),
+		f(p.EnergyGTMJ), f(p.EnergyModelMJ), f(p.EnergyErrPct),
+	}
+}
+
+// WriteCSV writes the grid as CSV: a header row plus one record per
+// point, data only (aggregates are derivable), in canonical grid order.
+func (r *GridResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader()); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write(p.CSVRecord()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // RunGrid evaluates an arbitrary device × CNN × mode × resolution × clock
-// grid on the sweep engine: each point measures ground truth on the bench
-// with a deterministic per-shard seed and predicts latency and energy
-// with the fitted models. Results are in canonical grid order and
-// byte-identical for any worker count. Cancel ctx to abort mid-sweep.
+// grid: each point measures ground truth on the suite's execution backend
+// with a content-addressed deterministic seed and predicts latency and
+// energy with the fitted models. Results are in canonical grid order and
+// byte-identical for any backend at any parallelism. Cancel ctx to abort
+// mid-sweep.
 func (s *Suite) RunGrid(ctx context.Context, grid sweep.Grid) (*GridResult, error) {
+	return s.StreamGrid(ctx, grid, nil)
+}
+
+// StreamGrid is RunGrid with incremental delivery: emit (when non-nil)
+// runs on the caller's goroutine in canonical grid order as soon as each
+// prefix of the grid completes — point k is emitted the moment points
+// 0..k are all measured, even while later points are in flight. A
+// non-nil error from emit cancels the sweep. The returned result holds
+// the same points plus the grid-wide aggregates.
+func (s *Suite) StreamGrid(ctx context.Context, grid sweep.Grid, emit func(p GridPoint) error) (*GridResult, error) {
 	specs := grid.Points()
-	points, err := sweep.Run(ctx, len(specs), s.sweepOpts("sweep"),
-		func(_ context.Context, sh sweep.Shard) (GridPoint, error) {
-			spec := specs[sh.Index]
-			sc, err := spec.Scenario()
-			if err != nil {
-				return GridPoint{}, err
-			}
-			meas, err := s.Bench.MeasureFramesSeeded(sc, s.Trials, sh.Seed)
-			if err != nil {
-				return GridPoint{}, fmt.Errorf("measure %s: %w", spec.Label(), err)
-			}
-			eb, lb, err := s.Energy.FrameEnergy(sc)
-			if err != nil {
-				return GridPoint{}, fmt.Errorf("model %s: %w", spec.Label(), err)
-			}
-			p := GridPoint{
-				Spec:           spec,
-				LatencyGTMs:    meas.LatencyMs,
-				LatencyModelMs: lb.Total,
-				EnergyGTMJ:     meas.EnergyMJ,
-				EnergyModelMJ:  eb.Total,
-			}
-			if p.LatencyGTMs != 0 {
-				p.LatencyErrPct = 100 * abs(p.LatencyModelMs-p.LatencyGTMs) / p.LatencyGTMs
-			}
-			if p.EnergyGTMJ != 0 {
-				p.EnergyErrPct = 100 * abs(p.EnergyModelMJ-p.EnergyGTMJ) / p.EnergyGTMJ
-			}
-			return p, nil
-		})
+	scs := make([]*pipeline.Scenario, len(specs))
+	for i, spec := range specs {
+		sc, err := spec.Scenario()
+		if err != nil {
+			return nil, err
+		}
+		scs[i] = sc
+	}
+
+	res := &GridResult{Points: make([]GridPoint, 0, len(specs))}
+	err := s.streamMeasurements(ctx, scs, func(i int, m testbed.Measurement) error {
+		spec := specs[i]
+		eb, lb, err := s.Energy.FrameEnergy(scs[i])
+		if err != nil {
+			return fmt.Errorf("model %s: %w", spec.Label(), err)
+		}
+		p := GridPoint{
+			Spec:           spec,
+			LatencyGTMs:    m.LatencyMs,
+			LatencyModelMs: lb.Total,
+			EnergyGTMJ:     m.EnergyMJ,
+			EnergyModelMJ:  eb.Total,
+		}
+		if p.LatencyGTMs != 0 {
+			p.LatencyErrPct = 100 * abs(p.LatencyModelMs-p.LatencyGTMs) / p.LatencyGTMs
+		}
+		if p.EnergyGTMJ != 0 {
+			p.EnergyErrPct = 100 * abs(p.EnergyModelMJ-p.EnergyGTMJ) / p.EnergyGTMJ
+		}
+		res.Points = append(res.Points, p)
+		if emit != nil {
+			return emit(p)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := &GridResult{Points: points}
+	points := res.Points
 	if len(points) == 0 {
 		return res, nil
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/energy"
@@ -61,18 +62,86 @@ type Suite struct {
 	// Workers sizes the sweep worker pool; 0 means GOMAXPROCS. Results
 	// are byte-identical for any worker count.
 	Workers int
+	// Runner is the measurement execution backend. Nil selects the
+	// default: an in-process sweep.PoolRunner sized by Workers, wrapped
+	// in the memoizing measurement cache. Set it before the first run
+	// (e.g. to a cached sweep.ProcRunner) to dispatch ground-truth
+	// measurements elsewhere; every backend produces byte-identical
+	// results at any parallelism.
+	Runner sweep.Runner
+
+	defOnce   sync.Once
+	defRunner sweep.Runner
 }
 
-// sweepOpts returns the engine options for one experiment: the shard
-// seed base mixes the suite seed with the experiment id so panels draw
-// independent noise streams, and an experiment's measurements therefore
-// depend only on (Suite.Seed, id, cell index) — never on what ran before
-// it or on how many workers ran it.
-func (s *Suite) sweepOpts(id string) sweep.Options {
-	return sweep.Options{
-		Workers:  s.Workers,
-		BaseSeed: sweep.TaskSeed(s.Seed, id),
+// runner resolves the measurement backend, building the default cached
+// in-process pool on first use.
+func (s *Suite) runner() sweep.Runner {
+	if r := s.Runner; r != nil {
+		return r
 	}
+	s.defOnce.Do(func() {
+		s.defRunner = sweep.NewCachedRunner(&sweep.PoolRunner{
+			Workers: s.Workers,
+			Exec:    testbed.NewExecutor(s.Bench),
+		})
+	})
+	return s.defRunner
+}
+
+// CacheStats reports the measurement cache's counters; ok is false when
+// the suite runs on a custom uncached Runner.
+func (s *Suite) CacheStats() (sweep.CacheStats, bool) {
+	c, ok := s.runner().(*sweep.CachedRunner)
+	if !ok {
+		return sweep.CacheStats{}, false
+	}
+	return c.Stats(), true
+}
+
+// request builds the serializable measurement unit for one scenario. The
+// monitor-noise seed is content-addressed — derived from (Suite.Seed,
+// request fingerprint) — so the same grid cell requested by any
+// experiment, in any order, on any backend draws the same noise stream;
+// that is what lets the cache serve repeats across Fig. 4, Fig. 5, and
+// the ablation without changing a byte of output.
+func (s *Suite) request(sc *pipeline.Scenario) (testbed.Request, error) {
+	req := testbed.Request{Scenario: sc, Trials: s.Trials, NoiseRel: s.Bench.NoiseRel}
+	seed, err := req.ContentSeed(s.Seed)
+	if err != nil {
+		return testbed.Request{}, err
+	}
+	req.Seed = seed
+	return req, nil
+}
+
+// streamMeasurements runs seeded ground-truth measurements for the
+// scenarios on the suite's backend, invoking emit on the caller's
+// goroutine in input order as each prefix completes.
+func (s *Suite) streamMeasurements(ctx context.Context, scs []*pipeline.Scenario, emit func(i int, m testbed.Measurement) error) error {
+	reqs := make([]testbed.Request, len(scs))
+	for i, sc := range scs {
+		req, err := s.request(sc)
+		if err != nil {
+			return err
+		}
+		reqs[i] = req
+	}
+	return s.runner().Stream(ctx, reqs, emit)
+}
+
+// measure runs seeded ground-truth measurements for the scenarios on the
+// suite's backend, returning observations in input order.
+func (s *Suite) measure(ctx context.Context, scs []*pipeline.Scenario) ([]testbed.Measurement, error) {
+	out := make([]testbed.Measurement, 0, len(scs))
+	err := s.streamMeasurements(ctx, scs, func(_ int, m testbed.Measurement) error {
+		out = append(out, m)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // NewSuite builds a suite: spin up the bench, generate the synthetic

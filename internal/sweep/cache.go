@@ -1,0 +1,214 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/testbed"
+)
+
+// CacheStats reports the memoizing cache's counters.
+type CacheStats struct {
+	// Hits counts requests served without a new backend measurement —
+	// from a completed entry, by waiting on an identical in-flight
+	// measurement, or as an in-batch duplicate.
+	Hits int64
+	// Misses counts measurements actually dispatched to the backend.
+	Misses int64
+	// Entries counts distinct cells currently memoized.
+	Entries int
+}
+
+// cacheEntry is one memoized (or in-flight) cell. done closes exactly
+// once, after m/err are final.
+type cacheEntry struct {
+	once sync.Once
+	done chan struct{}
+	m    testbed.Measurement
+	err  error
+}
+
+func newCacheEntry() *cacheEntry { return &cacheEntry{done: make(chan struct{})} }
+
+func (e *cacheEntry) complete(m testbed.Measurement) {
+	e.once.Do(func() {
+		e.m = m
+		close(e.done)
+	})
+}
+
+// CachedRunner memoizes measurements across calls by content key —
+// (Request.Fingerprint, Seed) — on top of any backend. Because a seeded
+// request is a pure function of exactly that key, serving a repeat from
+// the cache is indistinguishable from re-measuring it: the cache changes
+// how much work runs, never a byte of output. Identical cells requested
+// concurrently (e.g. the same grid cell in two experiments running in
+// parallel) are measured once: the first request owns the measurement
+// and the rest wait on it. Requests that cannot be fingerprinted pass
+// through uncached.
+//
+// Entries live for the runner's lifetime — one evaluation run — which is
+// bounded by the experiment grids. A measurement that fails is evicted
+// so a later call can retry it.
+type CachedRunner struct {
+	backend Runner
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCachedRunner wraps backend with the memoizing measurement cache.
+func NewCachedRunner(backend Runner) *CachedRunner {
+	return &CachedRunner{backend: backend, entries: make(map[string]*cacheEntry)}
+}
+
+// Backend returns the wrapped runner.
+func (c *CachedRunner) Backend() Runner { return c.backend }
+
+// Stats returns the current counters.
+func (c *CachedRunner) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Run implements Runner.
+func (c *CachedRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
+		return c.Stream(ctx, reqs, emit)
+	})
+}
+
+// Stream implements Runner: cache misses are dispatched to the backend
+// as one sub-batch (preserving its parallelism and error semantics)
+// while hits and in-flight waits resolve concurrently; emission order
+// and bytes are identical to an uncached run.
+func (c *CachedRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(idx int, m testbed.Measurement) error) error {
+	n := len(reqs)
+	if n == 0 {
+		return ctx.Err()
+	}
+	entries, keys, ownedIdx, ownedReqs := c.classify(reqs)
+
+	cctx, cancel := context.WithCancel(ctx)
+	bgDone := make(chan struct{})
+	if len(ownedIdx) == 0 {
+		close(bgDone)
+	} else {
+		go func() {
+			defer close(bgDone)
+			err := c.backend.Stream(cctx, ownedReqs, func(j int, m testbed.Measurement) error {
+				entries[ownedIdx[j]].complete(m)
+				return nil
+			})
+			if err != nil {
+				// Any owned entry the backend never delivered fails with
+				// the batch error and is evicted so future calls retry;
+				// entries that already completed keep their result.
+				for _, i := range ownedIdx {
+					c.fail(keys[i], entries[i], err)
+				}
+			}
+		}()
+	}
+	defer func() {
+		cancel()
+		<-bgDone // owned entries are final before waiters can observe a torn state
+	}()
+
+	// One waiter per request gives the generic engine its usual ordered
+	// merge and lowest-index error selection over cached, in-flight, and
+	// owned cells alike.
+	return Stream(ctx, n, Options{Workers: n},
+		func(fctx context.Context, sh Shard) (testbed.Measurement, error) {
+			e := entries[sh.Index]
+			select {
+			case <-e.done:
+				if e.err != nil && errors.Is(e.err, context.Canceled) && fctx.Err() == nil {
+					// The measurement's owner was canceled but this
+					// caller was not: the entry is already evicted, so
+					// re-enter the cache and measure the cell ourselves
+					// (racing retriers single-flight on a fresh entry).
+					// Owned cells cannot take this path — their backend
+					// runs under this call's context, so their
+					// cancelation implies fctx is canceled too.
+					ms, err := c.Run(fctx, reqs[sh.Index:sh.Index+1])
+					if err != nil {
+						return testbed.Measurement{}, err
+					}
+					return ms[0], nil
+				}
+				return e.m, e.err
+			case <-fctx.Done():
+				return testbed.Measurement{}, fctx.Err()
+			}
+		}, emit)
+}
+
+// classify resolves each request to a cache entry under one lock pass:
+// completed or in-flight entries count as hits; the first occurrence of
+// a new key becomes an owned measurement (miss); later in-batch
+// duplicates share the owner's entry. Unfingerprintable requests get a
+// private uncached entry.
+func (c *CachedRunner) classify(reqs []testbed.Request) (entries []*cacheEntry, keys []string, ownedIdx []int, ownedReqs []testbed.Request) {
+	entries = make([]*cacheEntry, len(reqs))
+	keys = make([]string, len(reqs))
+	ownerOf := make(map[string]int)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, r := range reqs {
+		fp, err := r.Fingerprint()
+		if err != nil {
+			entries[i] = newCacheEntry()
+			ownedIdx = append(ownedIdx, i)
+			ownedReqs = append(ownedReqs, r)
+			c.misses.Add(1)
+			continue
+		}
+		key := fp + "\x00" + strconv.FormatInt(r.Seed, 10)
+		keys[i] = key
+		if e, ok := c.entries[key]; ok {
+			entries[i] = e
+			c.hits.Add(1)
+			continue
+		}
+		if j, ok := ownerOf[key]; ok {
+			entries[i] = entries[j]
+			c.hits.Add(1)
+			continue
+		}
+		e := newCacheEntry()
+		entries[i] = e
+		c.entries[key] = e
+		ownerOf[key] = i
+		ownedIdx = append(ownedIdx, i)
+		ownedReqs = append(ownedReqs, r)
+		c.misses.Add(1)
+	}
+	return entries, keys, ownedIdx, ownedReqs
+}
+
+// fail finalizes an entry with err if it has no result yet, evicting it
+// from the cache so the cell can be retried by a later call.
+func (c *CachedRunner) fail(key string, e *cacheEntry, err error) {
+	failed := false
+	e.once.Do(func() {
+		e.err = err
+		close(e.done)
+		failed = true
+	})
+	if failed && key != "" {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+}

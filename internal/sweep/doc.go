@@ -7,7 +7,7 @@
 // early error propagation, and streaming aggregation that delivers
 // results in grid order despite out-of-order completion.
 //
-// Two layers build on the core Run/Stream primitives:
+// Three layers build on the core Run/Stream primitives:
 //
 //   - Grid/Spec enumerate cartesian scenario grids in a canonical
 //     row-major order, so point indices — and therefore shard seeds —
@@ -16,9 +16,17 @@
 //     (e.g. the full set of paper experiments) under one pool with the
 //     same ordered-streaming guarantees; TaskSeed gives each unit an
 //     independent deterministic seed stream derived from its name.
+//   - Runner abstracts the execution backend for serializable work units
+//     (testbed.Request): PoolRunner fans out across an in-process pool,
+//     ProcRunner shards across worker subprocesses speaking a
+//     length-delimited JSON protocol, and CachedRunner memoizes results
+//     by content key over either — all with identical ordering, error,
+//     and byte-for-byte determinism guarantees.
 //
 // Determinism contract: a point's seed depends only on (base seed, point
-// index) — or, for task groups, (base seed, task name) — never on worker
-// identity or completion order, so a sweep's output is byte-identical
-// whether it runs on one worker or on GOMAXPROCS workers.
+// index) — or, for task groups, (base seed, task name); measurement
+// requests carry content-addressed seeds of their own — never on worker
+// identity, completion order, or which backend ran the point, so a
+// sweep's output is byte-identical whether it runs on one worker, on
+// GOMAXPROCS workers, or across subprocesses.
 package sweep

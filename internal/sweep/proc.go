@@ -1,0 +1,329 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// ErrRunnerClosed indicates use of a proc backend after Close.
+var ErrRunnerClosed = errors.New("sweep: proc runner closed")
+
+// ProcRunner executes requests across worker subprocesses speaking the
+// length-delimited JSON protocol of internal/testbed over stdin/stdout.
+// Workers start lazily on first use and persist across Run/Stream calls
+// (Close reaps them); a worker that crashes or is killed mid-shard
+// surfaces a descriptive error carrying its exit status and stderr tail —
+// never a hang — and is replaced on the next checkout, so one dead
+// subprocess does not poison the runner.
+//
+// Requests must be wire-safe (Request.WireSafe); measurements depend only
+// on request content and the deterministic hidden physics, so a proc
+// sweep reproduces an in-process pool sweep bit for bit — JSON encodes
+// float64 values with shortest-round-trip precision, losing nothing
+// across the boundary.
+type ProcRunner struct {
+	// Procs is the number of worker subprocesses; 0 or negative means
+	// GOMAXPROCS.
+	Procs int
+	// Command is the worker argv; empty defaults to the current
+	// executable with a "worker" argument (`xrperf worker`). Binaries
+	// other than xrperf must either implement a worker mode themselves
+	// or call testbed.MaybeServeWorker early in main/TestMain.
+	Command []string
+	// Env appends to the inherited environment of each worker.
+	Env []string
+
+	mu       sync.Mutex
+	started  bool
+	startErr error
+	closed   bool
+	argv     []string
+	procs    int
+	pool     chan *workerProc
+	lifeCtx  context.Context
+	stop     context.CancelFunc
+	nextID   atomic.Int64
+}
+
+// init resolves the configuration and creates the (lazily filled) worker
+// pool once.
+func (p *ProcRunner) init() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrRunnerClosed
+	}
+	if p.started {
+		return p.startErr
+	}
+	p.started = true
+	p.argv = p.Command
+	if len(p.argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			p.startErr = fmt.Errorf("sweep: resolve worker executable: %w", err)
+			return p.startErr
+		}
+		p.argv = []string{exe, "worker"}
+	}
+	p.procs = p.Procs
+	if p.procs <= 0 {
+		p.procs = runtime.GOMAXPROCS(0)
+	}
+	p.lifeCtx, p.stop = context.WithCancel(context.Background())
+	p.pool = make(chan *workerProc, p.procs)
+	for i := 0; i < p.procs; i++ {
+		p.pool <- nil // nil slot: a worker is spawned at checkout
+	}
+	return nil
+}
+
+// Run implements Runner.
+func (p *ProcRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
+		return p.Stream(ctx, reqs, emit)
+	})
+}
+
+// Stream implements Runner: shards the batch across the subprocess pool
+// with the same ordered-merge and lowest-index error semantics as the
+// in-process engine (which it delegates aggregation to).
+func (p *ProcRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(idx int, m testbed.Measurement) error) error {
+	n := len(reqs)
+	if n == 0 {
+		return ctx.Err()
+	}
+	for i, r := range reqs {
+		if err := r.WireSafe(); err != nil {
+			return fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+	}
+	if err := p.init(); err != nil {
+		return err
+	}
+	workers := p.procs
+	if workers > n {
+		workers = n
+	}
+	return Stream(ctx, n, Options{Workers: workers},
+		func(fctx context.Context, sh Shard) (testbed.Measurement, error) {
+			return p.dispatch(fctx, sh.Index, reqs[sh.Index])
+		}, emit)
+}
+
+// dispatch checks a worker out of the pool, round-trips one request, and
+// returns the worker — or, on any failure, destroys it and frees its
+// slot so the next checkout spawns a replacement.
+func (p *ProcRunner) dispatch(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
+	w, err := p.checkout(ctx)
+	if err != nil {
+		return testbed.Measurement{}, err
+	}
+	m, err := w.roundTrip(ctx, idx, req)
+	if err != nil {
+		// The worker may be dead (crash, kill) or in an unknown protocol
+		// state (request-level failure); replacing it is always safe.
+		w.destroy()
+		p.pool <- nil
+		return testbed.Measurement{}, err
+	}
+	p.pool <- w
+	return m, nil
+}
+
+// checkout acquires a pool slot, spawning a worker if the slot is empty.
+func (p *ProcRunner) checkout(ctx context.Context) (*workerProc, error) {
+	select {
+	case w := <-p.pool:
+		if w != nil {
+			return w, nil
+		}
+		nw, err := p.startWorker()
+		if err != nil {
+			p.pool <- nil
+			return nil, err
+		}
+		return nw, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close reaps every idle worker and marks the runner unusable. Call it
+// after all Run/Stream calls have returned.
+func (p *ProcRunner) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if !p.started || p.startErr != nil {
+		return nil
+	}
+	for i := 0; i < p.procs; i++ {
+		select {
+		case w := <-p.pool:
+			if w != nil {
+				w.destroy()
+			}
+		default:
+		}
+	}
+	p.stop() // kills any worker that escaped the drain
+	return nil
+}
+
+// workerProc is one live worker subprocess.
+type workerProc struct {
+	id       int64
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	stdout   *bufio.Reader
+	stderr   *tailWriter
+	waitErr  error
+	waitDone chan struct{}
+	killOnce sync.Once
+}
+
+// startWorker spawns one worker subprocess with the protocol marker set.
+func (p *ProcRunner) startWorker() (*workerProc, error) {
+	w := &workerProc{
+		id:       p.nextID.Add(1) - 1,
+		stderr:   &tailWriter{limit: 4096},
+		waitDone: make(chan struct{}),
+	}
+	cmd := exec.CommandContext(p.lifeCtx, p.argv[0], p.argv[1:]...)
+	cmd.Env = append(append(os.Environ(), testbed.WorkerEnv+"=1"), p.Env...)
+	cmd.Stderr = w.stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: worker %d stdin: %w", w.id, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: worker %d stdout: %w", w.id, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("sweep: start worker %d (%s): %w", w.id, strings.Join(p.argv, " "), err)
+	}
+	w.cmd, w.stdin, w.stdout = cmd, stdin, bufio.NewReader(stdout)
+	go func() {
+		w.waitErr = cmd.Wait()
+		close(w.waitDone)
+	}()
+	return w, nil
+}
+
+// roundTrip sends one request and awaits its response. Cancelation kills
+// the worker to unblock the in-flight read, so a canceled shard returns
+// promptly instead of hanging on a pipe.
+func (w *workerProc) roundTrip(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
+	type rt struct {
+		m   testbed.Measurement
+		err error
+	}
+	done := make(chan rt, 1)
+	go func() {
+		if err := testbed.WriteFrame(w.stdin, testbed.WireRequest{ID: idx, Req: req}); err != nil {
+			done <- rt{err: w.ioErr("write", err)}
+			return
+		}
+		var resp testbed.WireResponse
+		if err := testbed.ReadFrame(w.stdout, &resp); err != nil {
+			done <- rt{err: w.ioErr("read", err)}
+			return
+		}
+		switch {
+		case resp.ID != idx:
+			done <- rt{err: fmt.Errorf("worker %d answered id %d to request %d", w.id, resp.ID, idx)}
+		case resp.Err != "":
+			done <- rt{err: fmt.Errorf("worker %d: %s", w.id, resp.Err)}
+		default:
+			done <- rt{m: resp.M}
+		}
+	}()
+	select {
+	case r := <-done:
+		return r.m, r.err
+	case <-ctx.Done():
+		w.kill()
+		return testbed.Measurement{}, ctx.Err()
+	}
+}
+
+// ioErr builds the descriptive error for a broken worker pipe: if the
+// process has (or promptly) exited, report its status and stderr tail;
+// otherwise report the raw protocol error.
+func (w *workerProc) ioErr(op string, err error) error {
+	select {
+	case <-w.waitDone:
+		status := "exited cleanly mid-protocol"
+		if w.waitErr != nil {
+			status = w.waitErr.Error()
+		}
+		return fmt.Errorf("worker %d died mid-shard (%s failed; %s)%s", w.id, op, status, w.stderr.suffix())
+	case <-time.After(500 * time.Millisecond):
+		return fmt.Errorf("worker %d protocol %s error: %w%s", w.id, op, err, w.stderr.suffix())
+	}
+}
+
+// kill terminates the worker process and closes its stdin, unblocking
+// any in-flight protocol read.
+func (w *workerProc) kill() {
+	w.killOnce.Do(func() {
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+		_ = w.stdin.Close()
+	})
+}
+
+// destroy kills the worker and reaps it (bounded wait).
+func (w *workerProc) destroy() {
+	w.kill()
+	select {
+	case <-w.waitDone:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// tailWriter keeps the last limit bytes written — enough stderr context
+// to make a crash error actionable without unbounded buffering.
+type tailWriter struct {
+	mu    sync.Mutex
+	limit int
+	buf   []byte
+}
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.limit {
+		t.buf = t.buf[len(t.buf)-t.limit:]
+	}
+	return len(p), nil
+}
+
+func (t *tailWriter) suffix() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := strings.TrimSpace(string(t.buf))
+	if s == "" {
+		return ""
+	}
+	return "; stderr: " + s
+}

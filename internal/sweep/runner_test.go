@@ -1,0 +1,456 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/testbed"
+)
+
+// TestMain lets the proc backend re-execute this test binary as a
+// measurement worker instead of re-running the test suite.
+func TestMain(m *testing.M) {
+	testbed.MaybeServeWorker()
+	os.Exit(m.Run())
+}
+
+// testRequests builds a deterministic batch of seeded measurement
+// requests over a small scenario grid.
+func testRequests(t testing.TB, trials int) []testbed.Request {
+	t.Helper()
+	dev, err := device.ByName("XR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []testbed.Request
+	for _, mode := range []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote} {
+		for _, size := range []float64{300, 500, 700} {
+			sc, err := pipeline.NewScenario(dev,
+				pipeline.WithMode(mode), pipeline.WithFrameSize(size))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := testbed.Request{Scenario: sc, Trials: trials, NoiseRel: testbed.DefaultNoiseRel}
+			seed, err := req.ContentSeed(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Seed = seed
+			reqs = append(reqs, req)
+		}
+	}
+	return reqs
+}
+
+// requireSh skips tests that drive a crashing worker through /bin/sh.
+func requireSh(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh not available")
+	}
+}
+
+// TestPoolRunnerMatchesDirectExecution pins the pool backend against
+// direct serial execution: same requests, bit-identical measurements,
+// at any worker count.
+func TestPoolRunnerMatchesDirectExecution(t *testing.T) {
+	reqs := testRequests(t, 4)
+	exec := testbed.NewExecutor(nil)
+	want := make([]testbed.Measurement, len(reqs))
+	for i, r := range reqs {
+		m, err := exec.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+	for _, workers := range []int{1, 4} {
+		p := &PoolRunner{Workers: workers}
+		got, err := p.Run(context.Background(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: point %d diverges from direct execution", workers, i)
+			}
+		}
+	}
+}
+
+// TestProcRunnerMatchesPool pins the tentpole invariant at the runner
+// layer: subprocess workers reproduce the in-process pool bit for bit —
+// the JSON wire encoding round-trips every float exactly.
+func TestProcRunnerMatchesPool(t *testing.T) {
+	reqs := testRequests(t, 4)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &ProcRunner{Procs: 2}
+	defer pr.Close()
+	got, err := pr.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d diverges across the process boundary:\npool %+v\nproc %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestProcRunnerStreamsInOrder checks prefix-ordered delivery and pool
+// reuse across calls on one persistent runner.
+func TestProcRunnerStreamsInOrder(t *testing.T) {
+	reqs := testRequests(t, 2)
+	pr := &ProcRunner{Procs: 2}
+	defer pr.Close()
+	for round := 0; round < 2; round++ {
+		next := 0
+		err := pr.Stream(context.Background(), reqs, func(idx int, _ testbed.Measurement) error {
+			if idx != next {
+				return fmt.Errorf("emitted %d, want %d", idx, next)
+			}
+			next++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if next != len(reqs) {
+			t.Fatalf("round %d: emitted %d of %d", round, next, len(reqs))
+		}
+	}
+}
+
+// TestProcRunnerWorkerCrash pins crash recovery: a worker that dies
+// mid-shard must surface a descriptive error — exit status and stderr
+// included — not hang the sweep.
+func TestProcRunnerWorkerCrash(t *testing.T) {
+	requireSh(t)
+	reqs := testRequests(t, 2)
+	pr := &ProcRunner{
+		Procs:   2,
+		Command: []string{"sh", "-c", "echo boom >&2; head -c 4 >/dev/null; exit 9"},
+	}
+	defer pr.Close()
+
+	done := make(chan error, 1)
+	go func() { _, err := pr.Run(context.Background(), reqs); done <- err }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("crashed worker must fail the sweep")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "worker") || !strings.Contains(msg, "boom") {
+			t.Fatalf("crash error not descriptive: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep hung on a crashed worker")
+	}
+}
+
+// TestProcRunnerBadCommand checks that an unstartable worker command
+// fails fast with a descriptive error.
+func TestProcRunnerBadCommand(t *testing.T) {
+	pr := &ProcRunner{Procs: 1, Command: []string{"/nonexistent/xrperf-worker"}}
+	defer pr.Close()
+	_, err := pr.Run(context.Background(), testRequests(t, 1))
+	if err == nil || !strings.Contains(err.Error(), "start worker") {
+		t.Fatalf("bad command error = %v", err)
+	}
+}
+
+// TestProcRunnerCancelMidShard pins mid-shard cancelation: canceling the
+// context while workers are deep inside a long measurement must kill the
+// in-flight round trips and return promptly with context.Canceled — the
+// subprocess pipe must not hold the sweep hostage.
+func TestProcRunnerCancelMidShard(t *testing.T) {
+	reqs := testRequests(t, 20_000_000) // several seconds of trials per shard
+	pr := &ProcRunner{Procs: 2}
+	defer pr.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { _, err := pr.Run(ctx, reqs); done <- err }()
+	time.Sleep(200 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("cancelation took %v", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep hung after mid-shard cancelation")
+	}
+}
+
+// TestProcRunnerRecoversAfterRequestError checks that a request-level
+// failure (reported by a healthy worker) surfaces with its message and
+// that the same runner keeps working afterwards — the suspect worker is
+// replaced, not the pool poisoned.
+func TestProcRunnerRecoversAfterRequestError(t *testing.T) {
+	good := testRequests(t, 2)
+	bad := make([]testbed.Request, len(good))
+	copy(bad, good)
+	bad[1].Trials = 0 // worker rejects: "trial count 0"
+	pr := &ProcRunner{Procs: 2}
+	defer pr.Close()
+
+	if _, err := pr.Run(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "trial count") {
+		t.Fatalf("bad request error = %v", err)
+	}
+	if _, err := pr.Run(context.Background(), good); err != nil {
+		t.Fatalf("runner did not recover: %v", err)
+	}
+}
+
+// TestProcRunnerRejectsUnserializable checks the wire-safety gate:
+// scenarios carrying process-local path-loss models cannot cross the
+// worker boundary and must be rejected up front.
+func TestProcRunnerRejectsUnserializable(t *testing.T) {
+	reqs := testRequests(t, 2)
+	reqs[1].Scenario.EdgeLink.Loss = pathLossStub{}
+	pr := &ProcRunner{Procs: 1}
+	defer pr.Close()
+	_, err := pr.Run(context.Background(), reqs)
+	if !errors.Is(err, testbed.ErrRequest) || !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("unserializable request error = %v", err)
+	}
+}
+
+type pathLossStub struct{}
+
+func (pathLossStub) ThroughputFactor(float64) float64 { return 1 }
+
+// TestCachedRunnerMemoizes pins the cache contract: identical cells are
+// measured once per runner lifetime, results are bit-identical to the
+// uncached backend, and in-batch duplicates resolve to one measurement.
+func TestCachedRunnerMemoizes(t *testing.T) {
+	reqs := testRequests(t, 3)
+	dup := append(append([]testbed.Request{}, reqs...), reqs[0], reqs[2])
+
+	want, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCachedRunner(&PoolRunner{})
+	got, err := c.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if got[i] != want[i] {
+			t.Fatalf("cached point %d diverges from uncached backend", i)
+		}
+	}
+	if got[len(reqs)] != want[0] || got[len(reqs)+1] != want[2] {
+		t.Fatal("in-batch duplicates diverge from their originals")
+	}
+	st := c.Stats()
+	if st.Misses != int64(len(reqs)) || st.Hits != 2 {
+		t.Fatalf("after first batch: %+v, want %d misses / 2 hits", st, len(reqs))
+	}
+
+	// A full re-run is served entirely from the cache.
+	again, err := c.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("cache replay diverges at %d", i)
+		}
+	}
+	st = c.Stats()
+	if st.Misses != int64(len(reqs)) || st.Hits != 2+int64(len(dup)) {
+		t.Fatalf("after replay: %+v", st)
+	}
+}
+
+// TestCachedRunnerPassesThroughUnfingerprintable checks that scenarios
+// carrying process-local path-loss models — whose behaviour their JSON
+// encoding cannot capture — execute uncached instead of colliding on a
+// lossy cache key: two behaviourally different models on the same cell
+// must keep their own measurements.
+func TestCachedRunnerPassesThroughUnfingerprintable(t *testing.T) {
+	reqs := testRequests(t, 3)[3:5] // two remote cells
+	withLoss := func(f float64) []testbed.Request {
+		out := make([]testbed.Request, len(reqs))
+		for i, r := range reqs {
+			sc := *r.Scenario
+			sc.EdgeLink.Loss = scaledLoss{f}
+			r.Scenario = &sc
+			out[i] = r
+		}
+		return out
+	}
+	c := NewCachedRunner(&PoolRunner{})
+	strong, err := c.Run(context.Background(), withLoss(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := c.Run(context.Background(), withLoss(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range strong {
+		if strong[i] == weak[i] {
+			t.Fatalf("point %d: distinct path-loss models returned one cached measurement", i)
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("unfingerprintable requests leaked into the cache: %+v", st)
+	}
+}
+
+type scaledLoss struct{ f float64 }
+
+func (l scaledLoss) ThroughputFactor(float64) float64 { return l.f }
+
+// TestCachedRunnerConcurrentSingleflight checks that identical cells
+// requested by concurrent batches (the RunAll shape: many experiments
+// sharing grid cells) are measured exactly once.
+func TestCachedRunnerConcurrentSingleflight(t *testing.T) {
+	reqs := testRequests(t, 3)
+	c := NewCachedRunner(&PoolRunner{})
+	const callers = 8
+	results := make([][]testbed.Measurement, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms, err := c.Run(context.Background(), reqs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ms
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		for j := range reqs {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("caller %d point %d diverges", i, j)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != int64(len(reqs)) {
+		t.Fatalf("measured %d cells across %d concurrent callers, want %d", st.Misses, callers, len(reqs))
+	}
+	if st.Hits != int64((callers-1)*len(reqs)) {
+		t.Fatalf("hits = %d, want %d", st.Hits, (callers-1)*len(reqs))
+	}
+}
+
+// flakyFirstRunner hangs its first Stream call until that call's context
+// is canceled (simulating an owner whose batch dies mid-measurement) and
+// delegates every later call to a real pool.
+type flakyFirstRunner struct {
+	inner PoolRunner
+	calls atomic.Int64
+}
+
+func (f *flakyFirstRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(int, testbed.Measurement) error) error {
+	if f.calls.Add(1) == 1 {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return f.inner.Stream(ctx, reqs, emit)
+}
+
+func (f *flakyFirstRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
+		return f.Stream(ctx, reqs, emit)
+	})
+}
+
+// TestCachedRunnerWaiterSurvivesForeignCancel pins the singleflight
+// cancelation semantics: a caller waiting on another caller's in-flight
+// measurement must not inherit that caller's cancelation — when the
+// owner dies canceled, a live waiter re-dispatches the cell and
+// succeeds.
+func TestCachedRunnerWaiterSurvivesForeignCancel(t *testing.T) {
+	reqs := testRequests(t, 2)[:1]
+	want, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fr := &flakyFirstRunner{}
+	c := NewCachedRunner(fr)
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctxA, reqs)
+		aDone <- err
+	}()
+	for fr.calls.Load() == 0 { // A owns the entry once its backend is called
+		time.Sleep(time.Millisecond)
+	}
+	type bResult struct {
+		ms  []testbed.Measurement
+		err error
+	}
+	bDone := make(chan bResult, 1)
+	go func() {
+		ms, err := c.Run(context.Background(), reqs)
+		bDone <- bResult{ms, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let B classify as a waiter on A's entry
+	cancelA()
+
+	if err := <-aDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	b := <-bDone
+	if b.err != nil {
+		t.Fatalf("live waiter inherited the owner's cancelation: %v", b.err)
+	}
+	if b.ms[0] != want[0] {
+		t.Fatal("retried measurement diverges from the uncached backend")
+	}
+}
+
+// TestCachedRunnerEvictsFailures checks that a failed measurement is not
+// memoized: the cell retries on the next call instead of replaying the
+// error forever.
+func TestCachedRunnerEvictsFailures(t *testing.T) {
+	reqs := testRequests(t, 2)
+	reqs[1].Trials = 0 // fails at the bench
+	c := NewCachedRunner(&PoolRunner{})
+	if _, err := c.Run(context.Background(), reqs); err == nil {
+		t.Fatal("bad request must fail")
+	}
+	before := c.Stats()
+	if _, err := c.Run(context.Background(), reqs); err == nil {
+		t.Fatal("bad request must fail again (not a cached success)")
+	}
+	after := c.Stats()
+	if after.Misses <= before.Misses {
+		t.Fatalf("failed cell was not retried: %+v → %+v", before, after)
+	}
+	if after.Entries > 1 {
+		t.Fatalf("failed cell left %d entries memoized", after.Entries)
+	}
+}

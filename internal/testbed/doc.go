@@ -16,4 +16,12 @@
 // order, while Bench.MeasureFramesSeeded draws from a caller-supplied
 // seed and is the concurrency-safe, order-independent form every
 // experiment and sweep uses.
+//
+// Request is the serializable unit of that seeded form: scenario, trial
+// count, noise level, and seed (or, for analyze requests, a FitConfig
+// identifying a reconstructible model bundle) — everything any process
+// needs to reproduce an observation bit for bit. Executor runs requests
+// locally; Serve/MaybeServeWorker expose the same execution over a
+// length-delimited JSON protocol on stdin/stdout, which is how `xrperf
+// worker` subprocesses answer the proc sweep backend.
 package testbed

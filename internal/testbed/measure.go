@@ -59,11 +59,12 @@ type Measurement struct {
 // stream and is therefore not safe for concurrent use; parallel sweeps
 // use MeasureFramesSeeded instead.
 func (b *Bench) MeasureFrame(sc *pipeline.Scenario) (Measurement, error) {
-	return b.measureFrame(sc, b.rng)
+	return b.measureFrame(sc, b.rng, b.NoiseRel)
 }
 
-// measureFrame samples the hidden physics once, jittered by rng.
-func (b *Bench) measureFrame(sc *pipeline.Scenario, rng *stats.RNG) (Measurement, error) {
+// measureFrame samples the hidden physics once, jittered by rng with the
+// given relative noise.
+func (b *Bench) measureFrame(sc *pipeline.Scenario, rng *stats.RNG, noiseRel float64) (Measurement, error) {
 	if sc == nil {
 		return Measurement{}, errors.New("testbed: nil scenario")
 	}
@@ -73,8 +74,8 @@ func (b *Bench) measureFrame(sc *pipeline.Scenario, rng *stats.RNG) (Measurement
 		return Measurement{}, fmt.Errorf("true physics: %w", err)
 	}
 	return Measurement{
-		LatencyMs: rng.Jitter(lb.Total, b.NoiseRel),
-		EnergyMJ:  rng.Jitter(eb.Total, b.NoiseRel),
+		LatencyMs: rng.Jitter(lb.Total, noiseRel),
+		EnergyMJ:  rng.Jitter(eb.Total, noiseRel),
 		Latency:   lb,
 		Energy:    eb,
 	}, nil
@@ -85,7 +86,7 @@ func (b *Bench) measureFrame(sc *pipeline.Scenario, rng *stats.RNG) (Measurement
 // √n while systematic physics remains. It draws from the bench's shared
 // monitor stream and is therefore not safe for concurrent use.
 func (b *Bench) MeasureFrames(sc *pipeline.Scenario, n int) (Measurement, error) {
-	return b.measureFrames(sc, n, b.rng)
+	return b.measureFramesNoise(sc, n, b.rng, b.NoiseRel)
 }
 
 // MeasureFramesSeeded averages n frame measurements whose monitor noise is
@@ -95,17 +96,18 @@ func (b *Bench) MeasureFrames(sc *pipeline.Scenario, n int) (Measurement, error)
 // across sweep workers (the hidden physics is read-only) and lets a
 // parallel sweep reproduce a serial one bit-for-bit.
 func (b *Bench) MeasureFramesSeeded(sc *pipeline.Scenario, n int, seed int64) (Measurement, error) {
-	return b.measureFrames(sc, n, stats.NewRNG(seed))
+	return b.measureFramesNoise(sc, n, stats.NewRNG(seed), b.NoiseRel)
 }
 
-// measureFrames averages n measurements jittered by rng.
-func (b *Bench) measureFrames(sc *pipeline.Scenario, n int, rng *stats.RNG) (Measurement, error) {
+// measureFramesNoise averages n measurements jittered by rng at the given
+// relative noise level.
+func (b *Bench) measureFramesNoise(sc *pipeline.Scenario, n int, rng *stats.RNG, noiseRel float64) (Measurement, error) {
 	if n <= 0 {
 		return Measurement{}, fmt.Errorf("testbed: trial count %d", n)
 	}
 	var acc Measurement
 	for i := 0; i < n; i++ {
-		m, err := b.measureFrame(sc, rng)
+		m, err := b.measureFrame(sc, rng, noiseRel)
 		if err != nil {
 			return Measurement{}, err
 		}

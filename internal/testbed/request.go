@@ -1,0 +1,241 @@
+package testbed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/energy"
+	"repro/internal/latency"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// RequestOp selects what an execution backend does with a Request.
+type RequestOp string
+
+const (
+	// OpMeasure samples the bench's hidden physics with monitor noise —
+	// the ground-truth measurement of the paper's controlled trials.
+	OpMeasure RequestOp = "measure"
+	// OpAnalyze evaluates the analytical models (paper coefficients or a
+	// re-fitted bundle identified by FitConfig) on the scenario,
+	// noise-free.
+	OpAnalyze RequestOp = "analyze"
+)
+
+// ErrRequest indicates an invalid or unserializable request.
+var ErrRequest = errors.New("testbed: invalid request")
+
+// FitConfig identifies a re-fitted model bundle by the inputs that fully
+// determine it: fitting is a pure function of the bench seed and the
+// dataset sizes, so any process can reconstruct the exact same models
+// from these three numbers.
+type FitConfig struct {
+	// Seed is the bench seed the datasets are generated from.
+	Seed int64 `json:"seed"`
+	// TrainRows and TestRows are the Section VII dataset sizes.
+	TrainRows int `json:"train_rows"`
+	TestRows  int `json:"test_rows"`
+}
+
+// Request is one serializable unit of backend work: everything a worker —
+// in this process or a subprocess — needs to reproduce the observation
+// bit for bit. A measure request depends only on (Scenario, Trials, Seed,
+// NoiseRel); an analyze request only on (Scenario, Fit). Neither depends
+// on process state, which is what lets sweep backends dispatch requests
+// anywhere and lets a cache memoize them by content.
+type Request struct {
+	// Op selects the work kind; empty means OpMeasure.
+	Op RequestOp `json:"op,omitempty"`
+	// Scenario is the operating configuration under test.
+	Scenario *pipeline.Scenario `json:"scenario"`
+	// Trials is the measurement-averaging count (measure only).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the monitor-noise seed (measure only).
+	Seed int64 `json:"seed,omitempty"`
+	// NoiseRel is the relative monitor noise (measure only). It is
+	// authoritative: 0 means a noise-free monitor, never "the executing
+	// bench's default" — a fallback would resolve differently in a
+	// worker subprocess than in the caller's bench and break the
+	// byte-identical-across-backends contract.
+	NoiseRel float64 `json:"noise_rel,omitempty"`
+	// Fit identifies the re-fitted model bundle for analyze requests;
+	// nil means the paper's published coefficients.
+	Fit *FitConfig `json:"fit,omitempty"`
+}
+
+func (r Request) op() RequestOp {
+	if r.Op == "" {
+		return OpMeasure
+	}
+	return r.Op
+}
+
+// Fingerprint returns the request's canonical content key: the JSON
+// encoding of every field except Seed (struct-order keys, shortest
+// round-trip floats, no maps — so the bytes are deterministic). Two
+// requests with equal fingerprints describe the same work on the same
+// inputs; a memoizing cache keys on (Fingerprint, Seed). Requests that
+// are not wire-safe have no fingerprint: a process-local path-loss
+// model's behaviour is not captured by its JSON encoding, so two
+// distinct models could otherwise collide on one key and a cache would
+// serve the wrong measurement. Such requests execute uncached, on
+// in-process backends only.
+func (r Request) Fingerprint() (string, error) {
+	if err := r.WireSafe(); err != nil {
+		return "", err
+	}
+	c := r
+	c.Op = r.op()
+	c.Seed = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrRequest, err)
+	}
+	return string(b), nil
+}
+
+// ContentSeed derives the request's deterministic monitor-noise seed from
+// a base seed and the request's own content: FNV-1a over the fingerprint,
+// mixed with base through a SplitMix64 finalizer. The derivation depends
+// on nothing but (base, content), so the same grid cell requested by two
+// different experiments — or two different backends — draws the same
+// noise stream and yields the same observation, making cross-experiment
+// memoization sound.
+func (r Request) ContentSeed(base int64) (int64, error) {
+	fp, err := r.Fingerprint()
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	z := uint64(base) ^ h.Sum64()
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z), nil
+}
+
+// WireSafe reports whether the request survives a JSON round trip to a
+// worker subprocess. Path-loss models are Go interfaces and therefore
+// process-local; scenarios carrying one must run on an in-process
+// backend.
+func (r Request) WireSafe() error {
+	if r.Scenario == nil {
+		return fmt.Errorf("%w: nil scenario", ErrRequest)
+	}
+	if r.Scenario.EdgeLink.Loss != nil {
+		return fmt.Errorf("%w: edge-link path-loss model is process-local and cannot cross a worker boundary", ErrRequest)
+	}
+	if r.Scenario.Coop != nil && r.Scenario.Coop.Link.Loss != nil {
+		return fmt.Errorf("%w: cooperation-link path-loss model is process-local and cannot cross a worker boundary", ErrRequest)
+	}
+	return nil
+}
+
+// Do executes one measure request against the bench. The observation
+// depends only on the request's content and seed — never on what the
+// bench measured before — so it is safe for concurrent use and
+// reproducible in any process with the same (deterministic) physics.
+func (b *Bench) Do(req Request) (Measurement, error) {
+	if op := req.op(); op != OpMeasure {
+		return Measurement{}, fmt.Errorf("%w: bench cannot execute op %q", ErrRequest, op)
+	}
+	if req.Scenario == nil {
+		return Measurement{}, fmt.Errorf("%w: nil scenario", ErrRequest)
+	}
+	return b.measureFramesNoise(req.Scenario, req.Trials, stats.NewRNG(req.Seed), req.NoiseRel)
+}
+
+// Executor evaluates requests with process-local resources: a bench for
+// measure requests and a lazily fitted, memoized model bundle per
+// FitConfig for analyze requests. It is safe for concurrent use.
+type Executor struct {
+	bench *Bench
+
+	mu   sync.Mutex
+	fits map[FitConfig]fitEntry
+}
+
+type fitEntry struct {
+	models energy.Models
+	err    error
+}
+
+// NewExecutor builds an executor; a nil bench gets a default one (the
+// hidden physics is deterministic, so any two default benches measure
+// identically for seeded requests).
+func NewExecutor(bench *Bench) *Executor {
+	if bench == nil {
+		bench = NewBench(0)
+	}
+	return &Executor{bench: bench, fits: make(map[FitConfig]fitEntry)}
+}
+
+// Do executes one request.
+func (e *Executor) Do(req Request) (Measurement, error) {
+	switch req.op() {
+	case OpMeasure:
+		return e.bench.Do(req)
+	case OpAnalyze:
+		return e.analyze(req)
+	default:
+		return Measurement{}, fmt.Errorf("%w: unknown op %q", ErrRequest, req.Op)
+	}
+}
+
+// analyze evaluates the analytical model bundle on the scenario and
+// reports the noise-free breakdowns in Measurement form.
+func (e *Executor) analyze(req Request) (Measurement, error) {
+	if req.Scenario == nil {
+		return Measurement{}, fmt.Errorf("%w: nil scenario", ErrRequest)
+	}
+	models, err := e.models(req.Fit)
+	if err != nil {
+		return Measurement{}, err
+	}
+	eb, lb, err := models.FrameEnergy(req.Scenario)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("analyze: %w", err)
+	}
+	return Measurement{
+		LatencyMs: lb.Total,
+		EnergyMJ:  eb.Total,
+		Latency:   lb,
+		Energy:    eb,
+	}, nil
+}
+
+// models resolves the bundle for a fit config, refitting at most once per
+// distinct config per executor. Fitting is deterministic in the config,
+// so every process resolves the same coefficients.
+func (e *Executor) models(fc *FitConfig) (energy.Models, error) {
+	if fc == nil {
+		return energy.PaperModels(), nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.fits[*fc]; ok {
+		return ent.models, ent.err
+	}
+	ent := fitEntry{}
+	fitted, err := NewBench(fc.Seed).FitModels(fc.TrainRows, fc.TestRows)
+	if err != nil {
+		ent.err = fmt.Errorf("refit %+v: %w", *fc, err)
+	} else {
+		lm := latency.Models{
+			Resource:   fitted.Resource,
+			Encoder:    fitted.Encoder,
+			Complexity: fitted.Complexity,
+		}
+		ent.models = energy.Models{Latency: lm, Power: fitted.Power}
+	}
+	e.fits[*fc] = ent
+	return ent.models, ent.err
+}

@@ -1,0 +1,143 @@
+package testbed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WorkerEnv is the environment marker the proc sweep backend sets on its
+// subprocesses. `xrperf worker` serves regardless; test binaries hook
+// MaybeServeWorker into TestMain so the re-executed binary becomes a
+// worker instead of re-running the test suite.
+const WorkerEnv = "XRPERF_PROC_WORKER"
+
+// MaxFrameBytes bounds a single protocol frame; larger length prefixes
+// indicate a corrupt or hostile stream and are rejected.
+const MaxFrameBytes = 8 << 20
+
+// ErrFrame indicates a malformed protocol frame.
+var ErrFrame = errors.New("testbed: bad protocol frame")
+
+// WireRequest is one framed request of the worker protocol: the
+// dispatcher tags each Request with its shard index so responses can be
+// matched and merged in order.
+type WireRequest struct {
+	// ID is the dispatcher-chosen request tag (the shard index).
+	ID int `json:"id"`
+	// Req is the work unit.
+	Req Request `json:"req"`
+}
+
+// WireResponse is one framed response.
+type WireResponse struct {
+	// ID echoes the request tag.
+	ID int `json:"id"`
+	// M is the result when Err is empty.
+	M Measurement `json:"m"`
+	// Err carries a request-level failure; the worker stays alive.
+	Err string `json:"err,omitempty"`
+}
+
+// WriteFrame encodes v as JSON behind a 4-byte big-endian length prefix.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: encode: %v", ErrFrame, err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes exceeds limit %d", ErrFrame, len(payload), MaxFrameBytes)
+	}
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(len(payload)))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame decodes one length-prefixed JSON frame into v. A clean EOF
+// before the first header byte returns io.EOF; EOF mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, v any) error {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("%w: declared length %d exceeds limit %d", ErrFrame, n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: decode: %v", ErrFrame, err)
+	}
+	return nil
+}
+
+// Serve runs the worker loop: read framed requests from r until EOF,
+// execute each on a process-local Executor, and write framed responses
+// to w in arrival order. Request-level failures (bad trials, invalid
+// scenario) are reported in the response and do not kill the worker;
+// protocol-level failures (corrupt frame, broken pipe) return an error.
+// The hidden physics is deterministic, so a worker's observations for
+// seeded requests match any other process's bit for bit.
+func Serve(r io.Reader, w io.Writer) error {
+	exec := NewExecutor(nil)
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	for {
+		var req WireRequest
+		if err := ReadFrame(br, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("worker read: %w", err)
+		}
+		resp := WireResponse{ID: req.ID}
+		m, err := exec.Do(req.Req)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.M = m
+		}
+		if err := WriteFrame(bw, resp); err != nil {
+			return fmt.Errorf("worker write: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("worker flush: %w", err)
+		}
+	}
+}
+
+// MaybeServeWorker turns the current process into a measurement worker —
+// serving the wire protocol on stdin/stdout until EOF, then exiting —
+// when WorkerEnv is set. Binaries that may be re-executed by the proc
+// backend (most importantly test binaries, whose TestMain should call
+// this before m.Run) use it to answer the backend instead of running
+// their normal main path. It returns immediately when the marker is
+// absent.
+func MaybeServeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xrperf worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
