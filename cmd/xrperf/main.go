@@ -18,11 +18,14 @@
 //
 // The experiment, all, sweep, and report subcommands share the suite
 // flags -seed/-train/-test/-trials/-workers plus the backend flags
-// -backend pool|proc and -procs; every output is byte-identical for any
-// backend at any -workers/-procs value. The proc backend shards
-// measurements across `xrperf worker` subprocesses speaking a
-// length-delimited JSON protocol; both backends run under a memoizing
-// measurement cache, whose counters are reported on stderr.
+// -backend pool|proc, -procs, and -cache-dir; every output is
+// byte-identical for any backend at any -workers/-procs value. The proc
+// backend shards measurements across `xrperf worker` subprocesses
+// speaking a length-delimited JSON protocol; both backends run under a
+// memoizing measurement cache, whose counters are reported on stderr.
+// -cache-dir persists measured cells on disk, so a warm re-run of the
+// same configuration dispatches zero backend measurements and still
+// prints the same bytes.
 package main
 
 import (
@@ -116,8 +119,10 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "                               (spawned by -backend proc; length-delimited JSON)")
 	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report): -seed N -train N -test N")
 	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc -procs N")
-	fmt.Fprintln(out, "                               (0 = GOMAXPROCS; output is byte-identical for any")
-	fmt.Fprintln(out, "                               backend at any parallelism)")
+	fmt.Fprintln(out, "                               -cache-dir DIR (0 = GOMAXPROCS; output is")
+	fmt.Fprintln(out, "                               byte-identical for any backend at any parallelism;")
+	fmt.Fprintln(out, "                               -cache-dir persists measurements so warm re-runs")
+	fmt.Fprintln(out, "                               dispatch nothing)")
 }
 
 func runDevices(out io.Writer) error {
@@ -144,7 +149,7 @@ func runCNNs(out io.Writer) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int, backend *string, procs *int) {
+func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int, backend *string, procs *int, cacheDir *string) {
 	seed = fs.Int64("seed", 42, "bench RNG seed")
 	train = fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
 	test = fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
@@ -152,7 +157,24 @@ func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *in
 	workers = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; output identical for any value)")
 	backend = fs.String("backend", "pool", "measurement backend: pool (in-process) or proc (xrperf worker subprocesses)")
 	procs = fs.Int("procs", 0, "proc backend: worker subprocess count (0 = GOMAXPROCS)")
+	cacheDir = fs.String("cache-dir", "", "persist measured cells on disk so warm re-runs dispatch nothing (empty = in-memory cache only)")
 	return
+}
+
+// openDiskCache opens the persistent measurement store for -cache-dir.
+// An unusable directory degrades to the in-memory cache with a warning
+// on stderr instead of failing the run: a broken cache must never block
+// an evaluation it can only accelerate.
+func openDiskCache(dir string) *sweep.DiskCache {
+	if dir == "" {
+		return nil
+	}
+	disk, err := sweep.OpenDiskCache(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xrperf: %v; continuing with the in-memory cache only\n", err)
+		return nil
+	}
+	return disk
 }
 
 // buildSuite parses the shared suite flags and assembles the suite with
@@ -160,7 +182,7 @@ func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *in
 // backend's worker subprocesses) and must run after the command's last
 // measurement.
 func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, cleanup func(), err error) {
-	seed, train, test, trials, workers, backend, procs := suiteFlags(fs)
+	seed, train, test, trials, workers, backend, procs, cacheDir := suiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
@@ -170,13 +192,15 @@ func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, clea
 	}
 	suite.Trials = *trials
 	suite.Workers = *workers
+	suite.Disk = openDiskCache(*cacheDir)
 	cleanup = func() {}
 	switch *backend {
 	case "pool":
-		// Default backend: suite builds its own cached in-process pool.
+		// Default backend: suite builds its own cached in-process pool
+		// (persistent when -cache-dir is usable).
 	case "proc":
 		pr := &sweep.ProcRunner{Procs: *procs}
-		suite.Runner = sweep.NewCachedRunner(pr)
+		suite.Runner = sweep.NewCachedRunner(pr, sweep.WithDiskCache(suite.Disk))
 		cleanup = func() { _ = pr.Close() }
 	default:
 		return nil, nil, fmt.Errorf("-backend: unknown backend %q (pool or proc)", *backend)
@@ -188,10 +212,16 @@ func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, clea
 // never stdout, which stays byte-identical across backends and
 // parallelism.
 func printCacheStats(suite *experiments.Suite) {
-	if st, ok := suite.CacheStats(); ok && st.Misses+st.Hits > 0 {
-		fmt.Fprintf(os.Stderr, "xrperf: measurement cache: %d unique cells measured, %d served from cache\n",
-			st.Misses, st.Hits)
+	st, ok := suite.CacheStats()
+	if !ok || st.Misses+st.Hits+st.DiskHits == 0 {
+		return
 	}
+	line := fmt.Sprintf("xrperf: measurement cache: %d unique cells measured, %d served from cache",
+		st.Misses, st.Hits+st.DiskHits)
+	if st.DiskHits > 0 {
+		line += fmt.Sprintf(" (%d loaded from disk)", st.DiskHits)
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 func runFit(args []string, out io.Writer) error {

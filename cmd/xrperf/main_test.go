@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -281,6 +282,62 @@ func TestSweepFormatCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"sweep", "-format", "tsv"}, &buf); err == nil {
 		t.Fatal("unknown format must error")
+	}
+}
+
+// TestReportWarmCacheDir pins the persistent cache at the CLI surface:
+// a second `report -cache-dir` run over the same directory prints
+// byte-identical output, and the cache survives across backends — a
+// warm proc-backend run reads the pool run's entries.
+func TestReportWarmCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	args := func(extra ...string) []string {
+		return append(append([]string{"report", "-cache-dir", dir}, extra...), fastFlags...)
+	}
+	cold := runCLI(t, args()...)
+	warm := runCLI(t, args()...)
+	if cold != warm {
+		t.Fatalf("warm -cache-dir report diverges from cold run:\n--- cold\n%s\n--- warm\n%s", cold, warm)
+	}
+	uncached := runCLI(t, append([]string{"report"}, fastFlags...)...)
+	if warm != uncached {
+		t.Fatal("-cache-dir changed the report bytes")
+	}
+	if proc := runCLI(t, args("-backend", "proc", "-procs", "2")...); proc != cold {
+		t.Fatal("warm proc-backend report diverges from the pool run that filled the cache")
+	}
+}
+
+// TestCacheDirSeparatesConfigurations checks that the cache key carries
+// the full cell configuration: runs at different seeds share a
+// directory without serving each other's measurements.
+func TestCacheDirSeparatesConfigurations(t *testing.T) {
+	dir := t.TempDir()
+	args := func(seed string) []string {
+		return append([]string{"experiment", "fig4a", "-cache-dir", dir, "-seed", seed}, fastFlags...)
+	}
+	a := runCLI(t, args("1")...)
+	b := runCLI(t, args("2")...)
+	if a == b {
+		t.Fatal("different seeds printed one output; the shared cache dir leaked entries across configurations")
+	}
+	if again := runCLI(t, args("1")...); again != a {
+		t.Fatal("warm seed-1 run diverges from its own cold run")
+	}
+}
+
+// TestCacheDirUnusableDegrades pins the degradation rule: an unusable
+// -cache-dir (here: a regular file) must warn and fall back to the
+// in-memory cache, not fail the run or change its output.
+func TestCacheDirUnusableDegrades(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	degraded := runCLI(t, append([]string{"experiment", "fig4a", "-cache-dir", file}, fastFlags...)...)
+	plain := runCLI(t, append([]string{"experiment", "fig4a"}, fastFlags...)...)
+	if degraded != plain {
+		t.Fatal("degraded cache run diverges from the in-memory run")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"context"
 	"math"
 	"os"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/aoi"
@@ -315,6 +316,83 @@ func TestReportByteIdenticalAcrossBackends(t *testing.T) {
 		if pst, ok := procSuite.CacheStats(); !ok || pst.Misses != 36 {
 			t.Fatalf("proc cache measured %d cells, want 36", pst.Misses)
 		}
+	}
+}
+
+// countingRunner wraps a backend and counts every request dispatched to
+// it, so a test can assert a warm cache dispatches exactly zero.
+type countingRunner struct {
+	inner      sweep.Runner
+	dispatched atomic.Int64
+}
+
+func (c *countingRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	c.dispatched.Add(int64(len(reqs)))
+	return c.inner.Run(ctx, reqs)
+}
+
+func (c *countingRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(int, testbed.Measurement) error) error {
+	c.dispatched.Add(int64(len(reqs)))
+	return c.inner.Stream(ctx, reqs, emit)
+}
+
+// TestWarmDiskCacheReportByteIdentical pins this PR's tentpole
+// acceptance criterion end to end: with a persistent cache directory, a
+// second (warm) full-report run — a fresh suite and a fresh store
+// handle, as a new process would hold — must be byte-identical to the
+// cold run and dispatch zero measurements to the backend, with
+// consistent counters.
+func TestWarmDiskCacheReportByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	newSuite := func() *experiments.Suite {
+		t.Helper()
+		s, err := experiments.NewSuite(42, 4000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Trials = 5
+		s.Workers = 4
+		return s
+	}
+
+	coldDisk, err := sweep.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := newSuite()
+	cold.Disk = coldDisk
+	var coldBuf bytes.Buffer
+	if err := cold.WriteReport(&coldBuf); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := cold.CacheStats(); !ok || st.Misses != 36 || st.DiskHits != 0 {
+		t.Fatalf("cold run counters: %+v, want 36 measured / 0 from disk", st)
+	}
+	if st := coldDisk.Stats(); st.Stores != 36 {
+		t.Fatalf("cold run persisted %d cells, want 36", st.Stores)
+	}
+
+	warmDisk, err := sweep.OpenDiskCache(dir) // fresh handle: a new process
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := &countingRunner{inner: &sweep.PoolRunner{Workers: 4}}
+	warm := newSuite()
+	warm.Runner = sweep.NewCachedRunner(backend, sweep.WithDiskCache(warmDisk))
+	var warmBuf bytes.Buffer
+	if err := warm.WriteReport(&warmBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	if warmBuf.String() != coldBuf.String() {
+		t.Fatal("warm report diverges from the cold report")
+	}
+	if n := backend.dispatched.Load(); n != 0 {
+		t.Fatalf("warm run dispatched %d measurements to the backend, want 0", n)
+	}
+	st, ok := warm.CacheStats()
+	if !ok || st.Misses != 0 || st.DiskHits != 36 || st.Hits != 123-36 {
+		t.Fatalf("warm run counters: %+v, want 0 measured / 36 from disk / 87 memory hits", st)
 	}
 }
 

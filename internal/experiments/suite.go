@@ -69,6 +69,13 @@ type Suite struct {
 	// measurements elsewhere; every backend produces byte-identical
 	// results at any parallelism.
 	Runner sweep.Runner
+	// Disk optionally persists measured cells across suite lifetimes
+	// and processes: the default cached runner consults it before
+	// dispatching to the backend and writes completed measurements
+	// back, so a warm run re-measures nothing yet stays byte-identical.
+	// It only applies to the default runner; a custom Runner attaches
+	// its own store via sweep.WithDiskCache. Set before the first run.
+	Disk *sweep.DiskCache
 
 	defOnce   sync.Once
 	defRunner sweep.Runner
@@ -84,13 +91,14 @@ func (s *Suite) runner() sweep.Runner {
 		s.defRunner = sweep.NewCachedRunner(&sweep.PoolRunner{
 			Workers: s.Workers,
 			Exec:    testbed.NewExecutor(s.Bench),
-		})
+		}, sweep.WithDiskCache(s.Disk))
 	})
 	return s.defRunner
 }
 
-// CacheStats reports the measurement cache's counters; ok is false when
-// the suite runs on a custom uncached Runner.
+// CacheStats reports the measurement cache's counters (including disk
+// hits when a persistent store is attached); ok is false when the suite
+// runs on a custom uncached Runner.
 func (s *Suite) CacheStats() (sweep.CacheStats, bool) {
 	c, ok := s.runner().(*sweep.CachedRunner)
 	if !ok {

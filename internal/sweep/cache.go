@@ -2,15 +2,17 @@ package sweep
 
 import (
 	"context"
-	"errors"
+	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/testbed"
 )
 
-// CacheStats reports the memoizing cache's counters.
+// CacheStats reports the memoizing cache's counters. Snapshots are
+// consistent: every counter is read under the one lock that guards the
+// entry map, so Hits+Misses+DiskHits always equals the number of
+// classified requests at some single instant, even mid-run.
 type CacheStats struct {
 	// Hits counts requests served without a new backend measurement —
 	// from a completed entry, by waiting on an identical in-flight
@@ -18,7 +20,11 @@ type CacheStats struct {
 	Hits int64
 	// Misses counts measurements actually dispatched to the backend.
 	Misses int64
-	// Entries counts distinct cells currently memoized.
+	// DiskHits counts cells loaded from the persistent store instead of
+	// being measured; each cell is counted once, when it is loaded.
+	DiskHits int64
+	// Entries counts distinct cells memoized with a completed
+	// measurement; cells still in flight are not counted.
 	Entries int
 }
 
@@ -40,6 +46,17 @@ func (e *cacheEntry) complete(m testbed.Measurement) {
 	})
 }
 
+// completed reports whether the entry holds a final successful
+// measurement.
+func (e *cacheEntry) completed() bool {
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
 // CachedRunner memoizes measurements across calls by content key —
 // (Request.Fingerprint, Seed) — on top of any backend. Because a seeded
 // request is a pure function of exactly that key, serving a repeat from
@@ -50,33 +67,59 @@ func (e *cacheEntry) complete(m testbed.Measurement) {
 // and the rest wait on it. Requests that cannot be fingerprinted pass
 // through uncached.
 //
-// Entries live for the runner's lifetime — one evaluation run — which is
-// bounded by the experiment grids. A measurement that fails is evicted
-// so a later call can retry it.
+// In-memory entries live for the runner's lifetime — one evaluation
+// run — which is bounded by the experiment grids. A measurement that
+// fails is evicted so a later call can retry it. With a DiskCache
+// attached (WithDiskCache), entries additionally persist across runner
+// lifetimes and processes: a cell found on disk is served without any
+// backend dispatch, and every cell the backend measures is written back.
 type CachedRunner struct {
 	backend Runner
+	disk    *DiskCache
 
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	hits     int64
+	misses   int64
+	diskHits int64
+}
 
-	hits   atomic.Int64
-	misses atomic.Int64
+// CacheOption configures a CachedRunner.
+type CacheOption func(*CachedRunner)
+
+// WithDiskCache attaches a persistent store: cells found on disk are
+// served without a backend dispatch, and measured cells are written
+// back. A nil store leaves the runner memory-only.
+func WithDiskCache(d *DiskCache) CacheOption {
+	return func(c *CachedRunner) { c.disk = d }
 }
 
 // NewCachedRunner wraps backend with the memoizing measurement cache.
-func NewCachedRunner(backend Runner) *CachedRunner {
-	return &CachedRunner{backend: backend, entries: make(map[string]*cacheEntry)}
+func NewCachedRunner(backend Runner, opts ...CacheOption) *CachedRunner {
+	c := &CachedRunner{backend: backend, entries: make(map[string]*cacheEntry)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // Backend returns the wrapped runner.
 func (c *CachedRunner) Backend() Runner { return c.backend }
 
-// Stats returns the current counters.
+// Disk returns the attached persistent store, or nil.
+func (c *CachedRunner) Disk() *DiskCache { return c.disk }
+
+// Stats returns a consistent snapshot of the counters.
 func (c *CachedRunner) Stats() CacheStats {
 	c.mu.Lock()
-	n := len(c.entries)
-	c.mu.Unlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.completed() {
+			n++
+		}
+	}
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Entries: n}
 }
 
 // Run implements Runner.
@@ -84,6 +127,18 @@ func (c *CachedRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testb
 	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
 		return c.Stream(ctx, reqs, emit)
 	})
+}
+
+// maxWaiters bounds the per-request waiter fan-out of one Stream call.
+// Waiters spend their lives blocked on an entry channel, so the pool
+// need not scale with the batch: enough slots to keep the emit prefix
+// moving suffices, and a large sweep no longer spawns one goroutine per
+// request.
+func maxWaiters(n int) int {
+	if max := 8 * runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
 }
 
 // Stream implements Runner: cache misses are dispatched to the backend
@@ -95,19 +150,27 @@ func (c *CachedRunner) Stream(ctx context.Context, reqs []testbed.Request, emit 
 	if n == 0 {
 		return ctx.Err()
 	}
-	entries, keys, ownedIdx, ownedReqs := c.classify(reqs)
+	entries, keys, fps, owned, ownedIdx, ownedReqs := c.classify(reqs)
 
 	cctx, cancel := context.WithCancel(ctx)
 	bgDone := make(chan struct{})
+	var writes *diskWriter
 	if len(ownedIdx) == 0 {
 		close(bgDone)
 	} else {
+		// Write-backs run on their own goroutine so persisting one cell
+		// never stalls the backend's ordered delivery of the next; the
+		// channel holds every possible write, so sends cannot block.
+		writes = newDiskWriter(c.disk, len(ownedIdx))
 		go func() {
 			defer close(bgDone)
 			err := c.backend.Stream(cctx, ownedReqs, func(j int, m testbed.Measurement) error {
-				entries[ownedIdx[j]].complete(m)
+				i := ownedIdx[j]
+				entries[i].complete(m)
+				writes.enqueue(fps[i], reqs[i].Seed, m)
 				return nil
 			})
+			writes.finish()
 			if err != nil {
 				// Any owned entry the backend never delivered fails with
 				// the batch error and is evicted so future calls retry;
@@ -120,25 +183,34 @@ func (c *CachedRunner) Stream(ctx context.Context, reqs []testbed.Request, emit 
 	}
 	defer func() {
 		cancel()
-		<-bgDone // owned entries are final before waiters can observe a torn state
+		<-bgDone      // owned entries are final before waiters can observe a torn state
+		writes.wait() // persisted before return, so a follow-up process runs warm
 	}()
 
-	// One waiter per request gives the generic engine its usual ordered
-	// merge and lowest-index error selection over cached, in-flight, and
-	// owned cells alike.
-	return Stream(ctx, n, Options{Workers: n},
+	// One waiter per request (capped — waiters only block on entry
+	// channels) gives the generic engine its usual ordered merge and
+	// lowest-index error selection over cached, in-flight, and owned
+	// cells alike.
+	return Stream(ctx, n, Options{Workers: maxWaiters(n)},
 		func(fctx context.Context, sh Shard) (testbed.Measurement, error) {
 			e := entries[sh.Index]
 			select {
 			case <-e.done:
-				if e.err != nil && errors.Is(e.err, context.Canceled) && fctx.Err() == nil {
-					// The measurement's owner was canceled but this
-					// caller was not: the entry is already evicted, so
-					// re-enter the cache and measure the cell ourselves
-					// (racing retriers single-flight on a fresh entry).
-					// Owned cells cannot take this path — their backend
-					// runs under this call's context, so their
-					// cancelation implies fctx is canceled too.
+				if e.err != nil && !owned[sh.Index] && fctx.Err() == nil {
+					// Another caller's measurement failed — canceled or a
+					// transient backend error — but this caller is live.
+					// fail already evicted the entry, so re-enter the
+					// cache and measure the cell ourselves (racing
+					// retriers single-flight on a fresh entry). Owned
+					// cells — and their in-batch duplicates — never
+					// retry: their backend ran under this call's context,
+					// so their error is this call's own. For a cell that
+					// fails persistently this costs at most one dispatch
+					// per live caller — each retry either owns the fresh
+					// entry (and returns its own error, no further retry)
+					// or waits on another live caller's attempt — which
+					// is no worse than running the same callers uncached,
+					// and the recursion is bounded by the caller count.
 					ms, err := c.Run(fctx, reqs[sh.Index:sh.Index+1])
 					if err != nil {
 						return testbed.Measurement{}, err
@@ -152,47 +224,154 @@ func (c *CachedRunner) Stream(ctx context.Context, reqs []testbed.Request, emit 
 		}, emit)
 }
 
-// classify resolves each request to a cache entry under one lock pass:
-// completed or in-flight entries count as hits; the first occurrence of
-// a new key becomes an owned measurement (miss); later in-batch
-// duplicates share the owner's entry. Unfingerprintable requests get a
-// private uncached entry.
-func (c *CachedRunner) classify(reqs []testbed.Request) (entries []*cacheEntry, keys []string, ownedIdx []int, ownedReqs []testbed.Request) {
-	entries = make([]*cacheEntry, len(reqs))
-	keys = make([]string, len(reqs))
+// diskWrite is one pending write-back.
+type diskWrite struct {
+	fp   string
+	seed int64
+	m    testbed.Measurement
+}
+
+// diskWriter persists completed cells off the measurement path: cells
+// are enqueued as they complete and written by one goroutine, which the
+// owning Stream call drains before returning so a follow-up process
+// finds them. Every write is best-effort — a failed persist only costs
+// a future re-measurement. A nil writer (no disk, nothing owned) is a
+// no-op.
+type diskWriter struct {
+	ch   chan diskWrite
+	done chan struct{}
+}
+
+func newDiskWriter(d *DiskCache, capacity int) *diskWriter {
+	if d == nil {
+		return nil
+	}
+	w := &diskWriter{ch: make(chan diskWrite, capacity), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		for wr := range w.ch {
+			_ = d.Put(wr.fp, wr.seed, wr.m)
+		}
+	}()
+	return w
+}
+
+func (w *diskWriter) enqueue(fp string, seed int64, m testbed.Measurement) {
+	if w == nil || fp == "" {
+		return
+	}
+	w.ch <- diskWrite{fp, seed, m} // buffered for every owned cell: never blocks
+}
+
+func (w *diskWriter) finish() {
+	if w != nil {
+		close(w.ch)
+	}
+}
+
+func (w *diskWriter) wait() {
+	if w != nil {
+		<-w.done
+	}
+}
+
+// classify resolves each request to a cache entry in one lock pass plus
+// lock-free disk lookups: completed or in-flight entries count as hits;
+// the first occurrence of a new key registers an in-flight entry and —
+// if a persistent store is attached — checks disk outside the lock,
+// loading a found cell as a completed entry (disk hit) or becoming an
+// owned measurement (miss) otherwise; later in-batch duplicates share
+// the owner's entry (and its ownership, so they never retry their own
+// call's failure). Unfingerprintable requests get a private uncached
+// entry. Registering before reading keeps concurrent callers
+// single-flighted on the in-flight entry instead of re-reading the
+// store, and keeps classification of other batches from serializing
+// behind file I/O.
+func (c *CachedRunner) classify(reqs []testbed.Request) (entries []*cacheEntry, keys, fps []string, owned []bool, ownedIdx []int, ownedReqs []testbed.Request) {
+	n := len(reqs)
+	entries = make([]*cacheEntry, n)
+	keys = make([]string, n)
+	fps = make([]string, n)
+	owned = make([]bool, n)
 	ownerOf := make(map[string]int)
+	var pending []int // fresh keys whose disk lookup is still outstanding
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for i, r := range reqs {
 		fp, err := r.Fingerprint()
 		if err != nil {
 			entries[i] = newCacheEntry()
+			owned[i] = true
 			ownedIdx = append(ownedIdx, i)
 			ownedReqs = append(ownedReqs, r)
-			c.misses.Add(1)
+			c.misses++
 			continue
 		}
 		key := fp + "\x00" + strconv.FormatInt(r.Seed, 10)
 		keys[i] = key
+		if persistable(r) {
+			// fps marks the cells the persistent store may serve and
+			// receive; an empty entry keeps the cell memory-only.
+			fps[i] = fp
+		}
 		if e, ok := c.entries[key]; ok {
 			entries[i] = e
-			c.hits.Add(1)
+			c.hits++
 			continue
 		}
 		if j, ok := ownerOf[key]; ok {
 			entries[i] = entries[j]
-			c.hits.Add(1)
+			owned[i] = owned[j]
+			c.hits++
 			continue
 		}
 		e := newCacheEntry()
 		entries[i] = e
 		c.entries[key] = e
 		ownerOf[key] = i
-		ownedIdx = append(ownedIdx, i)
-		ownedReqs = append(ownedReqs, r)
-		c.misses.Add(1)
+		owned[i] = true
+		if c.disk == nil || fps[i] == "" {
+			ownedIdx = append(ownedIdx, i)
+			ownedReqs = append(ownedReqs, r)
+			c.misses++
+		} else {
+			pending = append(pending, i)
+		}
 	}
-	return entries, keys, ownedIdx, ownedReqs
+	c.mu.Unlock()
+
+	for _, i := range pending {
+		m, ok := c.disk.Get(fps[i], reqs[i].Seed)
+		c.mu.Lock()
+		if ok {
+			c.diskHits++
+		} else {
+			c.misses++
+		}
+		c.mu.Unlock()
+		if ok {
+			// Counted before completing, so a Stats snapshot never sees
+			// more completed entries than accounted cells.
+			entries[i].complete(m)
+			owned[i] = false
+			continue
+		}
+		ownedIdx = append(ownedIdx, i)
+		ownedReqs = append(ownedReqs, reqs[i])
+	}
+	return entries, keys, fps, owned, ownedIdx, ownedReqs
+}
+
+// persistable reports whether a request's result may live in the
+// persistent store. Only measurements qualify: their semantics are
+// stamped and golden-tested via testbed.PhysicsVersion, so a stale
+// cache directory invalidates when the physics changes. Analyze
+// results depend on the analytical-model code instead, which carries no
+// such version — persisting them would replay an older binary's model
+// numbers — and they are cheap, noise-free evaluations, so each process
+// recomputes them (still memoized in memory for the runner's lifetime).
+func persistable(r testbed.Request) bool {
+	return r.Op == "" || r.Op == testbed.OpMeasure
 }
 
 // fail finalizes an entry with err if it has no result yet, evicting it

@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/testbed"
+)
+
+// diskCacheVersion is the on-disk entry schema version. Bumping it —
+// like bumping testbed.PhysicsVersion, which entries also carry —
+// invalidates every existing entry cleanly: old files decode but fail
+// the version check, read as misses, and are rewritten after the cell
+// is re-measured.
+const diskCacheVersion = 1
+
+// ErrDiskCache indicates an unusable persistent cache directory.
+var ErrDiskCache = errors.New("sweep: disk cache")
+
+// DiskCache is the persistent measurement store behind CachedRunner:
+// one JSON file per (fingerprint, seed) cell under a content-addressed
+// path <dir>/<h[0:2]>/<h>-<seed>.json, where h is the hex SHA-256 of
+// the request fingerprint. Because a seeded request is a pure function
+// of exactly that key, an entry written by any run — any backend, any
+// parallelism, any process — serves every later run bit for bit.
+//
+// Writes are atomic (temp file + rename in the same directory), so
+// concurrent processes sharing one cache directory are safe: a reader
+// observes either a complete entry or none, never a torn one. Corrupt,
+// partial, or schema-stale entries read as misses and are rewritten
+// after the cell is re-measured. Individual write failures (e.g. the
+// directory turned read-only mid-run) are tolerated: the entry simply
+// is not persisted and the run continues on the in-memory layer.
+type DiskCache struct {
+	dir string
+
+	loads       atomic.Int64 // entries served from disk
+	stores      atomic.Int64 // entries persisted
+	loadErrors  atomic.Int64 // unreadable/corrupt/stale entries read as misses
+	storeErrors atomic.Int64 // failed best-effort writes
+}
+
+// OpenDiskCache opens (creating if needed) the persistent store rooted
+// at dir. It fails if the directory cannot be created or is not
+// writable — probed up front so an unusable store surfaces as one clear
+// error at open time, letting the caller degrade to the in-memory cache
+// with a warning instead of failing (or silently not persisting) cell
+// by cell.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("%w: empty directory", ErrDiskCache)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDiskCache, err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("%w: directory not writable: %v", ErrDiskCache, err)
+	}
+	name := probe.Name()
+	_ = probe.Close()
+	_ = os.Remove(name)
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// diskEntry is the on-disk representation of one measured cell. The
+// fingerprint is stored in full (not just its hash) so a lookup can
+// verify the entry describes exactly the requested cell — a hash
+// collision or a hand-edited file reads as a miss, never as a wrong
+// measurement. Physics records the measurement semantics of the binary
+// that produced the entry (testbed.PhysicsVersion): the fingerprint
+// describes the cell, not the code, so entries measured under other
+// physics read as misses instead of replaying stale numbers.
+type diskEntry struct {
+	Version     int                 `json:"version"`
+	Physics     int                 `json:"physics"`
+	Fingerprint string              `json:"fingerprint"`
+	Seed        int64               `json:"seed"`
+	M           testbed.Measurement `json:"m"`
+}
+
+// entryPath maps a cell key to its content-addressed file path.
+func (d *DiskCache) entryPath(fp string, seed int64) (dir, path string) {
+	sum := sha256.Sum256([]byte(fp))
+	h := hex.EncodeToString(sum[:])
+	dir = filepath.Join(d.dir, h[:2])
+	return dir, filepath.Join(dir, h+"-"+strconv.FormatInt(seed, 10)+".json")
+}
+
+// Get loads the measurement persisted for (fp, seed). Any defect — no
+// file, unreadable file, corrupt or truncated JSON, stale schema
+// version, key mismatch — is a miss; the caller re-measures and the
+// defective entry is overwritten by the write-back.
+func (d *DiskCache) Get(fp string, seed int64) (testbed.Measurement, bool) {
+	_, path := d.entryPath(fp, seed)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			d.loadErrors.Add(1)
+		}
+		return testbed.Measurement{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(raw, &e); err != nil ||
+		e.Version != diskCacheVersion || e.Physics != testbed.PhysicsVersion ||
+		e.Fingerprint != fp || e.Seed != seed {
+		d.loadErrors.Add(1)
+		return testbed.Measurement{}, false
+	}
+	d.loads.Add(1)
+	return e.M, true
+}
+
+// Put persists the measurement for (fp, seed) atomically: the entry is
+// written to a temp file in the destination directory and renamed into
+// place, so concurrent readers — including other processes sharing the
+// directory — never observe a partial entry. Errors are reported but
+// safe to ignore: a failed write only costs a future re-measurement.
+func (d *DiskCache) Put(fp string, seed int64, m testbed.Measurement) error {
+	err := d.put(fp, seed, m)
+	if err != nil {
+		d.storeErrors.Add(1)
+		return err
+	}
+	d.stores.Add(1)
+	return nil
+}
+
+func (d *DiskCache) put(fp string, seed int64, m testbed.Measurement) error {
+	dir, path := d.entryPath(fp, seed)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%w: %v", ErrDiskCache, err)
+	}
+	raw, err := json.Marshal(diskEntry{
+		Version:     diskCacheVersion,
+		Physics:     testbed.PhysicsVersion,
+		Fingerprint: fp,
+		Seed:        seed,
+		M:           m,
+	})
+	if err != nil {
+		return fmt.Errorf("%w: encode entry: %v", ErrDiskCache, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrDiskCache, err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("%w: %v", ErrDiskCache, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("%w: %v", ErrDiskCache, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("%w: %v", ErrDiskCache, err)
+	}
+	return nil
+}
+
+// DiskCacheStats reports the persistent store's counters.
+type DiskCacheStats struct {
+	// Loads counts entries served from disk.
+	Loads int64
+	// Stores counts entries persisted.
+	Stores int64
+	// LoadErrors counts defective entries (corrupt, truncated, stale
+	// schema, key mismatch) read as misses.
+	LoadErrors int64
+	// StoreErrors counts failed best-effort writes.
+	StoreErrors int64
+}
+
+// Stats returns the store's counters.
+func (d *DiskCache) Stats() DiskCacheStats {
+	return DiskCacheStats{
+		Loads:       d.loads.Load(),
+		Stores:      d.stores.Load(),
+		LoadErrors:  d.loadErrors.Load(),
+		StoreErrors: d.storeErrors.Load(),
+	}
+}

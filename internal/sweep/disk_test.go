@@ -1,0 +1,436 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// requireNonRoot skips permission-based degradation tests that cannot
+// work when the test runs as root (root bypasses file-mode checks).
+func requireNonRoot(t *testing.T) {
+	t.Helper()
+	if os.Getuid() == 0 {
+		t.Skip("running as root; permission checks are bypassed")
+	}
+}
+
+// failingRunner is a backend that must never be reached: any dispatch
+// fails the test. It pins "a warm run dispatches zero measurements".
+type failingRunner struct{ t *testing.T }
+
+func (f failingRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return nil, f.fail(len(reqs))
+}
+
+func (f failingRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(int, testbed.Measurement) error) error {
+	return f.fail(len(reqs))
+}
+
+func (f failingRunner) fail(n int) error {
+	f.t.Errorf("backend dispatched %d measurements; the warm cache must serve everything from disk", n)
+	return fmt.Errorf("unexpected backend dispatch")
+}
+
+// TestDiskCacheRoundTrip pins the basic persistence contract: a stored
+// measurement is returned bit for bit under its exact key, and near-miss
+// keys (other seed, other fingerprint) stay misses.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(t, 3)
+	fp, err := reqs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := (&PoolRunner{}).Run(context.Background(), reqs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(fp, reqs[0].Seed); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if err := d.Put(fp, reqs[0].Seed, m[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(fp, reqs[0].Seed)
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if got != m[0] {
+		t.Fatalf("round trip diverges:\nput %+v\ngot %+v", m[0], got)
+	}
+	if _, ok := d.Get(fp, reqs[0].Seed+1); ok {
+		t.Fatal("different seed returned a hit")
+	}
+	otherFP, err := reqs[1].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(otherFP, reqs[0].Seed); ok {
+		t.Fatal("different fingerprint returned a hit")
+	}
+}
+
+// TestDiskCacheCorruptEntryIsMissAndRewritten pins the corrupt-entry
+// rule: garbage (or truncated) entry files read as misses, never as
+// errors or wrong data, and the next measured run rewrites them.
+func TestDiskCacheCorruptEntryIsMissAndRewritten(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(t, 3)[:1]
+	fp, err := reqs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, path := d.entryPath(fp, reqs[0].Seed)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := json.Marshal(diskEntry{
+		Version: diskCacheVersion, Physics: testbed.PhysicsVersion,
+		Fingerprint: fp, Seed: reqs[0].Seed, M: m[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range map[string][]byte{
+		"garbage":   []byte("{not json"),
+		"empty":     {},
+		"truncated": valid[:len(valid)/2],
+	} {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.Get(fp, reqs[0].Seed); ok {
+			t.Fatalf("%s entry returned a hit", name)
+		}
+	}
+	if st := d.Stats(); st.LoadErrors == 0 {
+		t.Fatal("defective entries not counted")
+	}
+
+	// A cached run over the corrupt store re-measures and rewrites.
+	c := NewCachedRunner(&PoolRunner{}, WithDiskCache(d))
+	got, err := c.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != m[0] {
+		t.Fatal("re-measured cell diverges from the uncached backend")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Fatalf("corrupt entry not treated as a miss: %+v", st)
+	}
+	if back, ok := d.Get(fp, reqs[0].Seed); !ok || back != m[0] {
+		t.Fatal("corrupt entry was not rewritten with the fresh measurement")
+	}
+}
+
+// TestDiskCacheVersionMismatchInvalidates pins the schema-version rule:
+// entries written under another version read as misses.
+func TestDiskCacheVersionMismatchInvalidates(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(t, 3)[:1]
+	fp, err := reqs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, path := d.entryPath(fp, reqs[0].Seed)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range map[string]diskEntry{
+		"stale schema": {Version: diskCacheVersion + 1, Physics: testbed.PhysicsVersion,
+			Fingerprint: fp, Seed: reqs[0].Seed, M: m[0]},
+		"other physics": {Version: diskCacheVersion, Physics: testbed.PhysicsVersion + 1,
+			Fingerprint: fp, Seed: reqs[0].Seed, M: m[0]},
+	} {
+		stale, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stale, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.Get(fp, reqs[0].Seed); ok {
+			t.Fatalf("%s entry returned a hit", name)
+		}
+	}
+}
+
+// TestDiskCacheKeyMismatchIsMiss pins the collision guard: an entry
+// whose stored fingerprint disagrees with the lookup key (hash
+// collision, hand-edited file) must not serve a wrong measurement.
+func TestDiskCacheKeyMismatchIsMiss(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(t, 3)[:1]
+	fp, err := reqs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, path := d.entryPath(fp, reqs[0].Seed)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	forged, err := json.Marshal(diskEntry{
+		Version: diskCacheVersion, Physics: testbed.PhysicsVersion,
+		Fingerprint: "someone else's cell", Seed: reqs[0].Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(fp, reqs[0].Seed); ok {
+		t.Fatal("fingerprint-mismatched entry returned a hit")
+	}
+}
+
+// TestOpenDiskCacheUnusableDir pins the degradation contract's first
+// half: an unusable directory fails at open time with ErrDiskCache (the
+// CLI catches exactly this and falls back to the in-memory cache).
+func TestOpenDiskCacheUnusableDir(t *testing.T) {
+	// A regular file where the directory should be fails for any user.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCache(file); !errors.Is(err, ErrDiskCache) {
+		t.Fatalf("file-as-dir error = %v, want ErrDiskCache", err)
+	}
+	if _, err := OpenDiskCache(""); !errors.Is(err, ErrDiskCache) {
+		t.Fatalf("empty dir error = %v, want ErrDiskCache", err)
+	}
+}
+
+// TestOpenDiskCacheReadOnlyDir pins that a read-only directory is
+// detected by the writability probe at open time.
+func TestOpenDiskCacheReadOnlyDir(t *testing.T) {
+	requireNonRoot(t)
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := OpenDiskCache(dir); !errors.Is(err, ErrDiskCache) {
+		t.Fatalf("read-only dir error = %v, want ErrDiskCache", err)
+	}
+}
+
+// TestDiskCacheWriteFailureTolerated pins the mid-run degradation rule:
+// if the store stops accepting writes after open, measurements still
+// succeed — the entry just is not persisted.
+func TestDiskCacheWriteFailureTolerated(t *testing.T) {
+	requireNonRoot(t)
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+
+	reqs := testRequests(t, 3)
+	c := NewCachedRunner(&PoolRunner{}, WithDiskCache(d))
+	want, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("run must tolerate failed persists: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d diverges under failed persists", i)
+		}
+	}
+	if st := d.Stats(); st.StoreErrors == 0 || st.Stores != 0 {
+		t.Fatalf("write failures not accounted: %+v", st)
+	}
+}
+
+// TestCachedRunnerWarmFromDisk pins the tentpole at the runner layer: a
+// second runner lifetime (a new process, as far as the cache can tell)
+// over the same directory serves every cell from disk — zero backend
+// dispatches — and returns bit-identical measurements.
+func TestCachedRunnerWarmFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	reqs := testRequests(t, 3)
+
+	cold, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewCachedRunner(&PoolRunner{}, WithDiskCache(cold))
+	want, err := c1.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c1.Stats(); st.Misses != int64(len(reqs)) || st.DiskHits != 0 {
+		t.Fatalf("cold run counters: %+v", st)
+	}
+	if st := cold.Stats(); st.Stores != int64(len(reqs)) {
+		t.Fatalf("cold run persisted %d of %d cells", st.Stores, len(reqs))
+	}
+
+	warm, err := OpenDiskCache(dir) // fresh handle: simulates a new process
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCachedRunner(failingRunner{t}, WithDiskCache(warm))
+	got, err := c2.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("warm point %d diverges from the cold run", i)
+		}
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.DiskHits != int64(len(reqs)) || st.Entries != len(reqs) {
+		t.Fatalf("warm run counters: %+v, want 0 misses / %d disk hits", st, len(reqs))
+	}
+}
+
+// TestDiskCacheSkipsAnalyzeRequests pins the persistence gate: only
+// measure results live on disk. Analyze results depend on the
+// analytical-model code, which PhysicsVersion does not cover, so a
+// warm directory must never replay them across binaries — they stay
+// memoized in memory for the runner's lifetime and are recomputed by
+// the next process.
+func TestDiskCacheSkipsAnalyzeRequests(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(t, 3)
+	for i := range reqs {
+		reqs[i] = testbed.Request{Op: testbed.OpAnalyze, Scenario: reqs[i].Scenario}
+	}
+
+	c1 := NewCachedRunner(&PoolRunner{}, WithDiskCache(d))
+	want, err := c1.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Stores != 0 || st.Loads != 0 {
+		t.Fatalf("analyze results touched the persistent store: %+v", st)
+	}
+	// The in-memory layer still memoizes them within the runner.
+	if _, err := c1.Run(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if st := c1.Stats(); st.Misses != int64(len(reqs)) || st.Hits != int64(len(reqs)) {
+		t.Fatalf("analyze cells not memoized in memory: %+v", st)
+	}
+
+	// A fresh runner over the same directory recomputes rather than
+	// loading from disk — identically, since analysis is deterministic.
+	c2 := NewCachedRunner(&PoolRunner{}, WithDiskCache(d))
+	got, err := c2.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recomputed analyze point %d diverges", i)
+		}
+	}
+	if st := c2.Stats(); st.DiskHits != 0 || st.Misses != int64(len(reqs)) {
+		t.Fatalf("analyze cells served from disk: %+v", st)
+	}
+}
+
+// TestDiskCacheConcurrentSharedDir pins multi-process safety: many
+// handles over one directory — as concurrent `xrperf -cache-dir` runs
+// would hold — racing to measure and persist the same cells must each
+// end with the exact measurements, whether they loaded or stored them.
+func TestDiskCacheConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	reqs := testRequests(t, 2)
+	want, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const procs = 8
+	results := make([][]testbed.Measurement, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := OpenDiskCache(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c := NewCachedRunner(&PoolRunner{}, WithDiskCache(d))
+			ms, err := c.Run(context.Background(), reqs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ms
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < procs; i++ {
+		for j := range reqs {
+			if results[i][j] != want[j] {
+				t.Fatalf("handle %d point %d diverges under shared-directory races", i, j)
+			}
+		}
+	}
+	// The directory holds exactly one complete entry per cell, no torn
+	// files — renames are atomic — and a final reader sees all of them.
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, r := range reqs {
+		fp, err := r.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := d.Get(fp, r.Seed)
+		if !ok {
+			t.Fatalf("cell %d missing after concurrent runs", j)
+		}
+		if m != want[j] {
+			t.Fatalf("cell %d torn or wrong after concurrent runs", j)
+		}
+	}
+}

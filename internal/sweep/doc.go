@@ -20,8 +20,10 @@
 //     (testbed.Request): PoolRunner fans out across an in-process pool,
 //     ProcRunner shards across worker subprocesses speaking a
 //     length-delimited JSON protocol, and CachedRunner memoizes results
-//     by content key over either — all with identical ordering, error,
-//     and byte-for-byte determinism guarantees.
+//     by content key over either — optionally persisting them through a
+//     DiskCache so warm runs across processes re-measure nothing — all
+//     with identical ordering, error, and byte-for-byte determinism
+//     guarantees.
 //
 // Determinism contract: a point's seed depends only on (base seed, point
 // index) — or, for task groups, (base seed, task name); measurement

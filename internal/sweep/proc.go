@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode"
 
 	"repro/internal/testbed"
 )
@@ -318,10 +319,26 @@ func (t *tailWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// suffix renders the tail as sanitized single-line text safe to embed
+// in an error message: the byte-limit truncation can split a multi-byte
+// UTF-8 rune, and subprocess stderr can carry arbitrary control bytes,
+// so invalid sequences are dropped, newlines and tabs collapse to
+// spaces, and other non-printable runes are removed.
 func (t *tailWriter) suffix() string {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := strings.TrimSpace(string(t.buf))
+	buf := string(t.buf)
+	t.mu.Unlock()
+	s := strings.ToValidUTF8(buf, "")
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r == '\n' || r == '\t' || r == '\r':
+			return ' '
+		case !unicode.IsPrint(r):
+			return -1
+		}
+		return r
+	}, s)
+	s = strings.Join(strings.Fields(s), " ")
 	if s == "" {
 		return ""
 	}

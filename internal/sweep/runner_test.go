@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/device"
 	"repro/internal/pipeline"
@@ -429,6 +432,261 @@ func TestCachedRunnerWaiterSurvivesForeignCancel(t *testing.T) {
 	}
 	if b.ms[0] != want[0] {
 		t.Fatal("retried measurement diverges from the uncached backend")
+	}
+}
+
+// errFirstRunner fails its first Stream call with a transient backend
+// error after being observed (simulating e.g. a crashed worker) and
+// delegates every later call to a real pool.
+type errFirstRunner struct {
+	inner    PoolRunner
+	calls    atomic.Int64
+	observed chan struct{} // closed by the test once a waiter is attached
+}
+
+func (f *errFirstRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(int, testbed.Measurement) error) error {
+	if f.calls.Add(1) == 1 {
+		<-f.observed
+		return fmt.Errorf("backend worker crashed (transient)")
+	}
+	return f.inner.Stream(ctx, reqs, emit)
+}
+
+func (f *errFirstRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
+		return f.Stream(ctx, reqs, emit)
+	})
+}
+
+// TestCachedRunnerWaiterRetriesTransientFailure pins the waiter retry
+// symmetry: a non-owning waiter that observes the owner's entry fail
+// with a transient (non-Canceled) backend error must re-enter the cache
+// and retry — the entry is already evicted — instead of returning the
+// owner's stale error.
+func TestCachedRunnerWaiterRetriesTransientFailure(t *testing.T) {
+	reqs := testRequests(t, 2)[:1]
+	want, err := (&PoolRunner{}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fr := &errFirstRunner{observed: make(chan struct{})}
+	c := NewCachedRunner(fr)
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), reqs)
+		aDone <- err
+	}()
+	for fr.calls.Load() == 0 { // A owns the entry once its backend is called
+		time.Sleep(time.Millisecond)
+	}
+	type bResult struct {
+		ms  []testbed.Measurement
+		err error
+	}
+	bDone := make(chan bResult, 1)
+	go func() {
+		ms, err := c.Run(context.Background(), reqs)
+		bDone <- bResult{ms, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let B classify as a waiter on A's entry
+	close(fr.observed)                // now A's backend fails
+
+	if err := <-aDone; err == nil || !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("owner err = %v, want the transient backend error", err)
+	}
+	b := <-bDone
+	if b.err != nil {
+		t.Fatalf("waiter returned the owner's stale error instead of retrying: %v", b.err)
+	}
+	if b.ms[0] != want[0] {
+		t.Fatal("retried measurement diverges from the uncached backend")
+	}
+}
+
+// TestCachedRunnerStatsConsistentMidRun pins the Stats snapshot
+// invariants while runs are in flight: completed entries never exceed
+// the cells accounted as measured or disk-loaded, and counters never
+// go backwards. Run under -race this also proves Stats is safe against
+// concurrent classification.
+func TestCachedRunnerStatsConsistentMidRun(t *testing.T) {
+	reqs := testRequests(t, 2)
+	c := NewCachedRunner(&PoolRunner{})
+	stop := make(chan struct{})
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		var prev CacheStats
+		for {
+			st := c.Stats()
+			if int64(st.Entries) > st.Misses+st.DiskHits {
+				t.Errorf("snapshot reports %d completed entries for %d dispatched+loaded cells: %+v",
+					st.Entries, st.Misses+st.DiskHits, st)
+				return
+			}
+			if st.Hits < prev.Hits || st.Misses < prev.Misses || st.DiskHits < prev.DiskHits {
+				t.Errorf("counters went backwards: %+v then %+v", prev, st)
+				return
+			}
+			prev = st
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				if _, err := c.Run(context.Background(), reqs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-statsDone
+
+	st := c.Stats()
+	if st.Entries != len(reqs) {
+		t.Fatalf("final Entries = %d, want %d completed cells", st.Entries, len(reqs))
+	}
+	if st.Misses != int64(len(reqs)) {
+		t.Fatalf("final Misses = %d, want %d", st.Misses, len(reqs))
+	}
+}
+
+// TestCachedRunnerStatsExcludesInFlight pins the Entries definition: a
+// cell whose measurement is still in flight is not a memoized entry.
+func TestCachedRunnerStatsExcludesInFlight(t *testing.T) {
+	reqs := testRequests(t, 2)[:1]
+	fr := &errFirstRunner{observed: make(chan struct{})}
+	c := NewCachedRunner(fr)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c.Run(context.Background(), reqs)
+	}()
+	for fr.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Fatalf("in-flight cell counted as memoized: %+v", st)
+	}
+	close(fr.observed)
+	<-done
+}
+
+// TestCachedRunnerCapsWaiterFanout pins the fan-out bound: a large
+// batch must not spawn one waiter goroutine per request.
+func TestCachedRunnerCapsWaiterFanout(t *testing.T) {
+	const n = 2000
+	base := testRequests(t, 2)[:1]
+	reqs := make([]testbed.Request, n)
+	for i := range reqs {
+		reqs[i] = base[0]
+		reqs[i].Seed = int64(i) // distinct cells, same fingerprint
+	}
+	release := make(chan struct{})
+	br := &blockingRunner{release: release}
+	c := NewCachedRunner(br)
+
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), reqs)
+		done <- err
+	}()
+	for br.started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let the waiter pool spin up fully
+	during := runtime.NumGoroutine()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Engine bookkeeping adds a handful of goroutines on top of the
+	// waiter cap; far below one per request either way.
+	if limit := maxWaiters(n) + 64; during-before > limit {
+		t.Fatalf("batch of %d spawned %d goroutines, want ≤ %d", n, during-before, limit)
+	}
+}
+
+// blockingRunner parks every Stream call until released, then emits
+// zero measurements in order.
+type blockingRunner struct {
+	release chan struct{}
+	started atomic.Int64
+}
+
+func (b *blockingRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(int, testbed.Measurement) error) error {
+	b.started.Add(1)
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for j := range reqs {
+		if err := emit(j, testbed.Measurement{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *blockingRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
+		return b.Stream(ctx, reqs, emit)
+	})
+}
+
+// TestTailWriterSanitizesSuffix pins the stderr-tail hygiene rules: the
+// byte-limit truncation may split a multi-byte rune and subprocess
+// stderr may carry control bytes, but the rendered suffix must be valid
+// printable single-line UTF-8.
+func TestTailWriterSanitizesSuffix(t *testing.T) {
+	tw := &tailWriter{limit: 33}
+	// 'é' is 2 bytes: dropping an odd byte count from "x" + é… leaves a
+	// tail that starts mid-rune after truncation.
+	if _, err := tw.Write([]byte("x" + strings.Repeat("é", 30))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Write([]byte("\x00\x01 panic:\nboom\twide \x7f end")); err != nil {
+		t.Fatal(err)
+	}
+	s := tw.suffix()
+	if !utf8.ValidString(s) {
+		t.Fatalf("suffix is not valid UTF-8: %q", s)
+	}
+	for _, r := range s {
+		if !unicode.IsPrint(r) {
+			t.Fatalf("suffix contains non-printable %q: %q", r, s)
+		}
+	}
+	if strings.Contains(s, "\n") || strings.Contains(s, "�") {
+		t.Fatalf("suffix not a clean single line: %q", s)
+	}
+	if !strings.Contains(s, "panic:") || !strings.Contains(s, "boom") {
+		t.Fatalf("suffix lost real content: %q", s)
+	}
+	if empty := (&tailWriter{limit: 8}); empty.suffix() != "" {
+		t.Fatal("empty tail must render as empty suffix")
+	}
+	// A tail of pure garbage sanitizes to nothing, not to "; stderr: ".
+	junk := &tailWriter{limit: 8}
+	if _, err := junk.Write([]byte{0x00, 0xff, 0xfe, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if s := junk.suffix(); s != "" {
+		t.Fatalf("garbage-only tail rendered %q", s)
 	}
 }
 

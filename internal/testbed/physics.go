@@ -14,6 +14,17 @@ import (
 // ErrPhysics indicates invalid inputs to the hidden physics.
 var ErrPhysics = errors.New("testbed: invalid physics input")
 
+// PhysicsVersion identifies the measurement semantics of this binary:
+// the hidden physics, the monitor-noise model, and the RNG derivation.
+// A request fingerprint describes the cell, not the code that measures
+// it, so persistent caches (sweep.DiskCache) stamp entries with this
+// version and refuse entries from another — otherwise a cache directory
+// filled by an older binary would silently replay its numbers forever.
+// Bump it whenever a change makes any seeded measurement produce
+// different bytes; TestPhysicsVersionPinsMeasurement fails on such a
+// change until the golden values and this constant move together.
+const PhysicsVersion = 1
+
 // Physics is the hidden ground-truth behaviour of the simulated hardware.
 // Per-device efficiency factors model the heterogeneity of Table I: two
 // devices with the same clock still differ because of SoC process node,

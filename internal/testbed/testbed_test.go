@@ -148,6 +148,38 @@ func TestBenchMeasurementNoise(t *testing.T) {
 	}
 }
 
+// TestPhysicsVersionPinsMeasurement pins two seeded measurements to
+// golden values. Everything below is deterministic, so this test fails
+// exactly when a code change alters measurement semantics — the event
+// that must invalidate persistent caches (sweep.DiskCache stamps
+// entries with PhysicsVersion). If this test fails on an intentional
+// physics/noise/RNG change, bump PhysicsVersion and refresh the golden
+// values in the same commit; old cache entries then read as misses
+// instead of replaying the previous binary's numbers.
+func TestPhysicsVersionPinsMeasurement(t *testing.T) {
+	if PhysicsVersion != 1 {
+		t.Fatalf("PhysicsVersion = %d: refresh the golden values below for the new measurement semantics", PhysicsVersion)
+	}
+	exec := NewExecutor(nil)
+	for _, tc := range []struct {
+		mode                        pipeline.InferenceMode
+		wantLatencyMs, wantEnergyMJ float64
+	}{
+		{pipeline.ModeLocal, 148.43409829635581, 598.03695827570152},
+		{pipeline.ModeRemote, 322.32410912612028, 1264.5897066559539},
+	} {
+		sc := scenario(t, pipeline.WithMode(tc.mode), pipeline.WithFrameSize(500))
+		m, err := exec.Do(Request{Scenario: sc, Trials: 3, Seed: 12345, NoiseRel: DefaultNoiseRel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.LatencyMs != tc.wantLatencyMs || m.EnergyMJ != tc.wantEnergyMJ {
+			t.Errorf("%v measurement semantics changed without a PhysicsVersion bump:\n got (%.17g ms, %.17g mJ)\nwant (%.17g ms, %.17g mJ)",
+				tc.mode, m.LatencyMs, m.EnergyMJ, tc.wantLatencyMs, tc.wantEnergyMJ)
+		}
+	}
+}
+
 func TestBenchDeterministicAcrossRuns(t *testing.T) {
 	sc := scenario(t)
 	a, err := NewBench(7).MeasureFrame(sc)
