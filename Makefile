@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt docs ci
+.PHONY: all build test race bench bench-json lint fmt docs ci
 
 all: build
 
@@ -18,8 +18,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Benchmark trajectory: one 1x pass distilled into BENCH_5.json
+# (ns/op per benchmark); CI archives it per run.
+bench-json:
+	sh scripts/bench_json.sh BENCH_5.json
+
 lint:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"net"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/sweep"
+	"repro/internal/testbed"
 )
 
 var (
@@ -268,6 +270,31 @@ func BenchmarkSweepProc(b *testing.B) {
 // across Fig. 4/Fig. 5/ablation.
 func BenchmarkSweepCached(b *testing.B) {
 	benchSweepGrid(b, sweep.NewCachedRunner(&sweep.PoolRunner{}))
+}
+
+// BenchmarkSweepNet runs the same grid through a loopback serve node,
+// pinning the network backend's dispatch, framing, and TCP round-trip
+// overhead against the pool and proc backends on identical work.
+// Connections persist across iterations, so dial+handshake cost
+// amortizes the way it does in a real fleet run.
+func BenchmarkSweepNet(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = testbed.ServeListener(ctx, ln, nil)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+	nr := &sweep.NetRunner{Nodes: []string{ln.Addr().String()}}
+	defer nr.Close()
+	benchSweepGrid(b, nr)
 }
 
 // BenchmarkAblationPaperVsFitted quantifies the DESIGN.md "re-fit, don't

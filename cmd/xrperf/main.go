@@ -15,17 +15,22 @@
 //	xrperf export [-rows N]             dump a synthetic resource dataset as CSV
 //	xrperf report [-stream]             regenerate the full Markdown evaluation report
 //	xrperf worker                       serve measurement requests over stdin/stdout
+//	xrperf serve -listen <addr>         run a worker-fleet node answering over TCP
 //
 // The experiment, all, sweep, and report subcommands share the suite
 // flags -seed/-train/-test/-trials/-workers plus the backend flags
-// -backend pool|proc, -procs, and -cache-dir; every output is
-// byte-identical for any backend at any -workers/-procs value. The proc
-// backend shards measurements across `xrperf worker` subprocesses
-// speaking a length-delimited JSON protocol; both backends run under a
-// memoizing measurement cache, whose counters are reported on stderr.
-// -cache-dir persists measured cells on disk, so a warm re-run of the
-// same configuration dispatches zero backend measurements and still
-// prints the same bytes.
+// -backend pool|proc|net, -procs, -nodes, and -cache-dir; every output
+// is byte-identical for any backend at any -workers/-procs/node count.
+// The proc backend shards measurements across `xrperf worker`
+// subprocesses speaking a length-delimited JSON protocol; the net
+// backend dispatches the same protocol over TCP to `xrperf serve` nodes
+// (-nodes host:port,...), rejecting nodes whose handshake reports a
+// different protocol or physics version and re-dispatching shards away
+// from crashed nodes. Every backend runs under a memoizing measurement
+// cache, whose counters are reported on stderr. -cache-dir persists
+// measured cells on disk, so a warm re-run of the same configuration —
+// by any backend, or a fleet of dispatchers sharing the directory —
+// dispatches zero backend measurements and still prints the same bytes.
 package main
 
 import (
@@ -34,9 +39,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/cnn"
 	"repro/internal/codec"
@@ -81,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		return runReport(args[1:], out)
 	case "worker":
 		return runWorker(out)
+	case "serve":
+		return runServe(args[1:])
 	case "help", "-h", "--help":
 		printUsage(out)
 		return nil
@@ -90,13 +100,40 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|export|report|worker} (ids: %s)",
+	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|export|report|worker|serve} (ids: %s)",
 		strings.Join(experiments.IDs(), ", "))
 }
 
 // runWorker serves the proc backend's wire protocol on stdin until EOF.
 func runWorker(out io.Writer) error {
 	return testbed.Serve(os.Stdin, out)
+}
+
+// runServe runs a worker-fleet node: accept dispatcher connections on
+// -listen and answer measurement requests until SIGINT/SIGTERM. All
+// operational output goes to stderr; stdout stays clean like every
+// other subcommand's.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7600", "TCP address to accept dispatcher connections on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "xrperf serve: "+format+"\n", a...)
+	}
+	logf("listening on %s (protocol %d, physics %d)", ln.Addr(), testbed.ProtocolVersion, testbed.PhysicsVersion)
+	if err := testbed.ServeListener(ctx, ln, logf); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	logf("shutting down")
+	return nil
 }
 
 func printUsage(out io.Writer) {
@@ -117,12 +154,15 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "                               -stream emits each section as soon as it completes")
 	fmt.Fprintln(out, "  worker                       serve measurement requests over stdin/stdout")
 	fmt.Fprintln(out, "                               (spawned by -backend proc; length-delimited JSON)")
+	fmt.Fprintln(out, "  serve [-listen ADDR]         run a worker-fleet node: answer measurement")
+	fmt.Fprintln(out, "                               requests over TCP for -backend net dispatchers")
+	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions)")
 	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report): -seed N -train N -test N")
-	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc -procs N")
-	fmt.Fprintln(out, "                               -cache-dir DIR (0 = GOMAXPROCS; output is")
-	fmt.Fprintln(out, "                               byte-identical for any backend at any parallelism;")
-	fmt.Fprintln(out, "                               -cache-dir persists measurements so warm re-runs")
-	fmt.Fprintln(out, "                               dispatch nothing)")
+	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc|net")
+	fmt.Fprintln(out, "                               -procs N -nodes host:port,... -cache-dir DIR")
+	fmt.Fprintln(out, "                               (0 = GOMAXPROCS; output is byte-identical for any")
+	fmt.Fprintln(out, "                               backend at any parallelism; -cache-dir persists")
+	fmt.Fprintln(out, "                               measurements so warm re-runs dispatch nothing)")
 }
 
 func runDevices(out io.Writer) error {
@@ -149,14 +189,15 @@ func runCNNs(out io.Writer) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int, backend *string, procs *int, cacheDir *string) {
+func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int, backend *string, procs *int, nodes, cacheDir *string) {
 	seed = fs.Int64("seed", 42, "bench RNG seed")
 	train = fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
 	test = fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
 	trials = fs.Int("trials", experiments.DefaultTrials, "ground-truth trials per point")
 	workers = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; output identical for any value)")
-	backend = fs.String("backend", "pool", "measurement backend: pool (in-process) or proc (xrperf worker subprocesses)")
+	backend = fs.String("backend", "pool", "measurement backend: pool (in-process), proc (xrperf worker subprocesses), or net (xrperf serve nodes)")
 	procs = fs.Int("procs", 0, "proc backend: worker subprocess count (0 = GOMAXPROCS)")
+	nodes = fs.String("nodes", "", "net backend: comma-separated serve-node addresses (host:port,...)")
 	cacheDir = fs.String("cache-dir", "", "persist measured cells on disk so warm re-runs dispatch nothing (empty = in-memory cache only)")
 	return
 }
@@ -182,7 +223,7 @@ func openDiskCache(dir string) *sweep.DiskCache {
 // backend's worker subprocesses) and must run after the command's last
 // measurement.
 func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, cleanup func(), err error) {
-	seed, train, test, trials, workers, backend, procs, cacheDir := suiteFlags(fs)
+	seed, train, test, trials, workers, backend, procs, nodes, cacheDir := suiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
@@ -202,8 +243,16 @@ func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, clea
 		pr := &sweep.ProcRunner{Procs: *procs}
 		suite.Runner = sweep.NewCachedRunner(pr, sweep.WithDiskCache(suite.Disk))
 		cleanup = func() { _ = pr.Close() }
+	case "net":
+		addrs := splitList(*nodes)
+		if len(addrs) == 0 {
+			return nil, nil, fmt.Errorf("-backend net requires -nodes host:port[,host:port...]")
+		}
+		nr := &sweep.NetRunner{Nodes: addrs}
+		suite.Runner = sweep.NewCachedRunner(nr, sweep.WithDiskCache(suite.Disk))
+		cleanup = func() { _ = nr.Close() }
 	default:
-		return nil, nil, fmt.Errorf("-backend: unknown backend %q (pool or proc)", *backend)
+		return nil, nil, fmt.Errorf("-backend: unknown backend %q (pool, proc, or net)", *backend)
 	}
 	return suite, cleanup, nil
 }

@@ -2,13 +2,45 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/testbed"
 )
+
+// startServeNodes runs n loopback worker-fleet nodes for the test's
+// lifetime and returns the -nodes flag value addressing them.
+func startServeNodes(t *testing.T, n int) string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = testbed.ServeListener(ctx, ln, nil)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Error("serve node did not shut down")
+			}
+		})
+		addrs[i] = ln.Addr().String()
+	}
+	return strings.Join(addrs, ",")
+}
 
 // TestMain lets the proc backend re-execute this test binary as a
 // measurement worker: `-backend proc` spawns os.Executable(), which
@@ -203,27 +235,36 @@ func TestReportStreamMatchesBuffered(t *testing.T) {
 }
 
 // TestReportBackendsIdentical pins the tentpole invariant at the CLI
-// surface: `-backend pool` and `-backend proc` print byte-identical
-// reports at any parallelism.
+// surface: `-backend pool`, `-backend proc`, and `-backend net` print
+// byte-identical reports at any parallelism.
 func TestReportBackendsIdentical(t *testing.T) {
 	pool := runCLI(t, append([]string{"report", "-backend", "pool", "-workers", "2"}, fastFlags...)...)
 	proc := runCLI(t, append([]string{"report", "-backend", "proc", "-procs", "2", "-workers", "2"}, fastFlags...)...)
 	if pool != proc {
 		t.Fatalf("-backend changed the report:\n--- pool\n%s\n--- proc\n%s", pool, proc)
 	}
+	netRep := runCLI(t, append([]string{"report", "-backend", "net", "-nodes", startServeNodes(t, 2), "-workers", "2"}, fastFlags...)...)
+	if pool != netRep {
+		t.Fatalf("-backend changed the report:\n--- pool\n%s\n--- net\n%s", pool, netRep)
+	}
 }
 
 // TestSweepBackendsIdentical pins the same invariant for an arbitrary
 // grid sweep.
 func TestSweepBackendsIdentical(t *testing.T) {
-	args := func(backend string) []string {
-		return append([]string{"sweep",
+	args := func(backend string, extra ...string) []string {
+		a := append([]string{"sweep",
 			"-devices", "XR2", "-sizes", "300,700", "-freqs", "1,2",
-			"-backend", backend, "-procs", "2",
-		}, fastFlags...)
+			"-backend", backend,
+		}, extra...)
+		return append(a, fastFlags...)
 	}
-	if pool, proc := runCLI(t, args("pool")...), runCLI(t, args("proc")...); pool != proc {
+	pool := runCLI(t, args("pool")...)
+	if proc := runCLI(t, args("proc", "-procs", "2")...); pool != proc {
 		t.Fatalf("-backend changed the sweep:\n--- pool\n%s\n--- proc\n%s", pool, proc)
+	}
+	if netOut := runCLI(t, args("net", "-nodes", startServeNodes(t, 1))...); pool != netOut {
+		t.Fatalf("-backend changed the sweep:\n--- pool\n%s\n--- net\n%s", pool, netOut)
 	}
 }
 
@@ -231,6 +272,21 @@ func TestBackendErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"report", "-backend", "quantum"}, &buf); err == nil || !strings.Contains(err.Error(), "-backend") {
 		t.Fatalf("unknown backend error = %v", err)
+	}
+	if err := run([]string{"report", "-backend", "net"}, &buf); err == nil || !strings.Contains(err.Error(), "-nodes") {
+		t.Fatalf("net backend without nodes error = %v", err)
+	}
+}
+
+// TestServeFlagErrors covers the serve subcommand's fail-fast paths; the
+// serving loop itself is exercised through the net-backend tests, which
+// run real loopback nodes.
+func TestServeFlagErrors(t *testing.T) {
+	if err := runServe([]string{"-listen", "not an address"}); err == nil || !strings.Contains(err.Error(), "serve") {
+		t.Fatalf("bad listen address error = %v", err)
+	}
+	if err := runServe([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown serve flag must error")
 	}
 }
 
@@ -305,6 +361,9 @@ func TestReportWarmCacheDir(t *testing.T) {
 	}
 	if proc := runCLI(t, args("-backend", "proc", "-procs", "2")...); proc != cold {
 		t.Fatal("warm proc-backend report diverges from the pool run that filled the cache")
+	}
+	if netOut := runCLI(t, args("-backend", "net", "-nodes", startServeNodes(t, 1))...); netOut != cold {
+		t.Fatal("warm net-backend report diverges from the pool run that filled the cache")
 	}
 }
 

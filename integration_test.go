@@ -8,9 +8,12 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"net"
 	"os"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/aoi"
 	"repro/internal/core"
@@ -33,6 +36,36 @@ import (
 func TestMain(m *testing.M) {
 	testbed.MaybeServeWorker()
 	os.Exit(m.Run())
+}
+
+// startServeNodes runs n loopback worker-fleet nodes (the in-process
+// equivalent of `xrperf serve`) for the test's lifetime and returns
+// their addresses.
+func startServeNodes(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = testbed.ServeListener(ctx, ln, nil)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Error("serve node did not shut down")
+			}
+		})
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
 }
 
 // TestFullStackFitAnalyzeSession drives the complete workflow a
@@ -227,6 +260,8 @@ func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
 	}
 	proc := &sweep.ProcRunner{Procs: 2}
 	defer proc.Close()
+	netr := &sweep.NetRunner{Nodes: startServeNodes(t, 2)}
+	defer netr.Close()
 	backends := []struct {
 		name   string
 		runner sweep.Runner
@@ -234,6 +269,7 @@ func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
 		{"nil (in-process)", nil},
 		{"pool", &sweep.PoolRunner{Workers: 4}},
 		{"proc", proc},
+		{"net", netr},
 	}
 	for _, b := range backends {
 		batch, err := fw.AnalyzeBatch(context.Background(), scs, b.runner)
@@ -266,11 +302,11 @@ func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
 	}
 }
 
-// TestReportByteIdenticalAcrossBackends pins this PR's tentpole
-// acceptance criterion end to end: the full report must be byte-identical
-// across the pool and proc backends at any parallelism, and the
-// measurement cache must collapse every repeated grid cell into a single
-// backend measurement.
+// TestReportByteIdenticalAcrossBackends pins the backend-equivalence
+// matrix end to end: the full report must be byte-identical across the
+// pool, proc, and net backends at any parallelism and node count, and
+// the measurement cache must collapse every repeated grid cell into a
+// single backend measurement on each of them.
 func TestReportByteIdenticalAcrossBackends(t *testing.T) {
 	report := func(runner sweep.Runner, workers int) (string, *experiments.Suite) {
 		t.Helper()
@@ -316,6 +352,123 @@ func TestReportByteIdenticalAcrossBackends(t *testing.T) {
 		if pst, ok := procSuite.CacheStats(); !ok || pst.Misses != 36 {
 			t.Fatalf("proc cache measured %d cells, want 36", pst.Misses)
 		}
+	}
+
+	// The same report through a fleet of loopback serve nodes — single
+	// node and multi-node, so both the degenerate and the sharded
+	// dispatch paths are pinned.
+	for _, nodes := range []int{1, 3} {
+		nr := &sweep.NetRunner{Nodes: startServeNodes(t, nodes)}
+		got, netSuite := report(sweep.NewCachedRunner(nr), 8)
+		_ = nr.Close()
+		if got != want {
+			t.Fatalf("net report (%d nodes) differs from pool report", nodes)
+		}
+		if nst, ok := netSuite.CacheStats(); !ok || nst.Misses != 36 {
+			t.Fatalf("net cache measured %d cells, want 36", nst.Misses)
+		}
+	}
+}
+
+// TestReportByteIdenticalNetWithNodeDeath pins the recovery half of the
+// tentpole: a fleet whose node dies mid-run still produces the
+// byte-identical report — shards are re-dispatched to surviving nodes,
+// and re-dispatch cannot change a byte because measurements are pure
+// functions of their requests.
+func TestReportByteIdenticalNetWithNodeDeath(t *testing.T) {
+	newSuite := func(runner sweep.Runner) *experiments.Suite {
+		t.Helper()
+		s, err := experiments.NewSuite(42, 4000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Trials = 5
+		s.Workers = 8
+		s.Runner = runner
+		return s
+	}
+	var want bytes.Buffer
+	if err := newSuite(nil).WriteReport(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// One healthy node plus one that accepts the handshake, swallows its
+	// first request, and drops the connection — a node dying mid-frame.
+	healthy := startServeNodes(t, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var dropped atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if err := testbed.WriteFrame(conn, testbed.Hello()); err != nil {
+					return
+				}
+				var req testbed.WireRequest
+				if err := testbed.ReadFrame(conn, &req); err == nil {
+					dropped.Add(1)
+				}
+			}(conn)
+		}
+	}()
+
+	nr := &sweep.NetRunner{Nodes: []string{ln.Addr().String(), healthy[0]}, ConnsPerNode: 2}
+	defer nr.Close()
+	var got bytes.Buffer
+	if err := newSuite(sweep.NewCachedRunner(nr)).WriteReport(&got); err != nil {
+		t.Fatalf("report with a dying node: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("report with a dying node diverges from the pool report")
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("dying node never saw a request; the test proved nothing")
+	}
+}
+
+// TestNetBackendHandshakeMismatchSurfaces pins the version gate at the
+// suite level: a fleet of nodes built from a different physics version
+// must fail the run with a clear version-mismatch error, not return
+// different numbers.
+func TestNetBackendHandshakeMismatchSurfaces(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = testbed.WriteFrame(conn, testbed.WireHello{
+				Protocol: testbed.ProtocolVersion,
+				Physics:  testbed.PhysicsVersion + 1,
+			})
+			conn.Close()
+		}
+	}()
+
+	s, err := experiments.NewSuite(42, 2000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trials = 5
+	nr := &sweep.NetRunner{Nodes: []string{ln.Addr().String()}}
+	defer nr.Close()
+	s.Runner = sweep.NewCachedRunner(nr)
+	_, err = s.Fig4a(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "physics") {
+		t.Fatalf("mismatched fleet error = %v, want a version-mismatch explanation", err)
 	}
 }
 

@@ -19,16 +19,19 @@
 //   - Runner abstracts the execution backend for serializable work units
 //     (testbed.Request): PoolRunner fans out across an in-process pool,
 //     ProcRunner shards across worker subprocesses speaking a
-//     length-delimited JSON protocol, and CachedRunner memoizes results
-//     by content key over either — optionally persisting them through a
-//     DiskCache so warm runs across processes re-measure nothing — all
-//     with identical ordering, error, and byte-for-byte determinism
-//     guarantees.
+//     length-delimited JSON protocol over pipes, NetRunner dispatches the
+//     same protocol over TCP to a fleet of serve nodes (handshake-
+//     verified, crash-re-dispatched, quarantined with backoff), and
+//     CachedRunner memoizes results by content key over any of them —
+//     optionally persisting them through a DiskCache so warm runs across
+//     processes (or a fleet sharing one cache directory) re-measure
+//     nothing — all with identical ordering, error, and byte-for-byte
+//     determinism guarantees.
 //
 // Determinism contract: a point's seed depends only on (base seed, point
 // index) — or, for task groups, (base seed, task name); measurement
 // requests carry content-addressed seeds of their own — never on worker
 // identity, completion order, or which backend ran the point, so a
 // sweep's output is byte-identical whether it runs on one worker, on
-// GOMAXPROCS workers, or across subprocesses.
+// GOMAXPROCS workers, across subprocesses, or across machines.
 package sweep

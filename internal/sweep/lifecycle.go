@@ -1,0 +1,190 @@
+package sweep
+
+// Worker-lifecycle helpers shared by the dispatching backends. ProcRunner
+// (subprocesses over pipes) and NetRunner (serve nodes over TCP) manage
+// the same kind of resource — a remote worker that can crash, hang, or
+// babble — so the pieces that make those failures survivable live here
+// once: the error taxonomy separating a broken worker from a request the
+// worker correctly rejected, the stderr/error-text sanitizer, and the
+// per-source failure tracker that quarantines a repeatedly failing
+// worker source with exponential backoff.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+)
+
+// workerFailure marks an error as a broken worker — a crash, disconnect,
+// or protocol corruption — rather than a request-level rejection the
+// worker reported while healthy. Worker failures are retryable: the
+// measurement is a pure function of the request, so re-dispatching the
+// shard to another worker reproduces the exact same bytes. Request-level
+// errors are deterministic and re-dispatching them would only repeat the
+// rejection, so they surface immediately.
+type workerFailure struct{ err error }
+
+func (e *workerFailure) Error() string { return e.err.Error() }
+func (e *workerFailure) Unwrap() error { return e.err }
+
+// retryable reports whether err marks a broken worker whose shard may be
+// re-dispatched.
+func retryable(err error) bool {
+	var wf *workerFailure
+	return errors.As(err, &wf)
+}
+
+// Quarantine policy shared by the dispatching backends: a source that
+// fails quarantineAfter times in a row is benched for backoffBase,
+// doubling on each further failure up to backoffMax; any success resets
+// it.
+const (
+	quarantineAfter = 3
+	backoffBase     = 250 * time.Millisecond
+	backoffMax      = 8 * time.Second
+)
+
+// sourceHealth tracks one worker source — the proc backend's subprocess
+// spawner, or one remote node — through failures. It answers two
+// questions at checkout time: is the source quarantined (cooling off
+// after repeated failures), and is it poisoned (permanently unusable,
+// e.g. a handshake version mismatch)? Quarantine heals with time and
+// success; poison never does.
+type sourceHealth struct {
+	mu          sync.Mutex
+	consecutive int
+	until       time.Time
+	lastErr     error
+	poison      error
+}
+
+// failure records one worker failure and its cause, starting or
+// extending the quarantine window once the consecutive-failure
+// threshold is reached. The cause is kept so a quarantine error can
+// carry the diagnostic that triggered it (exit status, stderr tail)
+// instead of just "quarantined".
+func (h *sourceHealth) failure(now time.Time, cause error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecutive++
+	if cause != nil {
+		h.lastErr = cause
+	}
+	if h.consecutive < quarantineAfter {
+		return
+	}
+	shift := h.consecutive - quarantineAfter
+	if shift > 10 {
+		shift = 10 // backoffMax is hit long before the shift overflows
+	}
+	d := backoffBase << shift
+	if d > backoffMax {
+		d = backoffMax
+	}
+	h.until = now.Add(d)
+}
+
+// success resets the failure streak and lifts any quarantine.
+func (h *sourceHealth) success() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecutive = 0
+	h.until = time.Time{}
+}
+
+// quarantinedFor returns how much longer the source is benched; zero
+// means usable now.
+func (h *sourceHealth) quarantinedFor(now time.Time) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.until.After(now) {
+		return h.until.Sub(now)
+	}
+	return 0
+}
+
+// lastFailure returns the most recent failure cause, or nil.
+func (h *sourceHealth) lastFailure() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastErr
+}
+
+// poisonWith marks the source permanently unusable; the first reason
+// sticks.
+func (h *sourceHealth) poisonWith(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.poison == nil {
+		h.poison = err
+	}
+}
+
+// poisoned returns the permanent-failure reason, or nil.
+func (h *sourceHealth) poisoned() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.poison
+}
+
+// sanitizeLine renders arbitrary worker-reported text as printable
+// single-line UTF-8 safe to embed in an error message: truncation-split
+// runes and other invalid sequences are dropped, newlines and tabs
+// collapse to spaces, and remaining non-printable runes are removed.
+func sanitizeLine(s string) string {
+	s = strings.ToValidUTF8(s, "")
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r == '\n' || r == '\t' || r == '\r':
+			return ' '
+		case !unicode.IsPrint(r):
+			return -1
+		}
+		return r
+	}, s)
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// tailWriter keeps the last limit bytes written — enough stderr context
+// to make a crash error actionable without unbounded buffering.
+type tailWriter struct {
+	mu    sync.Mutex
+	limit int
+	buf   []byte
+}
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.limit {
+		t.buf = t.buf[len(t.buf)-t.limit:]
+	}
+	return len(p), nil
+}
+
+// suffix renders the tail as a sanitized "; stderr: ..." fragment, or
+// nothing when the tail is empty (or pure garbage).
+func (t *tailWriter) suffix() string {
+	t.mu.Lock()
+	buf := string(t.buf)
+	t.mu.Unlock()
+	s := sanitizeLine(buf)
+	if s == "" {
+		return ""
+	}
+	return "; stderr: " + s
+}
+
+// noHealthySource builds the give-up error for a dispatch loop that ran
+// out of usable sources, folding in the most recent failure when there
+// is one.
+func noHealthySource(idx int, cause, lastErr error) error {
+	if lastErr != nil {
+		return fmt.Errorf("sweep: shard %d: %w (last dispatch failure: %v)", idx, cause, lastErr)
+	}
+	return fmt.Errorf("sweep: shard %d: %w", idx, cause)
+}

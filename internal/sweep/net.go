@@ -1,0 +1,398 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// Defaults for the network backend.
+const (
+	// netConnsPerNode is the default number of concurrent connections a
+	// dispatcher opens per node. A serve node answers one request at a
+	// time per connection, and the dispatcher cannot see a remote node's
+	// core count, so a small fixed fan-out per node keeps several
+	// measurements in flight without assuming anything about the fleet.
+	netConnsPerNode = 4
+	// netDialTimeout bounds connection establishment plus the handshake
+	// read.
+	netDialTimeout = 5 * time.Second
+	// netKeepAlive is the TCP keepalive period on dispatcher
+	// connections, so a silently vanished node (power loss, network
+	// partition) surfaces as a read error instead of a wedged socket.
+	netKeepAlive = 30 * time.Second
+)
+
+// NetRunner executes requests across a fleet of serve nodes — processes
+// running `xrperf serve` (testbed.ServeListener) — over TCP, speaking
+// the same length-delimited JSON frame protocol the proc backend speaks
+// over pipes. Connections are dialed lazily, verified against the node's
+// handshake (protocol + physics version; a mismatched node is rejected
+// with a clear error and never used), kept alive across Run/Stream calls
+// (Close reaps them), and replaced transparently when they break.
+//
+// Failure semantics extend the proc backend's: a node that dies
+// mid-shard — crash, disconnect, kill — has its shard re-dispatched to a
+// healthy node, and a node that keeps failing is quarantined with
+// exponential backoff (sourceHealth) so the fleet routes around it and
+// probes it again later. Requests must be wire-safe (Request.WireSafe);
+// measurements depend only on request content and the deterministic
+// hidden physics, so any healthy node produces the same bytes and
+// re-dispatch never changes the output.
+type NetRunner struct {
+	// Nodes lists the serve-node addresses (host:port). Required.
+	Nodes []string
+	// ConnsPerNode bounds concurrent connections per node; 0 or
+	// negative means netConnsPerNode.
+	ConnsPerNode int
+	// DialTimeout bounds dial + handshake per connection attempt; 0
+	// means netDialTimeout.
+	DialTimeout time.Duration
+
+	mu       sync.Mutex
+	started  bool
+	startErr error
+	closed   bool
+	nodes    []*netNode
+	conns    int
+	timeout  time.Duration
+	rr       atomic.Int64
+
+	liveMu     sync.Mutex
+	liveClosed bool
+	live       map[*netConn]struct{}
+}
+
+// netNode is the dispatcher's view of one serve node: its address, its
+// health, and a stack of idle connections ready for the next shard.
+type netNode struct {
+	addr   string
+	health sourceHealth
+
+	mu   sync.Mutex
+	idle []*netConn
+}
+
+// init resolves the configuration once.
+func (r *NetRunner) init() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRunnerClosed
+	}
+	if r.started {
+		return r.startErr
+	}
+	r.started = true
+	if len(r.Nodes) == 0 {
+		r.startErr = errors.New("sweep: net runner needs at least one node address")
+		return r.startErr
+	}
+	r.nodes = make([]*netNode, len(r.Nodes))
+	for i, addr := range r.Nodes {
+		r.nodes[i] = &netNode{addr: addr}
+	}
+	r.conns = r.ConnsPerNode
+	if r.conns <= 0 {
+		r.conns = netConnsPerNode
+	}
+	r.timeout = r.DialTimeout
+	if r.timeout <= 0 {
+		r.timeout = netDialTimeout
+	}
+	r.live = make(map[*netConn]struct{})
+	return nil
+}
+
+// Run implements Runner.
+func (r *NetRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
+	return collectStream(ctx, len(reqs), func(ctx context.Context, emit func(int, testbed.Measurement) error) error {
+		return r.Stream(ctx, reqs, emit)
+	})
+}
+
+// Stream implements Runner: shards the batch across the fleet with the
+// same ordered-merge and lowest-index error semantics as every other
+// backend (it delegates aggregation to the in-process engine).
+func (r *NetRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(idx int, m testbed.Measurement) error) error {
+	n := len(reqs)
+	if n == 0 {
+		return ctx.Err()
+	}
+	for i, rq := range reqs {
+		if err := rq.WireSafe(); err != nil {
+			return fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+	}
+	if err := r.init(); err != nil {
+		return err
+	}
+	workers := len(r.nodes) * r.conns
+	if workers > n {
+		workers = n
+	}
+	return Stream(ctx, n, Options{Workers: workers},
+		func(fctx context.Context, sh Shard) (testbed.Measurement, error) {
+			return r.dispatch(fctx, sh.Index, reqs[sh.Index])
+		}, emit)
+}
+
+// dispatch round-trips one request through the fleet, re-dispatching the
+// shard to another node on worker failures until the attempt budget —
+// every node, twice — runs out. Request-level errors (a healthy node
+// rejecting the request) are deterministic and surface immediately; a
+// node whose handshake mismatches is poisoned and never retried.
+func (r *NetRunner) dispatch(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
+	attempts := 2 * len(r.nodes)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return testbed.Measurement{}, err
+		}
+		node, wait, err := r.pickNode()
+		if err != nil {
+			return testbed.Measurement{}, noHealthySource(idx, err, lastErr)
+		}
+		if node == nil {
+			// Every node is cooling off; wait out the soonest quarantine
+			// (costing one attempt) instead of failing a recoverable
+			// fleet.
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return testbed.Measurement{}, ctx.Err()
+			}
+		}
+		c, err := node.acquire(ctx, r)
+		if err != nil {
+			if ctx.Err() != nil {
+				return testbed.Measurement{}, ctx.Err()
+			}
+			if retryable(err) {
+				node.health.failure(time.Now(), err)
+			}
+			lastErr = err
+			continue
+		}
+		m, err := c.roundTrip(ctx, idx, req)
+		if err == nil {
+			node.health.success()
+			r.release(c)
+			return m, nil
+		}
+		c.destroy()
+		if ctx.Err() != nil {
+			return testbed.Measurement{}, ctx.Err()
+		}
+		if !retryable(err) {
+			return testbed.Measurement{}, err
+		}
+		node.health.failure(time.Now(), err)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("every node quarantined after repeated failures")
+	}
+	return testbed.Measurement{}, fmt.Errorf("sweep: shard %d failed after %d dispatch attempts across %d node(s): %w",
+		idx, attempts, len(r.nodes), lastErr)
+}
+
+// pickNode returns the next usable node in round-robin order. With every
+// node quarantined it returns (nil, soonest release, nil); with every
+// node poisoned it returns the poison error (the first node's reason
+// wrapped, so errors.Is sees through to e.g. ErrVersionMismatch).
+func (r *NetRunner) pickNode() (*netNode, time.Duration, error) {
+	now := time.Now()
+	start := int(r.rr.Add(1))
+	soonest := time.Duration(-1)
+	var poisons []error
+	for k := 0; k < len(r.nodes); k++ {
+		nd := r.nodes[(start+k)%len(r.nodes)]
+		if err := nd.health.poisoned(); err != nil {
+			poisons = append(poisons, err)
+			continue
+		}
+		if wait := nd.health.quarantinedFor(now); wait > 0 {
+			if soonest < 0 || wait < soonest {
+				soonest = wait
+			}
+			continue
+		}
+		return nd, 0, nil
+	}
+	if len(poisons) == len(r.nodes) {
+		err := fmt.Errorf("every node rejected: %w", poisons[0])
+		for _, p := range poisons[1:] {
+			err = fmt.Errorf("%w; %v", err, p)
+		}
+		return nil, 0, err
+	}
+	if soonest >= 0 {
+		return nil, soonest, nil
+	}
+	// Poisoned nodes plus none quarantined can only mean a mixed fleet
+	// where the healthy nodes were consumed by the loop above — cannot
+	// happen, but fail loudly rather than spin.
+	return nil, 0, errors.New("no usable node")
+}
+
+// acquire pops an idle connection or dials a fresh one.
+func (nd *netNode) acquire(ctx context.Context, r *NetRunner) (*netConn, error) {
+	nd.mu.Lock()
+	if k := len(nd.idle); k > 0 {
+		c := nd.idle[k-1]
+		nd.idle = nd.idle[:k-1]
+		nd.mu.Unlock()
+		return c, nil
+	}
+	nd.mu.Unlock()
+	return r.dialNode(ctx, nd)
+}
+
+// dialNode opens, keepalives, and handshakes one connection to a node.
+// Transport failures are retryable worker failures; a version mismatch
+// poisons the node permanently and surfaces as a non-retryable error.
+func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error) {
+	dctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	d := net.Dialer{KeepAlive: netKeepAlive}
+	conn, err := d.DialContext(dctx, "tcp", nd.addr)
+	if err != nil {
+		return nil, &workerFailure{fmt.Errorf("dial node %s: %w", nd.addr, err)}
+	}
+	c := &netConn{runner: r, node: nd, conn: conn, br: bufio.NewReader(conn)}
+	_ = conn.SetReadDeadline(time.Now().Add(r.timeout))
+	switch _, err := testbed.ReadHello(c.br); {
+	case errors.Is(err, testbed.ErrVersionMismatch):
+		c.close()
+		perr := fmt.Errorf("sweep: node %s rejected: %w", nd.addr, err)
+		nd.health.poisonWith(perr)
+		return nil, perr
+	case err != nil:
+		c.close()
+		return nil, &workerFailure{fmt.Errorf("node %s: no handshake: %w", nd.addr, err)}
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	r.liveMu.Lock()
+	if r.liveClosed {
+		r.liveMu.Unlock()
+		c.close()
+		return nil, ErrRunnerClosed
+	}
+	r.live[c] = struct{}{}
+	r.liveMu.Unlock()
+	return c, nil
+}
+
+// release returns a healthy connection to its node's idle stack (or
+// closes it when the runner has been closed meanwhile).
+func (r *NetRunner) release(c *netConn) {
+	r.liveMu.Lock()
+	closed := r.liveClosed
+	r.liveMu.Unlock()
+	if closed {
+		c.destroy()
+		return
+	}
+	c.node.mu.Lock()
+	c.node.idle = append(c.node.idle, c)
+	c.node.mu.Unlock()
+}
+
+// Close closes every connection — idle and in-flight — and marks the
+// runner unusable. Call it after all Run/Stream calls have returned.
+func (r *NetRunner) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if !r.started || r.startErr != nil {
+		return nil
+	}
+	r.liveMu.Lock()
+	r.liveClosed = true
+	for c := range r.live {
+		c.close()
+	}
+	r.live = nil
+	r.liveMu.Unlock()
+	for _, nd := range r.nodes {
+		nd.mu.Lock()
+		nd.idle = nil
+		nd.mu.Unlock()
+	}
+	return nil
+}
+
+// netConn is one live dispatcher connection to a serve node.
+type netConn struct {
+	runner    *NetRunner
+	node      *netNode
+	conn      net.Conn
+	br        *bufio.Reader
+	closeOnce sync.Once
+}
+
+// roundTrip sends one request and awaits its response. Cancelation
+// closes the connection to unblock the in-flight read, so a canceled
+// shard returns promptly instead of hanging on a socket.
+func (c *netConn) roundTrip(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
+	type rt struct {
+		m   testbed.Measurement
+		err error
+	}
+	done := make(chan rt, 1)
+	go func() {
+		if err := testbed.WriteFrame(c.conn, testbed.WireRequest{ID: idx, Req: req}); err != nil {
+			done <- rt{err: &workerFailure{fmt.Errorf("node %s: write: %w", c.node.addr, err)}}
+			return
+		}
+		var resp testbed.WireResponse
+		if err := testbed.ReadFrame(c.br, &resp); err != nil {
+			done <- rt{err: &workerFailure{fmt.Errorf("node %s died mid-shard (read failed: %v)", c.node.addr, err)}}
+			return
+		}
+		switch {
+		case resp.ID != idx:
+			done <- rt{err: &workerFailure{fmt.Errorf("node %s answered id %d to request %d", c.node.addr, resp.ID, idx)}}
+		case resp.Err != "":
+			done <- rt{err: fmt.Errorf("node %s: %s", c.node.addr, sanitizeLine(resp.Err))}
+		default:
+			done <- rt{m: resp.M}
+		}
+	}()
+	select {
+	case r := <-done:
+		return r.m, r.err
+	case <-ctx.Done():
+		c.destroy()
+		return testbed.Measurement{}, ctx.Err()
+	}
+}
+
+// close shuts the socket (idempotent).
+func (c *netConn) close() {
+	c.closeOnce.Do(func() { _ = c.conn.Close() })
+}
+
+// destroy closes the connection and drops it from the runner's live set.
+func (c *netConn) destroy() {
+	c.close()
+	r := c.runner
+	if r == nil {
+		return
+	}
+	r.liveMu.Lock()
+	delete(r.live, c)
+	r.liveMu.Unlock()
+}

@@ -13,21 +13,30 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-	"unicode"
 
 	"repro/internal/testbed"
 )
 
-// ErrRunnerClosed indicates use of a proc backend after Close.
-var ErrRunnerClosed = errors.New("sweep: proc runner closed")
+// ErrRunnerClosed indicates use of a dispatching backend after Close.
+var ErrRunnerClosed = errors.New("sweep: runner closed")
+
+// procShardAttempts bounds how many workers one shard may consume: a
+// crashed worker's shard is re-dispatched once to a fresh subprocess —
+// riding out a one-off death (OOM kill, operator mistake) — while a
+// command that crashes on every request still fails the sweep with the
+// second worker's descriptive error instead of spawning forever.
+const procShardAttempts = 2
 
 // ProcRunner executes requests across worker subprocesses speaking the
 // length-delimited JSON protocol of internal/testbed over stdin/stdout.
 // Workers start lazily on first use and persist across Run/Stream calls
-// (Close reaps them); a worker that crashes or is killed mid-shard
-// surfaces a descriptive error carrying its exit status and stderr tail —
-// never a hang — and is replaced on the next checkout, so one dead
-// subprocess does not poison the runner.
+// (Close reaps them); a worker that crashes or is killed mid-shard is
+// replaced and its shard re-dispatched to a fresh worker
+// (procShardAttempts), surfacing a descriptive error carrying the exit
+// status and stderr tail — never a hang — when the retry fails too.
+// Repeated consecutive failures quarantine the spawn source with backoff
+// (sourceHealth), so a persistently crashing worker command cannot
+// hot-loop respawns across calls.
 //
 // Requests must be wire-safe (Request.WireSafe); measurements depend only
 // on request content and the deterministic hidden physics, so a proc
@@ -56,6 +65,7 @@ type ProcRunner struct {
 	lifeCtx  context.Context
 	stop     context.CancelFunc
 	nextID   atomic.Int64
+	health   sourceHealth
 }
 
 // init resolves the configuration and creates the (lazily filled) worker
@@ -124,36 +134,67 @@ func (p *ProcRunner) Stream(ctx context.Context, reqs []testbed.Request, emit fu
 		}, emit)
 }
 
-// dispatch checks a worker out of the pool, round-trips one request, and
-// returns the worker — or, on any failure, destroys it and frees its
-// slot so the next checkout spawns a replacement.
+// dispatch round-trips one request through the subprocess pool. A
+// healthy round trip returns the worker to the pool; a worker failure
+// (crash, kill, protocol corruption) destroys the worker, frees its slot
+// so the next checkout spawns a replacement, and re-dispatches the shard
+// to a fresh worker up to procShardAttempts. Request-level errors — the
+// worker correctly rejecting the request — are deterministic and surface
+// immediately (the worker is still replaced: its protocol state is
+// certain, its process state is not worth trusting).
 func (p *ProcRunner) dispatch(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
-	w, err := p.checkout(ctx)
-	if err != nil {
-		return testbed.Measurement{}, err
-	}
-	m, err := w.roundTrip(ctx, idx, req)
-	if err != nil {
-		// The worker may be dead (crash, kill) or in an unknown protocol
-		// state (request-level failure); replacing it is always safe.
+	var lastErr error
+	for attempt := 0; attempt < procShardAttempts; attempt++ {
+		w, err := p.checkout(ctx)
+		if err != nil {
+			return testbed.Measurement{}, err
+		}
+		m, err := w.roundTrip(ctx, idx, req)
+		if err == nil {
+			p.health.success()
+			p.pool <- w
+			return m, nil
+		}
 		w.destroy()
 		p.pool <- nil
-		return testbed.Measurement{}, err
+		if ctx.Err() != nil {
+			return testbed.Measurement{}, ctx.Err()
+		}
+		if !retryable(err) {
+			return testbed.Measurement{}, err
+		}
+		p.health.failure(time.Now(), err)
+		lastErr = err
 	}
-	p.pool <- w
-	return m, nil
+	return testbed.Measurement{}, fmt.Errorf("sweep: shard %d: giving up after %d workers failed: %w",
+		idx, procShardAttempts, lastErr)
 }
 
 // checkout acquires a pool slot, spawning a worker if the slot is empty.
+// A quarantined spawn source fails fast instead of hot-looping respawns
+// of a command that keeps dying.
 func (p *ProcRunner) checkout(ctx context.Context) (*workerProc, error) {
 	select {
 	case w := <-p.pool:
 		if w != nil {
 			return w, nil
 		}
+		if wait := p.health.quarantinedFor(time.Now()); wait > 0 {
+			p.pool <- nil
+			// Carry the failure that caused the quarantine: with the
+			// engine's lowest-index error selection, this message can be
+			// the only one the user sees.
+			err := fmt.Errorf("sweep: worker spawns quarantined for %s after repeated failures",
+				wait.Round(time.Millisecond))
+			if last := p.health.lastFailure(); last != nil {
+				err = fmt.Errorf("%w; last: %w", err, last)
+			}
+			return nil, err
+		}
 		nw, err := p.startWorker()
 		if err != nil {
 			p.pool <- nil
+			p.health.failure(time.Now(), err)
 			return nil, err
 		}
 		return nw, nil
@@ -249,9 +290,12 @@ func (w *workerProc) roundTrip(ctx context.Context, idx int, req testbed.Request
 		}
 		switch {
 		case resp.ID != idx:
-			done <- rt{err: fmt.Errorf("worker %d answered id %d to request %d", w.id, resp.ID, idx)}
+			// Protocol corruption: the worker is broken, not the request.
+			done <- rt{err: &workerFailure{fmt.Errorf("worker %d answered id %d to request %d", w.id, resp.ID, idx)}}
 		case resp.Err != "":
-			done <- rt{err: fmt.Errorf("worker %d: %s", w.id, resp.Err)}
+			// Request-level rejection from a healthy worker: deterministic,
+			// never retried.
+			done <- rt{err: fmt.Errorf("worker %d: %s", w.id, sanitizeLine(resp.Err))}
 		default:
 			done <- rt{m: resp.M}
 		}
@@ -267,7 +311,8 @@ func (w *workerProc) roundTrip(ctx context.Context, idx int, req testbed.Request
 
 // ioErr builds the descriptive error for a broken worker pipe: if the
 // process has (or promptly) exited, report its status and stderr tail;
-// otherwise report the raw protocol error.
+// otherwise report the raw protocol error. Either way the worker is
+// broken, so the error is a retryable workerFailure.
 func (w *workerProc) ioErr(op string, err error) error {
 	select {
 	case <-w.waitDone:
@@ -275,9 +320,9 @@ func (w *workerProc) ioErr(op string, err error) error {
 		if w.waitErr != nil {
 			status = w.waitErr.Error()
 		}
-		return fmt.Errorf("worker %d died mid-shard (%s failed; %s)%s", w.id, op, status, w.stderr.suffix())
+		return &workerFailure{fmt.Errorf("worker %d died mid-shard (%s failed; %s)%s", w.id, op, status, w.stderr.suffix())}
 	case <-time.After(500 * time.Millisecond):
-		return fmt.Errorf("worker %d protocol %s error: %w%s", w.id, op, err, w.stderr.suffix())
+		return &workerFailure{fmt.Errorf("worker %d protocol %s error: %w%s", w.id, op, err, w.stderr.suffix())}
 	}
 }
 
@@ -299,48 +344,4 @@ func (w *workerProc) destroy() {
 	case <-w.waitDone:
 	case <-time.After(2 * time.Second):
 	}
-}
-
-// tailWriter keeps the last limit bytes written — enough stderr context
-// to make a crash error actionable without unbounded buffering.
-type tailWriter struct {
-	mu    sync.Mutex
-	limit int
-	buf   []byte
-}
-
-func (t *tailWriter) Write(p []byte) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buf = append(t.buf, p...)
-	if len(t.buf) > t.limit {
-		t.buf = t.buf[len(t.buf)-t.limit:]
-	}
-	return len(p), nil
-}
-
-// suffix renders the tail as sanitized single-line text safe to embed
-// in an error message: the byte-limit truncation can split a multi-byte
-// UTF-8 rune, and subprocess stderr can carry arbitrary control bytes,
-// so invalid sequences are dropped, newlines and tabs collapse to
-// spaces, and other non-printable runes are removed.
-func (t *tailWriter) suffix() string {
-	t.mu.Lock()
-	buf := string(t.buf)
-	t.mu.Unlock()
-	s := strings.ToValidUTF8(buf, "")
-	s = strings.Map(func(r rune) rune {
-		switch {
-		case r == '\n' || r == '\t' || r == '\r':
-			return ' '
-		case !unicode.IsPrint(r):
-			return -1
-		}
-		return r
-	}, s)
-	s = strings.Join(strings.Fields(s), " ")
-	if s == "" {
-		return ""
-	}
-	return "; stderr: " + s
 }

@@ -1,0 +1,141 @@
+package testbed
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHelloCheck(t *testing.T) {
+	if err := Hello().Check(); err != nil {
+		t.Fatalf("own handshake must validate: %v", err)
+	}
+	for _, h := range []WireHello{
+		{Protocol: ProtocolVersion + 1, Physics: PhysicsVersion},
+		{Protocol: ProtocolVersion, Physics: PhysicsVersion + 1},
+		{},
+	} {
+		err := h.Check()
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("Check(%+v) = %v, want ErrVersionMismatch", h, err)
+		}
+		if !strings.Contains(err.Error(), "protocol") || !strings.Contains(err.Error(), "physics") {
+			t.Fatalf("mismatch error not descriptive: %v", err)
+		}
+	}
+}
+
+// startNode runs a serve node on a loopback listener for the test's
+// lifetime and returns its address.
+func startNode(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ServeListener(ctx, ln, nil) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("ServeListener: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("ServeListener did not return after cancel")
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestServeListenerHandshakeAndMeasure drives the node end of the
+// network protocol with a raw client: the connection opens with a valid
+// handshake, good requests answer with the bench's exact measurement,
+// request-level failures answer in-band without killing the connection,
+// and a second connection works (the executor is shared, not consumed).
+func TestServeListenerHandshakeAndMeasure(t *testing.T) {
+	addr := startNode(t)
+	good := workerRequest(t, 4)
+	bad := good
+	bad.Trials = 0
+	want, err := NewBench(0).Do(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		hello, err := ReadHello(br)
+		if err != nil {
+			t.Fatalf("round %d handshake: %v", round, err)
+		}
+		if hello != Hello() {
+			t.Fatalf("round %d hello = %+v", round, hello)
+		}
+		for i, req := range []Request{good, bad, good} {
+			if err := WriteFrame(conn, WireRequest{ID: i, Req: req}); err != nil {
+				t.Fatal(err)
+			}
+			var resp WireResponse
+			if err := ReadFrame(br, &resp); err != nil {
+				t.Fatalf("round %d response %d: %v", round, i, err)
+			}
+			if resp.ID != i {
+				t.Fatalf("round %d response %d has id %d", round, i, resp.ID)
+			}
+			if i == 1 {
+				if !strings.Contains(resp.Err, "trial count") {
+					t.Fatalf("bad request response = %+v", resp)
+				}
+				continue
+			}
+			if resp.Err != "" || resp.M != want {
+				t.Fatalf("round %d response %d = %+v, want %+v", round, i, resp, want)
+			}
+		}
+		conn.Close()
+	}
+}
+
+// TestServeListenerCancelClosesConnections pins prompt shutdown: a node
+// with an attached, idle dispatcher connection must still return as soon
+// as its context is canceled — the live connection is closed, not
+// drained.
+func TestServeListenerCancelClosesConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ServeListener(ctx, ln, nil) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := ReadHello(bufio.NewReader(conn)); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeListener after cancel: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node held hostage by an idle connection")
+	}
+}

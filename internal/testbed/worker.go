@@ -16,6 +16,15 @@ import (
 // worker instead of re-running the test suite.
 const WorkerEnv = "XRPERF_PROC_WORKER"
 
+// ProtocolVersion identifies the wire protocol of this binary: the
+// 4-byte-length-prefixed JSON framing and the WireRequest/WireResponse
+// message schema. Network serve nodes announce it in their handshake so
+// a dispatcher built against an incompatible frame layout is rejected
+// before any work is exchanged; the stdin/stdout worker path skips the
+// handshake because the proc backend always spawns its own binary. Bump
+// it on any incompatible frame or message change.
+const ProtocolVersion = 1
+
 // MaxFrameBytes bounds a single protocol frame; larger length prefixes
 // indicate a corrupt or hostile stream and are rejected.
 const MaxFrameBytes = 8 << 20
@@ -41,6 +50,38 @@ type WireResponse struct {
 	M Measurement `json:"m"`
 	// Err carries a request-level failure; the worker stays alive.
 	Err string `json:"err,omitempty"`
+}
+
+// ErrVersionMismatch indicates a serve node whose protocol or physics
+// version differs from this binary's.
+var ErrVersionMismatch = errors.New("testbed: version mismatch")
+
+// WireHello is the handshake frame a network serve node writes once per
+// connection, before reading any request: the node's wire-protocol
+// version and its measurement semantics (PhysicsVersion). The dispatcher
+// checks both against its own binary — a node built from different
+// physics would return measurements that silently break the
+// byte-identical-across-backends contract, so mismatched nodes are
+// rejected up front, not discovered as wrong numbers later.
+type WireHello struct {
+	// Protocol is the node's wire-protocol version.
+	Protocol int `json:"proto"`
+	// Physics is the node's testbed.PhysicsVersion.
+	Physics int `json:"physics"`
+}
+
+// Hello returns this binary's handshake frame.
+func Hello() WireHello {
+	return WireHello{Protocol: ProtocolVersion, Physics: PhysicsVersion}
+}
+
+// Check validates a peer's handshake against this binary.
+func (h WireHello) Check() error {
+	if h.Protocol != ProtocolVersion || h.Physics != PhysicsVersion {
+		return fmt.Errorf("%w: node speaks protocol %d / physics %d, this binary speaks %d / %d",
+			ErrVersionMismatch, h.Protocol, h.Physics, ProtocolVersion, PhysicsVersion)
+	}
+	return nil
 }
 
 // WriteFrame encodes v as JSON behind a 4-byte big-endian length prefix.
@@ -89,15 +130,24 @@ func ReadFrame(r io.Reader, v any) error {
 	return nil
 }
 
-// Serve runs the worker loop: read framed requests from r until EOF,
-// execute each on a process-local Executor, and write framed responses
-// to w in arrival order. Request-level failures (bad trials, invalid
-// scenario) are reported in the response and do not kill the worker;
-// protocol-level failures (corrupt frame, broken pipe) return an error.
-// The hidden physics is deterministic, so a worker's observations for
-// seeded requests match any other process's bit for bit.
+// Serve runs the worker loop on a fresh executor: read framed requests
+// from r until EOF, execute each, and write framed responses to w in
+// arrival order. It is the stdin/stdout entry point of the proc backend;
+// network serve nodes run the same loop per connection via ServeListener,
+// sharing one executor across connections.
 func Serve(r io.Reader, w io.Writer) error {
-	exec := NewExecutor(nil)
+	return NewExecutor(nil).ServeFrames(r, w)
+}
+
+// ServeFrames runs the transport-agnostic worker loop on the executor:
+// read framed requests from r until EOF, execute each, and write framed
+// responses to w in arrival order. Request-level failures (bad trials,
+// invalid scenario) are reported in the response and do not kill the
+// loop; protocol-level failures (corrupt frame, broken pipe) return an
+// error. The hidden physics is deterministic, so a worker's observations
+// for seeded requests match any other process's bit for bit — which is
+// what lets one serve loop back pipes and sockets interchangeably.
+func (e *Executor) ServeFrames(r io.Reader, w io.Writer) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
 	for {
@@ -109,7 +159,7 @@ func Serve(r io.Reader, w io.Writer) error {
 			return fmt.Errorf("worker read: %w", err)
 		}
 		resp := WireResponse{ID: req.ID}
-		m, err := exec.Do(req.Req)
+		m, err := e.Do(req.Req)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {

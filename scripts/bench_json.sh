@@ -1,0 +1,48 @@
+#!/bin/sh
+# Benchmark trajectory tracking, run by `make bench-json` and the CI
+# bench job: execute the full benchmark suite once (-benchtime=1x, the
+# same smoke configuration the bench job gates on) and distill it into a
+# machine-readable JSON file mapping every benchmark to its ns/op.
+# CI uploads the file as an artifact per run, so successive PRs leave a
+# perf trail that can be diffed instead of re-measured from memory.
+#
+# Usage: bench_json.sh [output.json]   (default: BENCH_5.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_5.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -bench=. -benchtime=1x -run='^$' ./... >"$tmp"
+
+# Bench lines look like:
+#   BenchmarkSweepNet-4   1   8215164 ns/op   8.381 energyErr% ...
+# Keep the name (GOMAXPROCS suffix stripped, so the trajectory is
+# comparable across runner shapes) and the ns/op value.
+awk -v goversion="$(go version | awk '{print $3}')" '
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    n++
+    names[n] = name
+    ns[n] = $3
+}
+END {
+    if (n == 0) {
+        print "bench_json: no benchmark results parsed" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"schema\": 1,\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"1x\",\n"
+    printf "  \"unit\": \"ns/op\",\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++)
+        printf "    \"%s\": %s%s\n", names[i], ns[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" >"$out"
+
+echo "bench_json: wrote $(grep -c '^    "Benchmark' "$out") benchmarks to $out"
