@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/testbed"
 )
@@ -361,4 +362,33 @@ func BenchmarkAblationMultiEdgeSplit(b *testing.B) {
 	}
 	b.ReportMetric(single, "singleEdge(ms)")
 	b.ReportMetric(split, "twoWaySplit(ms)")
+}
+
+// BenchmarkPopulationSweep measures the population-simulation path end to
+// end: a named scenario expanded into cohorts, sharded into session
+// requests, executed on the parallel pool, and folded into quantile
+// sketches. users/sec is the capacity-planning number — it is what
+// determines how long `xrperf population -users 1000000` takes.
+func BenchmarkPopulationSweep(b *testing.B) {
+	const users, frames = 2000, 30
+	cohorts, err := scenario.Generate("offload", scenario.Params{Users: users, Frames: frames, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &sweep.PoolRunner{}
+	b.ResetTimer()
+	var last *sweep.PopulationResult
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunPopulation(context.Background(), r, cohorts,
+			sweep.PopulationOptions{ShardUsers: 250})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		b.ReportMetric(float64(users)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+		b.ReportMetric(float64(users*frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	}
 }

@@ -12,15 +12,23 @@
 //	xrperf all                          every experiment in paper order
 //	xrperf analyze [-mode local|remote] analyze one scenario
 //	xrperf sweep [-devices ...]         run an arbitrary scenario grid in parallel
+//	xrperf population [-scenario S]     simulate a population of XR sessions
 //	xrperf export [-rows N]             dump a synthetic resource dataset as CSV
 //	xrperf report [-stream]             regenerate the full Markdown evaluation report
 //	xrperf worker                       serve measurement requests over stdin/stdout
 //	xrperf serve -listen <addr>         run a worker-fleet node answering over TCP
 //
-// The experiment, all, sweep, and report subcommands share the suite
+// The experiment, all, sweep, report, and population subcommands share
+// one serializable job specification (internal/job.Spec): the suite
 // flags -seed/-train/-test/-trials/-workers plus the backend flags
 // -backend pool|proc|net, -procs, -nodes, and -cache-dir; every output
 // is byte-identical for any backend at any -workers/-procs/node count.
+// The population subcommand expands a named scenario (vehicular,
+// multiplayer, coverage, offload) into cohorts of simulated XR sessions
+// — thermal throttling, battery drain, mobility handoffs — shards them
+// into session requests, and folds the per-frame distributions into
+// mergeable quantile sketches, so a million-user sweep holds kilobytes,
+// not traces.
 // The proc backend shards measurements across `xrperf worker`
 // subprocesses speaking a length-delimited JSON protocol; the net
 // backend dispatches the same protocol over TCP to `xrperf serve` nodes
@@ -52,7 +60,9 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/testbed"
 )
@@ -83,6 +93,8 @@ func run(args []string, out io.Writer) error {
 		return runAnalyze(args[1:], out)
 	case "sweep":
 		return runSweep(args[1:], out)
+	case "population":
+		return runPopulation(args[1:], out)
 	case "export":
 		return runExport(args[1:], out)
 	case "report":
@@ -100,7 +112,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|export|report|worker|serve} (ids: %s)",
+	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|population|export|report|worker|serve} (ids: %s)",
 		strings.Join(experiments.IDs(), ", "))
 }
 
@@ -149,6 +161,10 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "        [-stream] [-format table|csv]")
 	fmt.Fprintln(out, "                               run a scenario grid on the parallel sweep engine;")
 	fmt.Fprintln(out, "                               -stream emits rows as grid prefixes complete")
+	fmt.Fprintln(out, "  population [-scenario S] [-users N] [-frames N] [-shard N] [backend flags]")
+	fmt.Fprintln(out, "                               simulate a population of XR sessions (thermal,")
+	fmt.Fprintln(out, "                               battery, mobility) as cohorts on any backend;")
+	fmt.Fprintln(out, "                               scenarios:", strings.Join(scenario.Names(), " "))
 	fmt.Fprintln(out, "  export [-rows N] [-kind K]   dump a synthetic dataset as CSV")
 	fmt.Fprintln(out, "  report [-stream] [flags]     regenerate the full Markdown evaluation report;")
 	fmt.Fprintln(out, "                               -stream emits each section as soon as it completes")
@@ -157,7 +173,8 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "  serve [-listen ADDR]         run a worker-fleet node: answer measurement")
 	fmt.Fprintln(out, "                               requests over TCP for -backend net dispatchers")
 	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions)")
-	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report): -seed N -train N -test N")
+	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report; population takes the backend")
+	fmt.Fprintln(out, "                               subset): -seed N -train N -test N")
 	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc|net")
 	fmt.Fprintln(out, "                               -procs N -nodes host:port,... -cache-dir DIR")
 	fmt.Fprintln(out, "                               (0 = GOMAXPROCS; output is byte-identical for any")
@@ -189,80 +206,31 @@ func runCNNs(out io.Writer) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (seed *int64, train, test, trials, workers *int, backend *string, procs *int, nodes, cacheDir *string) {
-	seed = fs.Int64("seed", 42, "bench RNG seed")
-	train = fs.Int("train", experiments.DefaultTrainRows, "training dataset rows")
-	test = fs.Int("test", experiments.DefaultTestRows, "test dataset rows")
-	trials = fs.Int("trials", experiments.DefaultTrials, "ground-truth trials per point")
-	workers = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; output identical for any value)")
-	backend = fs.String("backend", "pool", "measurement backend: pool (in-process), proc (xrperf worker subprocesses), or net (xrperf serve nodes)")
-	procs = fs.Int("procs", 0, "proc backend: worker subprocess count (0 = GOMAXPROCS)")
-	nodes = fs.String("nodes", "", "net backend: comma-separated serve-node addresses (host:port,...)")
-	cacheDir = fs.String("cache-dir", "", "persist measured cells on disk so warm re-runs dispatch nothing (empty = in-memory cache only)")
-	return
-}
-
-// openDiskCache opens the persistent measurement store for -cache-dir.
-// An unusable directory degrades to the in-memory cache with a warning
-// on stderr instead of failing the run: a broken cache must never block
-// an evaluation it can only accelerate.
-func openDiskCache(dir string) *sweep.DiskCache {
-	if dir == "" {
-		return nil
-	}
-	disk, err := sweep.OpenDiskCache(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xrperf: %v; continuing with the in-memory cache only\n", err)
-		return nil
-	}
-	return disk
-}
-
-// buildSuite parses the shared suite flags and assembles the suite with
-// its measurement backend; cleanup reaps backend resources (the proc
-// backend's worker subprocesses) and must run after the command's last
-// measurement.
+// buildSuite parses the shared job flags and assembles the suite with its
+// measurement backend via the serializable job.Spec; cleanup reaps
+// backend resources (the proc backend's worker subprocesses) and must run
+// after the command's last measurement.
 func buildSuite(fs *flag.FlagSet, args []string) (suite *experiments.Suite, cleanup func(), err error) {
-	seed, train, test, trials, workers, backend, procs, nodes, cacheDir := suiteFlags(fs)
+	spec := job.Default()
+	spec.RegisterFlags(fs)
+	spec.RegisterSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
-	suite, err = experiments.NewSuite(*seed, *train, *test)
-	if err != nil {
-		return nil, nil, err
-	}
-	suite.Trials = *trials
-	suite.Workers = *workers
-	suite.Disk = openDiskCache(*cacheDir)
-	cleanup = func() {}
-	switch *backend {
-	case "pool":
-		// Default backend: suite builds its own cached in-process pool
-		// (persistent when -cache-dir is usable).
-	case "proc":
-		pr := &sweep.ProcRunner{Procs: *procs}
-		suite.Runner = sweep.NewCachedRunner(pr, sweep.WithDiskCache(suite.Disk))
-		cleanup = func() { _ = pr.Close() }
-	case "net":
-		addrs := splitList(*nodes)
-		if len(addrs) == 0 {
-			return nil, nil, fmt.Errorf("-backend net requires -nodes host:port[,host:port...]")
-		}
-		nr := &sweep.NetRunner{Nodes: addrs}
-		suite.Runner = sweep.NewCachedRunner(nr, sweep.WithDiskCache(suite.Disk))
-		cleanup = func() { _ = nr.Close() }
-	default:
-		return nil, nil, fmt.Errorf("-backend: unknown backend %q (pool, proc, or net)", *backend)
-	}
-	return suite, cleanup, nil
+	return spec.BuildSuite()
 }
 
 // printCacheStats reports the measurement cache's counters on stderr —
 // never stdout, which stays byte-identical across backends and
 // parallelism.
 func printCacheStats(suite *experiments.Suite) {
-	st, ok := suite.CacheStats()
-	if !ok || st.Misses+st.Hits+st.DiskHits == 0 {
+	if st, ok := suite.CacheStats(); ok {
+		printStats(st)
+	}
+}
+
+func printStats(st sweep.CacheStats) {
+	if st.Misses+st.Hits+st.DiskHits == 0 {
 		return
 	}
 	line := fmt.Sprintf("xrperf: measurement cache: %d unique cells measured, %d served from cache",
@@ -271,6 +239,50 @@ func printCacheStats(suite *experiments.Suite) {
 		line += fmt.Sprintf(" (%d loaded from disk)", st.DiskHits)
 	}
 	fmt.Fprintln(os.Stderr, line)
+}
+
+// runPopulation expands a named scenario into cohorts of simulated users
+// and sweeps their sessions on the selected backend, reporting merged
+// latency/energy distributions per cohort. Stdout carries only the report
+// — byte-identical for any backend, worker count, or shard size — so CI
+// can diff backends directly.
+func runPopulation(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("population", flag.ContinueOnError)
+	name := fs.String("scenario", "vehicular", "scenario generator: "+strings.Join(scenario.Names(), ", "))
+	users := fs.Int("users", 10000, "total simulated users, split across the scenario's cohorts")
+	frames := fs.Int("frames", 120, "frames per user session")
+	shard := fs.Int("shard", sweep.DefaultShardUsers, "sessions per request shard (output identical for any value)")
+	spec := job.Default()
+	spec.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cohorts, err := scenario.Generate(*name, scenario.Params{
+		Users:  *users,
+		Frames: *frames,
+		Seed:   spec.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	runner, cleanup, err := spec.BuildRunner()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := sweep.RunPopulation(ctx, runner, cohorts, sweep.PopulationOptions{ShardUsers: *shard})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xrperf population: %s: %d users x %d frames across %d shards\n",
+		*name, res.Total.Users, *frames, res.Shards)
+	if _, err := fmt.Fprint(out, res.Render()); err != nil {
+		return err
+	}
+	printStats(runner.Stats())
+	return nil
 }
 
 func runFit(args []string, out io.Writer) error {

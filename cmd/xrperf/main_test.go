@@ -459,3 +459,53 @@ func TestExportKinds(t *testing.T) {
 		t.Fatal("zero rows must error")
 	}
 }
+
+// TestPopulationRunsScenario checks the population subcommand end to
+// end on the default backend: every cohort of the named scenario appears
+// in the report along with the TOTAL row.
+func TestPopulationRunsScenario(t *testing.T) {
+	out := runCLI(t, "population", "-scenario", "offload", "-users", "12", "-frames", "5")
+	for _, want := range []string{"cohort", "local", "local-throttled", "remote-congested", "TOTAL", "p99 ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("population report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPopulationBackendsIdentical pins the tentpole acceptance criterion
+// at the CLI surface: `xrperf population` prints the byte-identical
+// report on the pool, proc, and net backends at any -workers value and
+// shard size.
+func TestPopulationBackendsIdentical(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"population",
+			"-scenario", "vehicular", "-users", "10", "-frames", "4",
+		}, extra...)
+	}
+	pool := runCLI(t, args("-backend", "pool", "-workers", "1")...)
+	if !strings.Contains(pool, "highway-low") {
+		t.Fatalf("vehicular report incomplete:\n%s", pool)
+	}
+	if again := runCLI(t, args("-backend", "pool", "-workers", "8", "-shard", "3")...); pool != again {
+		t.Fatalf("workers/shard changed the report:\n--- 1 worker\n%s\n--- 8 workers\n%s", pool, again)
+	}
+	if proc := runCLI(t, args("-backend", "proc", "-procs", "2")...); pool != proc {
+		t.Fatalf("-backend changed the report:\n--- pool\n%s\n--- proc\n%s", pool, proc)
+	}
+	if netOut := runCLI(t, args("-backend", "net", "-nodes", startServeNodes(t, 2))...); pool != netOut {
+		t.Fatalf("-backend changed the report:\n--- pool\n%s\n--- net\n%s", pool, netOut)
+	}
+}
+
+func TestPopulationErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"population", "-scenario", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if err := run([]string{"population", "-backend", "teleport"}, &buf); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	if err := run([]string{"population", "-backend", "net"}, &buf); err == nil {
+		t.Fatal("net backend without nodes must error")
+	}
+}

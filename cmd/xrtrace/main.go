@@ -2,6 +2,12 @@
 // framework — with optional thermal throttling, battery drain, and
 // mobility — and emits either a frame-indexed CSV trace or a summary.
 //
+// It is a thin client of the testbed's session workload: the flags build
+// one serializable testbed.OpSession request — exactly what a population
+// sweep dispatches to its backends — and render the returned summary and
+// trace. The CLI and the sweep path therefore cannot drift: they execute
+// the same request through the same executor.
+//
 // Usage:
 //
 //	xrtrace -frames 600 -device XR6 -mode local -thermal -battery 3640
@@ -9,16 +15,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/mobility"
 	"repro/internal/pipeline"
 	"repro/internal/session"
+	"repro/internal/testbed"
 	"repro/internal/wireless"
 )
 
@@ -66,77 +75,78 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fw := core.NewWithPaperCoefficients()
-	if *fitted {
-		fw, _, err = core.NewFitted(*seed, 20000, 6000)
-		if err != nil {
-			return err
-		}
+	// One serializable session request — the same unit of work a
+	// population sweep ships to its backends.
+	req := testbed.Request{
+		Op:       testbed.OpSession,
+		Scenario: sc,
+		Seed:     *seed,
+		Session: &testbed.SessionConfig{
+			Frames:       *frames,
+			IncludeTrace: true,
+		},
 	}
-
-	cfg := session.Config{
-		Framework: fw,
-		Scenario:  sc,
-		Frames:    *frames,
-		Seed:      *seed,
+	if *fitted {
+		req.Fit = &testbed.FitConfig{Seed: *seed, TrainRows: 20000, TestRows: 6000}
 	}
 	if *thermal {
 		th := session.DefaultThermal()
-		cfg.Thermal = &th
+		req.Session.Thermal = &th
 	}
 	if *batteryMAh > 0 {
-		b, err := session.NewBattery(*batteryMAh, 3.85)
-		if err != nil {
-			return err
-		}
-		cfg.Battery = &b
+		req.Session.BatteryMAh = *batteryMAh
 	}
 	if *mobile {
-		walk, err := mobility.NewWalk(1.4, 50) // walking pace
-		if err != nil {
-			return err
+		req.Session.Mobility = &testbed.MobilityConfig{
+			SpeedMps:       1.4, // walking pace
+			StepMs:         50,
+			ZoneTechnology: wireless.WiFi5GHz,
+			ZoneRadiusM:    40,
+			Kind:           mobility.HandoffVertical,
 		}
-		cfg.Walk = &walk
-		cfg.Zone = mobility.Zone{Technology: wireless.WiFi5GHz, RadiusM: 40}
-		cfg.HandoffKind = mobility.HandoffVertical
 	}
 
-	res, err := session.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	meas, err := testbed.NewExecutor(nil).DoContext(ctx, req)
 	if err != nil {
 		return err
 	}
+	sum := meas.Session
+	if sum == nil || len(sum.Trace) == 0 {
+		return fmt.Errorf("session returned no trace")
+	}
 
 	if *csvOut {
-		tbl, err := res.TraceTable()
+		tbl, err := session.TraceTable(sum.Trace)
 		if err != nil {
 			return err
 		}
 		return tbl.WriteCSV(out)
 	}
 
+	last := sum.Trace[len(sum.Trace)-1]
 	fmt.Fprintf(out, "session: %d/%d frames on %s (%s, %s inference)\n",
-		res.CompletedFrames, *frames, dev.Name, dev.Model, *mode)
-	fmt.Fprintf(out, "  mean latency:   %.1f ms/frame\n", res.MeanLatencyMs)
+		sum.Frames, *frames, dev.Name, dev.Model, *mode)
+	fmt.Fprintf(out, "  mean latency:   %.1f ms/frame\n", meas.LatencyMs)
 	fmt.Fprintf(out, "  total energy:   %.1f mJ (%.1f mJ/frame)\n",
-		res.TotalEnergyMJ, res.TotalEnergyMJ/float64(res.CompletedFrames))
-	if cfg.Thermal != nil {
-		last := res.Trace[len(res.Trace)-1]
+		sum.TotalEnergyMJ, sum.TotalEnergyMJ/float64(sum.Frames))
+	if req.Session.Thermal != nil {
 		fmt.Fprintf(out, "  thermal:        %d throttled frames, final %.1f °C at %.2f GHz\n",
-			res.ThrottledFrames, last.TempC, last.CPUFreqGHz)
+			sum.ThrottledFrames, last.TempC, last.CPUFreqGHz)
 	}
-	if cfg.Battery != nil {
-		last := res.Trace[len(res.Trace)-1]
+	if req.Session.BatteryMAh > 0 {
 		fmt.Fprintf(out, "  battery:        %.1f%% remaining", 100*last.BatterySoC)
-		if res.Depleted {
-			fmt.Fprintf(out, " (DEPLETED at frame %d)", res.CompletedFrames)
-		} else if life, err := res.BatteryLifeFrames(*cfg.Battery); err == nil {
-			mins := float64(life) * res.MeanLatencyMs / 60000
+		if sum.Depleted > 0 {
+			fmt.Fprintf(out, " (DEPLETED at frame %d)", sum.Frames)
+		} else if b, err := session.NewBattery(req.Session.BatteryMAh, 3.85); err == nil && sum.TotalEnergyMJ > 0 {
+			life := int(b.CapacityMJ / (sum.TotalEnergyMJ / float64(sum.Frames)))
+			mins := float64(life) * meas.LatencyMs / 60000
 			fmt.Fprintf(out, " (≈%d frames ≈ %.0f min of use per charge)", life, mins)
 		}
 		fmt.Fprintln(out)
 	}
-	if cfg.Walk != nil {
-		last := res.Trace[len(res.Trace)-1]
+	if req.Session.Mobility != nil {
 		fmt.Fprintf(out, "  mobility:       P(HO) ≈ %.3f per %d-frame window\n",
 			last.HandoffProb, 30)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/queue"
+	"repro/internal/scenario"
 	"repro/internal/sensors"
 	"repro/internal/session"
 	"repro/internal/stats"
@@ -110,13 +111,13 @@ func TestFullStackFitAnalyzeSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	thermal := session.DefaultThermal()
-	res, err := session.Run(session.Config{
-		Framework: fw,
-		Scenario:  sc,
-		Frames:    120,
-		Thermal:   &thermal,
-		Battery:   &battery,
-		Seed:      3,
+	res, err := session.Run(context.Background(), session.Config{
+		Models:   fw.Energy,
+		Scenario: sc,
+		Frames:   120,
+		Thermal:  &thermal,
+		Battery:  &battery,
+		Seed:     3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -546,6 +547,79 @@ func TestWarmDiskCacheReportByteIdentical(t *testing.T) {
 	st, ok := warm.CacheStats()
 	if !ok || st.Misses != 0 || st.DiskHits != 36 || st.Hits != 123-36 {
 		t.Fatalf("warm run counters: %+v, want 0 measured / 36 from disk / 87 memory hits", st)
+	}
+}
+
+// TestPopulationReportByteIdenticalAcrossBackends pins the population
+// tentpole end to end: a named scenario expanded into cohorts and swept
+// over the pool, proc, and net backends — behind the memoizing cache, at
+// different worker counts and shard sizes — must render the byte-identical
+// population report.
+func TestPopulationReportByteIdenticalAcrossBackends(t *testing.T) {
+	cohorts, err := scenario.Generate("offload", scenario.Params{Users: 30, Frames: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sweep.PopulationOptions{ShardUsers: 4}
+	baseline, err := sweep.RunPopulation(context.Background(),
+		&sweep.PoolRunner{Workers: 1}, cohorts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Render()
+	if !strings.Contains(want, "local-throttled") || !strings.Contains(want, "TOTAL") {
+		t.Fatalf("population report incomplete:\n%s", want)
+	}
+
+	pr := &sweep.ProcRunner{Procs: 2}
+	defer pr.Close()
+	nr := &sweep.NetRunner{Nodes: startServeNodes(t, 2)}
+	defer nr.Close()
+	backends := []struct {
+		name string
+		r    sweep.Runner
+	}{
+		{"pool-8", &sweep.PoolRunner{Workers: 8}},
+		{"proc", sweep.NewCachedRunner(pr)},
+		{"net", sweep.NewCachedRunner(nr)},
+	}
+	for _, b := range backends {
+		res, err := sweep.RunPopulation(context.Background(), b.r, cohorts, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if got := res.Render(); got != want {
+			t.Errorf("%s population report diverges:\n--- pool\n%s--- %s\n%s",
+				b.name, want, b.name, got)
+		}
+	}
+}
+
+// TestPopulationCancelMidSweep checks the ctx-first session API end to
+// end: canceling mid-population aborts in-flight shards instead of
+// running the cohort to completion.
+func TestPopulationCancelMidSweep(t *testing.T) {
+	cohorts, err := scenario.Generate("multiplayer", scenario.Params{Users: 500000, Frames: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := sweep.RunPopulation(ctx, &sweep.PoolRunner{Workers: 2}, cohorts,
+			sweep.PopulationOptions{ShardUsers: 100})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled population sweep must error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("population sweep ignored cancelation for %v", time.Since(start))
 	}
 }
 

@@ -1,0 +1,174 @@
+// Package job defines the serializable execution-environment
+// specification shared by every xrperf subcommand that dispatches backend
+// work: which backend runs the requests (in-process pool, worker
+// subprocesses, a TCP node fleet), at what parallelism, under which seed
+// and dataset sizes, and whether measurements persist on disk. A Spec is
+// plain data — JSON round-trippable — so the same value that today comes
+// from command-line flags can tomorrow arrive in a server request or a
+// job file and build the identical runner; and because every subcommand
+// funnels through BuildRunner/BuildSuite, backend wiring cannot drift
+// between them.
+package job
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// Spec describes one job's execution environment.
+type Spec struct {
+	// Backend selects the measurement backend: "pool" (in-process,
+	// default), "proc" (worker subprocesses), or "net" (TCP node fleet).
+	Backend string `json:"backend,omitempty"`
+	// Procs is the proc backend's subprocess count (0 = GOMAXPROCS).
+	Procs int `json:"procs,omitempty"`
+	// Nodes lists the net backend's serve-node addresses.
+	Nodes []string `json:"nodes,omitempty"`
+	// Workers sizes the dispatcher-side worker pool (0 = GOMAXPROCS;
+	// output is byte-identical for any value).
+	Workers int `json:"workers,omitempty"`
+	// Seed is the bench RNG seed.
+	Seed int64 `json:"seed"`
+	// TrainRows/TestRows are the regression dataset sizes.
+	TrainRows int `json:"train_rows,omitempty"`
+	TestRows  int `json:"test_rows,omitempty"`
+	// Trials is the ground-truth trial count per measured point.
+	Trials int `json:"trials,omitempty"`
+	// CacheDir persists measured cells on disk (empty = memory only).
+	CacheDir string `json:"cache_dir,omitempty"`
+}
+
+// Default returns the specification every subcommand starts from.
+func Default() Spec {
+	return Spec{
+		Backend:   "pool",
+		Seed:      42,
+		TrainRows: experiments.DefaultTrainRows,
+		TestRows:  experiments.DefaultTestRows,
+		Trials:    experiments.DefaultTrials,
+	}
+}
+
+// RegisterFlags registers the backend/dispatch flags
+// (-backend/-procs/-nodes/-workers/-seed/-cache-dir) on fs, bound to s.
+func (s *Spec) RegisterFlags(fs *flag.FlagSet) {
+	fs.Int64Var(&s.Seed, "seed", s.Seed, "bench RNG seed")
+	fs.IntVar(&s.Workers, "workers", s.Workers, "sweep worker pool size (0 = GOMAXPROCS; output identical for any value)")
+	fs.StringVar(&s.Backend, "backend", s.Backend, "measurement backend: pool (in-process), proc (xrperf worker subprocesses), or net (xrperf serve nodes)")
+	fs.IntVar(&s.Procs, "procs", s.Procs, "proc backend: worker subprocess count (0 = GOMAXPROCS)")
+	fs.Func("nodes", "net backend: comma-separated serve-node addresses (host:port,...)", func(v string) error {
+		s.Nodes = nil
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				s.Nodes = append(s.Nodes, part)
+			}
+		}
+		return nil
+	})
+	fs.StringVar(&s.CacheDir, "cache-dir", s.CacheDir, "persist measured cells on disk so warm re-runs dispatch nothing (empty = in-memory cache only)")
+}
+
+// RegisterSuiteFlags registers the dataset/measurement flags
+// (-train/-test/-trials) used by suite-building subcommands.
+func (s *Spec) RegisterSuiteFlags(fs *flag.FlagSet) {
+	fs.IntVar(&s.TrainRows, "train", s.TrainRows, "training dataset rows")
+	fs.IntVar(&s.TestRows, "test", s.TestRows, "test dataset rows")
+	fs.IntVar(&s.Trials, "trials", s.Trials, "ground-truth trials per point")
+}
+
+// backend normalizes the backend name ("" means pool).
+func (s Spec) backend() string {
+	if s.Backend == "" {
+		return "pool"
+	}
+	return s.Backend
+}
+
+// Validate checks the specification.
+func (s Spec) Validate() error {
+	switch s.backend() {
+	case "pool", "proc":
+	case "net":
+		if len(s.Nodes) == 0 {
+			return fmt.Errorf("job: -backend net requires -nodes (host:port,...)")
+		}
+	default:
+		return fmt.Errorf("job: unknown -backend %q (pool, proc, or net)", s.Backend)
+	}
+	return nil
+}
+
+// openDiskCache opens the persistent measurement store for CacheDir. An
+// unusable directory degrades to the in-memory cache with a warning on
+// stderr instead of failing the run: a broken cache must never block an
+// evaluation it can only accelerate.
+func (s Spec) openDiskCache() *sweep.DiskCache {
+	if s.CacheDir == "" {
+		return nil
+	}
+	disk, err := sweep.OpenDiskCache(s.CacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xrperf: %v; continuing with the in-memory cache only\n", err)
+		return nil
+	}
+	return disk
+}
+
+// BuildRunner assembles the spec's measurement runner: the selected
+// backend wrapped in the memoizing cache (persistent when CacheDir is
+// usable). cleanup reaps backend resources — worker subprocesses, node
+// connections — and must run after the job's last measurement.
+func (s Spec) BuildRunner() (runner *sweep.CachedRunner, cleanup func(), err error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cleanup = func() {}
+	var backend sweep.Runner
+	switch s.backend() {
+	case "pool":
+		backend = &sweep.PoolRunner{Workers: s.Workers}
+	case "proc":
+		pr := &sweep.ProcRunner{Procs: s.Procs}
+		backend = pr
+		cleanup = func() { _ = pr.Close() }
+	case "net":
+		nr := &sweep.NetRunner{Nodes: s.Nodes}
+		backend = nr
+		cleanup = func() { _ = nr.Close() }
+	}
+	return sweep.NewCachedRunner(backend, sweep.WithDiskCache(s.openDiskCache())), cleanup, nil
+}
+
+// BuildSuite assembles the experiments suite on the spec's runner.
+// cleanup is BuildRunner's.
+func (s Spec) BuildSuite() (suite *experiments.Suite, cleanup func(), err error) {
+	runner, cleanup, err := s.BuildRunner()
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err = experiments.NewSuite(s.Seed, s.TrainRows, s.TestRows)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	suite.Trials = s.Trials
+	suite.Workers = s.Workers
+	suite.Disk = runner.Disk()
+	suite.Runner = runner
+	return suite, cleanup, nil
+}
+
+// String renders the spec as its canonical JSON.
+func (s Spec) String() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf("job.Spec(%v)", err)
+	}
+	return string(b)
+}

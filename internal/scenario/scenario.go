@@ -1,0 +1,303 @@
+// Package scenario promotes the repository's example scenarios —
+// vehicular handoff storms, multiplayer split inference, coverage walks,
+// offload operating points — into named, parameterizable population
+// generators. A generator expands a scenario family into sweep.Cohorts:
+// homogeneous user blocks whose session requests are plain serializable
+// data, ready for any sweep backend. The examples/ programs remain the
+// narrative single-frame walkthroughs; these generators are their
+// population-scale counterparts, so `xrperf population -scenario
+// vehicular` and the vehicular example agree on the operating points by
+// construction.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/mobility"
+	"repro/internal/pipeline"
+	"repro/internal/sensors"
+	"repro/internal/session"
+	"repro/internal/sweep"
+	"repro/internal/testbed"
+	"repro/internal/wireless"
+)
+
+// ErrUnknown indicates a scenario name with no registered generator.
+var ErrUnknown = errors.New("scenario: unknown scenario")
+
+// Params parameterizes a generator.
+type Params struct {
+	// Users is the total population, split deterministically across the
+	// scenario's cohorts (0 → one user per cohort).
+	Users int
+	// Frames is the per-user session length (0 → 120, four seconds of
+	// 30 fps XR).
+	Frames int
+	// Seed is the base seed; each cohort derives its own from it.
+	Seed int64
+}
+
+func (p Params) frames() int {
+	if p.Frames <= 0 {
+		return 120
+	}
+	return p.Frames
+}
+
+// generator builds the cohort list of one named scenario.
+type generator func(p Params) ([]sweep.Cohort, error)
+
+var generators = map[string]generator{
+	"coverage":    coverage,
+	"multiplayer": multiplayer,
+	"offload":     offload,
+	"vehicular":   vehicular,
+}
+
+// Names lists the registered scenario names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(generators))
+	for n := range generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate expands the named scenario into its cohorts.
+func Generate(name string, p Params) ([]sweep.Cohort, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknown, name, Names())
+	}
+	cohorts, err := gen(p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	}
+	return cohorts, nil
+}
+
+// splitUsers distributes total users over n cohorts, earlier cohorts
+// absorbing the remainder — a deterministic split at any total.
+func splitUsers(total, n int) []int {
+	if total <= 0 {
+		total = n
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+		if i < total%n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// finish stamps per-cohort users and seeds onto the cohort list.
+func finish(cohorts []sweep.Cohort, p Params) []sweep.Cohort {
+	users := splitUsers(p.Users, len(cohorts))
+	for i := range cohorts {
+		cohorts[i].Request.Op = testbed.OpSession
+		cohorts[i].Request.Seed = sweep.ShardSeed(p.Seed, i)
+		cohorts[i].Request.Session.Users = users[i]
+		cohorts[i].Request.Session.Frames = p.frames()
+	}
+	return cohorts
+}
+
+// vehicular is the population form of examples/vehicular: Jetson-class
+// vehicle XR (XR7) with roadside sensors, remote inference, and vertical
+// handoffs out of a Wi-Fi zone — city vs highway speeds crossed with
+// battery state. The paper's published power regression extrapolates
+// non-physically at the Jetson's GPU clock, so the cohorts carry the
+// example's re-fitted model provenance (seed 7, 8000/2000 rows).
+func vehicular(p Params) ([]sweep.Cohort, error) {
+	ads, err := device.ByName("XR7")
+	if err != nil {
+		return nil, err
+	}
+	rsu, err := sensors.NewSensor("rsu-camera", 120, 80)
+	if err != nil {
+		return nil, err
+	}
+	beacon, err := sensors.NewSensor("v2v-beacon", 50, 45)
+	if err != nil {
+		return nil, err
+	}
+	lidar, err := sensors.NewSensor("lidar", 20, 60)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := pipeline.NewScenario(ads,
+		pipeline.WithMode(pipeline.ModeRemote),
+		pipeline.WithFrameSize(640),
+		pipeline.WithSensors(sensors.NewArray(rsu, beacon, lidar), 3),
+		pipeline.WithRequiredUpdateHz(60),
+	)
+	if err != nil {
+		return nil, err
+	}
+	fit := &testbed.FitConfig{Seed: 7, TrainRows: 8000, TestRows: 2000}
+	mob := func(speedMps float64) *testbed.MobilityConfig {
+		return &testbed.MobilityConfig{
+			SpeedMps:       speedMps,
+			StepMs:         50,
+			ZoneTechnology: wireless.WiFi5GHz,
+			ZoneRadiusM:    120,
+			Kind:           mobility.HandoffVertical,
+		}
+	}
+	base := func(speedMps, startSoC float64) testbed.Request {
+		return testbed.Request{
+			Scenario: sc,
+			Fit:      fit,
+			Session: &testbed.SessionConfig{
+				Mobility:        mob(speedMps),
+				BatteryMAh:      5000,
+				BatteryStartSoC: startSoC,
+			},
+		}
+	}
+	const city, highway = 13.9, 27.8 // 50 and 100 km/h
+	return finish([]sweep.Cohort{
+		{Name: "city-full", Request: base(city, 0)},
+		{Name: "city-low", Request: base(city, 0.2)},
+		{Name: "highway-full", Request: base(highway, 0)},
+		{Name: "highway-low", Request: base(highway, 0.2)},
+	}, p), nil
+}
+
+// multiplayer is the population form of examples/multiplayer: Quest-class
+// headsets (XR6) offloading to one edge server vs inference split across
+// two (Eq. 15), both under the default thermal envelope.
+func multiplayer(p Params) ([]sweep.Cohort, error) {
+	quest, err := device.ByName("XR6")
+	if err != nil {
+		return nil, err
+	}
+	single, err := pipeline.NewScenario(quest,
+		pipeline.WithMode(pipeline.ModeRemote),
+		pipeline.WithFrameSize(600),
+	)
+	if err != nil {
+		return nil, err
+	}
+	edge := single.Edges[0]
+	split, err := pipeline.NewScenario(quest,
+		pipeline.WithMode(pipeline.ModeRemote),
+		pipeline.WithFrameSize(600),
+		pipeline.WithEdges(
+			pipeline.EdgeAssignment{Share: 0.5, Resource: edge.Resource, MemBandwidthGBs: edge.MemBandwidthGBs},
+			pipeline.EdgeAssignment{Share: 0.5, Resource: edge.Resource, MemBandwidthGBs: edge.MemBandwidthGBs},
+		),
+	)
+	if err != nil {
+		return nil, err
+	}
+	th := session.DefaultThermal()
+	base := func(sc *pipeline.Scenario) testbed.Request {
+		return testbed.Request{
+			Scenario: sc,
+			Session:  &testbed.SessionConfig{Thermal: &th, BatteryMAh: 5000},
+		}
+	}
+	return finish([]sweep.Cohort{
+		{Name: "single-edge", Request: base(single)},
+		{Name: "split-edge", Request: base(split)},
+	}, p), nil
+}
+
+// coverage is the population form of examples/coverage: XR6 users at
+// increasing distance from the access point on the SNR-driven radio,
+// walking inside their cell so handoffs grow with the cell edge.
+func coverage(p Params) ([]sweep.Cohort, error) {
+	dev, err := device.ByName("XR6")
+	if err != nil {
+		return nil, err
+	}
+	radio := wireless.DefaultWiFi5SNR()
+	th := session.DefaultThermal()
+	var cohorts []sweep.Cohort
+	for _, d := range []float64{10, 80, 160} {
+		link, err := radio.LinkAt(d)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := pipeline.NewScenario(dev,
+			pipeline.WithMode(pipeline.ModeRemote),
+			pipeline.WithFrameSize(500),
+		)
+		if err != nil {
+			return nil, err
+		}
+		sc.EdgeLink = link
+		cohorts = append(cohorts, sweep.Cohort{
+			Name: fmt.Sprintf("at-%.0fm", d),
+			Request: testbed.Request{
+				Scenario: sc,
+				Session: &testbed.SessionConfig{
+					Thermal: &th,
+					Mobility: &testbed.MobilityConfig{
+						SpeedMps:       1.4, // walking pace
+						StepMs:         100,
+						ZoneTechnology: wireless.WiFi5GHz,
+						ZoneRadiusM:    d,
+						Kind:           mobility.HandoffHorizontal,
+					},
+				},
+			},
+		})
+	}
+	return finish(cohorts, p), nil
+}
+
+// offload is the population form of examples/offload: phone-class XR2
+// users at the operating points the per-frame decision loop walks through
+// — local inference at full clock, local under thermal throttle, and
+// remote over a congested link — each draining a phone battery.
+func offload(p Params) ([]sweep.Cohort, error) {
+	phone, err := device.ByName("XR2")
+	if err != nil {
+		return nil, err
+	}
+	th := session.DefaultThermal()
+	local, err := pipeline.NewScenario(phone,
+		pipeline.WithFrameSize(700),
+	)
+	if err != nil {
+		return nil, err
+	}
+	throttled, err := pipeline.NewScenario(phone,
+		pipeline.WithFrameSize(700),
+		pipeline.WithCPUFreq(1.2),
+	)
+	if err != nil {
+		return nil, err
+	}
+	congested, err := pipeline.NewScenario(phone,
+		pipeline.WithMode(pipeline.ModeRemote),
+		pipeline.WithFrameSize(700),
+	)
+	if err != nil {
+		return nil, err
+	}
+	link, err := wireless.NewLink(wireless.WiFi5GHz, 8, congested.EdgeLink.DistanceM)
+	if err != nil {
+		return nil, err
+	}
+	congested.EdgeLink = link
+	base := func(sc *pipeline.Scenario) testbed.Request {
+		return testbed.Request{
+			Scenario: sc,
+			Session:  &testbed.SessionConfig{Thermal: &th, BatteryMAh: 4000},
+		}
+	}
+	return finish([]sweep.Cohort{
+		{Name: "local", Request: base(local)},
+		{Name: "local-throttled", Request: base(throttled)},
+		{Name: "remote-congested", Request: base(congested)},
+	}, p), nil
+}

@@ -6,14 +6,22 @@
 // wireless coverage zones so the handoff term of Eq. (17) evolves with
 // position. The output is a frame-indexed trace — the q superscript the
 // paper threads through every equation, realized over time.
+//
+// A session depends only on its Config — the analytical model bundle, a
+// scenario, and a seed — never on process state, which is what lets the
+// testbed execute sessions as serializable backend requests
+// (testbed.OpSession) on any sweep backend. Population-scale callers set
+// DiscardTrace and fold frames through Observer so memory stays flat at
+// any session count.
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/energy"
 	"repro/internal/mobility"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -33,20 +41,20 @@ var (
 // steps back up.
 type ThermalModel struct {
 	// AmbientC is the ambient temperature.
-	AmbientC float64
+	AmbientC float64 `json:"ambient_c"`
 	// CPerMJ converts dissipated millijoules into temperature rise.
-	CPerMJ float64
+	CPerMJ float64 `json:"c_per_mj"`
 	// DecayPerFrame is the fraction of the above-ambient temperature
 	// retained each frame (0,1).
-	DecayPerFrame float64
+	DecayPerFrame float64 `json:"decay_per_frame"`
 	// ThrottleAtC triggers a clock step-down.
-	ThrottleAtC float64
+	ThrottleAtC float64 `json:"throttle_at_c"`
 	// ResumeAtC allows a clock step-up.
-	ResumeAtC float64
+	ResumeAtC float64 `json:"resume_at_c"`
 	// StepGHz is the clock adjustment granularity.
-	StepGHz float64
+	StepGHz float64 `json:"step_ghz"`
 	// MinGHz floors the throttled clock.
-	MinGHz float64
+	MinGHz float64 `json:"min_ghz"`
 }
 
 // DefaultThermal returns a thermal model typical of a passively cooled
@@ -120,8 +128,12 @@ func (b *Battery) SoC() float64 {
 
 // Config describes a session run.
 type Config struct {
-	// Framework is the assembled analytical model.
-	Framework *core.Framework
+	// Models is the analytical model bundle evaluated every frame — the
+	// paper's published coefficients (energy.PaperModels) or a re-fitted
+	// bundle (e.g. core.Framework.Energy). Sessions only need the
+	// latency/energy breakdowns, so they depend on the model layer
+	// directly rather than the full framework façade.
+	Models energy.Models
 	// Scenario is the starting operating point; the session mutates a
 	// copy frame by frame.
 	Scenario *pipeline.Scenario
@@ -141,31 +153,40 @@ type Config struct {
 	HandoffEveryFrames int
 	// Seed drives the Monte-Carlo handoff estimation.
 	Seed int64
+	// DiscardTrace skips per-frame trace retention: Result.Trace stays
+	// nil while the summary fields still accumulate. Population sweeps
+	// set it so memory stays flat no matter how many sessions run.
+	DiscardTrace bool
+	// Observer, when non-nil, receives every frame record as it
+	// completes — the streaming alternative to the retained trace. A
+	// non-nil error aborts the session.
+	Observer func(FrameRecord) error
 }
 
 // FrameRecord is one frame of the session trace.
 type FrameRecord struct {
 	// Frame is the frame index q (1-based).
-	Frame int
+	Frame int `json:"frame"`
 	// LatencyMs and EnergyMJ are the frame's end-to-end figures.
-	LatencyMs float64
-	EnergyMJ  float64
+	LatencyMs float64 `json:"latency_ms"`
+	EnergyMJ  float64 `json:"energy_mj"`
 	// CPUFreqGHz is the (possibly throttled) operating clock.
-	CPUFreqGHz float64
+	CPUFreqGHz float64 `json:"cpu_ghz"`
 	// TempC is the device temperature after the frame.
-	TempC float64
+	TempC float64 `json:"temp_c"`
 	// BatterySoC is the state of charge after the frame.
-	BatterySoC float64
+	BatterySoC float64 `json:"battery_soc"`
 	// HandoffProb is the current P(HO) estimate.
-	HandoffProb float64
+	HandoffProb float64 `json:"p_handoff"`
 	// Throttled reports whether the governor capped the clock this
 	// frame.
-	Throttled bool
+	Throttled bool `json:"throttled,omitempty"`
 }
 
-// Result is the full session outcome.
+// Result is the full session outcome: the per-frame records (unless
+// discarded) plus the compact summary fields, which are valid either way.
 type Result struct {
-	// Trace holds one record per completed frame.
+	// Trace holds one record per completed frame (nil with DiscardTrace).
 	Trace []FrameRecord
 	// CompletedFrames counts frames before battery depletion.
 	CompletedFrames int
@@ -176,12 +197,22 @@ type Result struct {
 	ThrottledFrames int
 	// Depleted reports whether the battery emptied.
 	Depleted bool
+	// PeakTempC is the hottest temperature reached.
+	PeakTempC float64
+	// FinalTempC, FinalCPUFreqGHz, FinalSoC, and FinalHandoffProb are
+	// the device state after the last completed frame.
+	FinalTempC       float64
+	FinalCPUFreqGHz  float64
+	FinalSoC         float64
+	FinalHandoffProb float64
 }
 
-// Run executes the session.
-func Run(cfg Config) (*Result, error) {
-	if cfg.Framework == nil {
-		return nil, fmt.Errorf("%w: nil framework", ErrConfig)
+// Run executes the session. Canceling ctx aborts between frames with the
+// context's error — which is what lets a sweep backend kill an in-flight
+// population shard promptly.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Models.Power == nil {
+		return nil, fmt.Errorf("%w: no model bundle (set Models)", ErrConfig)
 	}
 	if cfg.Scenario == nil {
 		return nil, fmt.Errorf("%w: nil scenario", ErrConfig)
@@ -205,16 +236,23 @@ func Run(cfg Config) (*Result, error) {
 		hoPeriod = 30
 	}
 
-	res := &Result{Trace: make([]FrameRecord, 0, cfg.Frames)}
+	res := &Result{}
+	if !cfg.DiscardTrace {
+		res.Trace = make([]FrameRecord, 0, cfg.Frames)
+	}
 	temp := 25.0
 	if cfg.Thermal != nil {
 		temp = cfg.Thermal.AmbientC
 	}
+	res.PeakTempC = temp
 	baseFreq := sc.CPUFreqGHz
 	throttled := false
 	pHO := 0.0
 
 	for q := 1; q <= cfg.Frames; q++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Mobility: refresh the handoff probability periodically.
 		if cfg.Walk != nil && (q == 1 || q%hoPeriod == 0) {
 			horizon := 1000.0 / sc.FPS * float64(hoPeriod)
@@ -230,7 +268,7 @@ func Run(cfg Config) (*Result, error) {
 			sc.Handoff = &ho
 		}
 
-		rep, err := cfg.Framework.Analyze(&sc)
+		eb, lb, err := cfg.Models.FrameEnergy(&sc)
 		if err != nil {
 			return nil, fmt.Errorf("frame %d: %w", q, err)
 		}
@@ -238,7 +276,7 @@ func Run(cfg Config) (*Result, error) {
 		// Thermal integration and governor.
 		if t := cfg.Thermal; t != nil {
 			temp = t.AmbientC + (temp-t.AmbientC)*t.DecayPerFrame +
-				rep.Energy.Thermal*t.CPerMJ
+				eb.Thermal*t.CPerMJ
 			switch {
 			case temp >= t.ThrottleAtC && sc.CPUFreqGHz > t.MinGHz:
 				sc.CPUFreqGHz -= t.StepGHz
@@ -259,29 +297,44 @@ func Run(cfg Config) (*Result, error) {
 
 		soc := 1.0
 		if cfg.Battery != nil {
-			alive := cfg.Battery.Drain(rep.Energy.Total)
+			alive := cfg.Battery.Drain(eb.Total)
 			soc = cfg.Battery.SoC()
 			if !alive {
 				res.Depleted = true
 			}
 		}
 
-		res.Trace = append(res.Trace, FrameRecord{
+		rec := FrameRecord{
 			Frame:       q,
-			LatencyMs:   rep.Latency.Total,
-			EnergyMJ:    rep.Energy.Total,
+			LatencyMs:   lb.Total,
+			EnergyMJ:    eb.Total,
 			CPUFreqGHz:  sc.CPUFreqGHz,
 			TempC:       temp,
 			BatterySoC:  soc,
 			HandoffProb: pHO,
 			Throttled:   throttled,
-		})
+		}
+		if !cfg.DiscardTrace {
+			res.Trace = append(res.Trace, rec)
+		}
+		if cfg.Observer != nil {
+			if err := cfg.Observer(rec); err != nil {
+				return nil, fmt.Errorf("frame %d observer: %w", q, err)
+			}
+		}
 		res.CompletedFrames = q
-		res.TotalEnergyMJ += rep.Energy.Total
-		res.MeanLatencyMs += rep.Latency.Total
+		res.TotalEnergyMJ += eb.Total
+		res.MeanLatencyMs += lb.Total
 		if throttled {
 			res.ThrottledFrames++
 		}
+		if temp > res.PeakTempC {
+			res.PeakTempC = temp
+		}
+		res.FinalTempC = temp
+		res.FinalCPUFreqGHz = sc.CPUFreqGHz
+		res.FinalSoC = soc
+		res.FinalHandoffProb = pHO
 		if res.Depleted {
 			break
 		}
@@ -292,14 +345,14 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// TraceTable exports the trace as a dataset table (CSV-ready).
-func (r *Result) TraceTable() (*dataset.Table, error) {
+// TraceTable exports a frame trace as a dataset table (CSV-ready).
+func TraceTable(trace []FrameRecord) (*dataset.Table, error) {
 	t, err := dataset.New("frame", "latency_ms", "energy_mj", "cpu_ghz",
 		"temp_c", "battery_soc", "p_handoff", "throttled")
 	if err != nil {
 		return nil, err
 	}
-	for _, rec := range r.Trace {
+	for _, rec := range trace {
 		throttled := 0.0
 		if rec.Throttled {
 			throttled = 1
@@ -311,6 +364,11 @@ func (r *Result) TraceTable() (*dataset.Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// TraceTable exports the result's trace as a dataset table (CSV-ready).
+func (r *Result) TraceTable() (*dataset.Table, error) {
+	return TraceTable(r.Trace)
 }
 
 // BatteryLifeFrames extrapolates how many frames a full battery sustains

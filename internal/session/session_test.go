@@ -1,12 +1,13 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/energy"
 	"repro/internal/mobility"
 	"repro/internal/pipeline"
 	"repro/internal/wireless"
@@ -23,35 +24,45 @@ func baseConfig(t *testing.T, frames int) Config {
 		t.Fatal(err)
 	}
 	return Config{
-		Framework: core.NewWithPaperCoefficients(),
-		Scenario:  sc,
-		Frames:    frames,
-		Seed:      1,
+		Models:   energy.PaperModels(),
+		Scenario: sc,
+		Frames:   frames,
+		Seed:     1,
 	}
 }
 
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
 	cfg := baseConfig(t, 10)
 	bad := cfg
-	bad.Framework = nil
-	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
-		t.Fatal("nil framework must error")
+	bad.Models = energy.Models{}
+	if _, err := Run(ctx, bad); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero model bundle must error")
 	}
 	bad = cfg
 	bad.Scenario = nil
-	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+	if _, err := Run(ctx, bad); !errors.Is(err, ErrConfig) {
 		t.Fatal("nil scenario must error")
 	}
 	bad = cfg
 	bad.Frames = 0
-	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+	if _, err := Run(ctx, bad); !errors.Is(err, ErrConfig) {
 		t.Fatal("zero frames must error")
 	}
 	bad = cfg
 	th := DefaultThermal()
 	th.StepGHz = 0
 	bad.Thermal = &th
-	if _, err := Run(bad); !errors.Is(err, ErrConfig) {
+	if _, err := Run(ctx, bad); !errors.Is(err, ErrConfig) {
 		t.Fatal("bad thermal model must error")
 	}
 }
@@ -80,10 +91,7 @@ func TestThermalValidate(t *testing.T) {
 
 func TestPlainSessionIsSteady(t *testing.T) {
 	cfg := baseConfig(t, 50)
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, cfg)
 	if res.CompletedFrames != 50 || len(res.Trace) != 50 {
 		t.Fatalf("frames = %d/%d", res.CompletedFrames, len(res.Trace))
 	}
@@ -114,10 +122,7 @@ func TestThermalThrottlingEngagesAndRecovers(t *testing.T) {
 	th.CPerMJ = 0.5
 	th.DecayPerFrame = 0.97
 	cfg.Thermal = &th
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, cfg)
 	if res.ThrottledFrames == 0 {
 		t.Fatal("aggressive thermal model must throttle")
 	}
@@ -156,10 +161,7 @@ func TestBatteryDepletion(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Battery = &b
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, cfg)
 	if !res.Depleted {
 		t.Fatal("tiny battery must deplete")
 	}
@@ -169,6 +171,9 @@ func TestBatteryDepletion(t *testing.T) {
 	last := res.Trace[len(res.Trace)-1]
 	if last.BatterySoC > 0 {
 		t.Fatalf("final SoC = %v, want 0", last.BatterySoC)
+	}
+	if res.FinalSoC != last.BatterySoC {
+		t.Fatal("FinalSoC must match last trace record")
 	}
 }
 
@@ -205,10 +210,7 @@ func TestMobilitySession(t *testing.T) {
 	cfg.Zone = mobility.Zone{Technology: wireless.WiFi5GHz, RadiusM: 25}
 	cfg.HandoffKind = mobility.HandoffVertical
 	cfg.HandoffEveryFrames = 20
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, cfg)
 	var sawHO bool
 	for _, rec := range res.Trace {
 		if rec.HandoffProb > 0 {
@@ -222,10 +224,7 @@ func TestMobilitySession(t *testing.T) {
 
 func TestTraceTable(t *testing.T) {
 	cfg := baseConfig(t, 20)
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, cfg)
 	tbl, err := res.TraceTable()
 	if err != nil {
 		t.Fatal(err)
@@ -244,10 +243,7 @@ func TestTraceTable(t *testing.T) {
 
 func TestBatteryLifeFrames(t *testing.T) {
 	cfg := baseConfig(t, 10)
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, cfg)
 	b, err := NewBattery(5000, 3.85)
 	if err != nil {
 		t.Fatal(err)
@@ -267,15 +263,59 @@ func TestBatteryLifeFrames(t *testing.T) {
 }
 
 func TestSessionDeterministic(t *testing.T) {
-	a, err := Run(baseConfig(t, 30))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(baseConfig(t, 30))
-	if err != nil {
-		t.Fatal(err)
-	}
+	a := mustRun(t, baseConfig(t, 30))
+	b := mustRun(t, baseConfig(t, 30))
 	if a.MeanLatencyMs != b.MeanLatencyMs || a.TotalEnergyMJ != b.TotalEnergyMJ {
 		t.Fatal("sessions with identical config must reproduce")
+	}
+}
+
+func TestDiscardTraceMatchesRetained(t *testing.T) {
+	cfg := baseConfig(t, 80)
+	th := DefaultThermal()
+	th.CPerMJ = 0.5
+	th.DecayPerFrame = 0.97
+	cfg.Thermal = &th
+	full := mustRun(t, cfg)
+
+	cfg.DiscardTrace = true
+	var observed int
+	cfg.Observer = func(FrameRecord) error { observed++; return nil }
+	lean := mustRun(t, cfg)
+
+	if lean.Trace != nil {
+		t.Fatal("DiscardTrace must not retain a trace")
+	}
+	if observed != full.CompletedFrames {
+		t.Fatalf("observer saw %d frames, want %d", observed, full.CompletedFrames)
+	}
+	if lean.MeanLatencyMs != full.MeanLatencyMs ||
+		lean.TotalEnergyMJ != full.TotalEnergyMJ ||
+		lean.ThrottledFrames != full.ThrottledFrames ||
+		lean.PeakTempC != full.PeakTempC ||
+		lean.FinalCPUFreqGHz != full.FinalCPUFreqGHz {
+		t.Fatal("summary must not depend on trace retention")
+	}
+}
+
+func TestObserverErrorAborts(t *testing.T) {
+	cfg := baseConfig(t, 50)
+	boom := errors.New("boom")
+	cfg.Observer = func(rec FrameRecord) error {
+		if rec.Frame == 3 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, boom) {
+		t.Fatalf("observer error must propagate, got %v", err)
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, baseConfig(t, 10)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context must abort, got %v", err)
 	}
 }

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchAlpha is the default relative accuracy of a quantile
+// sketch: quantile estimates land within ±1% of an exact sample value of
+// the queried rank. It is a compile-time constant shared by every process
+// of a distributed sweep, so a worker resolving an unset accuracy agrees
+// with its dispatcher.
+const DefaultSketchAlpha = 0.01
+
+// Sketch is a mergeable streaming quantile sketch over non-negative
+// samples, in the DDSketch family: values are counted in exponentially
+// sized buckets (bucket i covers (γ^(i-1), γ^i] with γ = (1+α)/(1-α)), so
+// any quantile is answered within relative error α while memory stays
+// bounded by the dynamic range of the data — independent of how many
+// samples stream through. Sketches serialize to JSON, which is how a
+// session worker ships a million frames' worth of latency distribution
+// back to its dispatcher as a few kilobytes.
+//
+// Bucket counts are integers, so merging is exact and commutative; Sum is
+// a float accumulator, so callers that require bit-identical output must
+// merge sketches in a deterministic order (the population sweep merges in
+// request order). The zero Sketch is not usable; construct with
+// NewSketch or unmarshal a serialized one.
+type Sketch struct {
+	// Alpha is the relative accuracy the sketch was built with.
+	Alpha float64 `json:"alpha"`
+	// Count is the total number of samples, including zeros.
+	Count uint64 `json:"count"`
+	// Sum is the exact running sum of all samples.
+	Sum float64 `json:"sum"`
+	// Min and Max are the exact extremes (valid when Count > 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Zeros counts exact-zero samples, which no log bucket can hold.
+	Zeros uint64 `json:"zeros,omitempty"`
+	// Buckets maps bucket index to sample count for positive samples.
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// NewSketch builds a sketch with relative accuracy alpha; alpha <= 0
+// selects DefaultSketchAlpha. Alpha must stay below 1.
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 {
+		alpha = DefaultSketchAlpha
+	}
+	return &Sketch{Alpha: alpha, Buckets: make(map[int]uint64)}
+}
+
+// gamma returns the bucket growth factor γ = (1+α)/(1-α).
+func (s *Sketch) gamma() float64 { return (1 + s.Alpha) / (1 - s.Alpha) }
+
+// validAlpha reports whether the sketch's accuracy parameter is usable.
+func (s *Sketch) validAlpha() bool { return s.Alpha > 0 && s.Alpha < 1 }
+
+// Add records one sample. Samples must be non-negative — the sketch
+// tracks latency and energy distributions, which are.
+func (s *Sketch) Add(x float64) error {
+	if !s.validAlpha() {
+		return fmt.Errorf("stats: sketch alpha %v out of (0,1)", s.Alpha)
+	}
+	if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("stats: sketch sample %v (want finite, non-negative)", x)
+	}
+	if s.Count == 0 || x < s.Min {
+		s.Min = x
+	}
+	if s.Count == 0 || x > s.Max {
+		s.Max = x
+	}
+	s.Count++
+	s.Sum += x
+	if x == 0 {
+		s.Zeros++
+		return nil
+	}
+	if s.Buckets == nil {
+		s.Buckets = make(map[int]uint64)
+	}
+	s.Buckets[s.bucketIndex(x)]++
+	return nil
+}
+
+// bucketIndex returns i such that γ^(i-1) < x <= γ^i.
+func (s *Sketch) bucketIndex(x float64) int {
+	return int(math.Ceil(math.Log(x) / math.Log(s.gamma())))
+}
+
+// bucketValue returns the representative value of bucket i — the point
+// whose relative distance to every value in (γ^(i-1), γ^i] is at most α.
+func (s *Sketch) bucketValue(i int) float64 {
+	g := s.gamma()
+	return 2 * math.Pow(g, float64(i)) / (g + 1)
+}
+
+// Merge folds o's samples into s. Both sketches must share the same
+// alpha (bucket boundaries differ otherwise). o is not modified, so a
+// shared measurement — e.g. one served to several waiters by the
+// memoizing cache — can be merged into many accumulators safely.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == nil || o.Count == 0 {
+		return nil
+	}
+	if !s.validAlpha() {
+		return fmt.Errorf("stats: sketch alpha %v out of (0,1)", s.Alpha)
+	}
+	if o.Alpha != s.Alpha {
+		return fmt.Errorf("stats: merging sketch alpha %v into %v", o.Alpha, s.Alpha)
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if s.Count == 0 || o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	s.Zeros += o.Zeros
+	if len(o.Buckets) > 0 && s.Buckets == nil {
+		s.Buckets = make(map[int]uint64, len(o.Buckets))
+	}
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+	return nil
+}
+
+// Mean returns the exact sample mean (Sum is tracked exactly).
+func (s *Sketch) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns a value within relative error Alpha of the exact
+// nearest-rank q-th quantile of the samples streamed through the sketch
+// (rank ⌈q·n⌉). q = 0 and q = 1 return the exact Min and Max.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if s.Count == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	if !s.validAlpha() {
+		return 0, fmt.Errorf("stats: sketch alpha %v out of (0,1)", s.Alpha)
+	}
+	if q == 0 {
+		return s.Min, nil
+	}
+	if q == 1 {
+		return s.Max, nil
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= s.Zeros {
+		return 0, nil
+	}
+	cum := s.Zeros
+	keys := make([]int, 0, len(s.Buckets))
+	for i := range s.Buckets {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	for _, i := range keys {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			// Clamp to the exact extremes: the edge buckets otherwise
+			// report midpoints outside the observed range.
+			v := s.bucketValue(i)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v, nil
+		}
+	}
+	return s.Max, nil
+}
+
+// String renders the sketch's key figures compactly.
+func (s *Sketch) String() string {
+	p50, _ := s.Quantile(0.5)
+	p99, _ := s.Quantile(0.99)
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.Count, s.Mean(), p50, p99, s.Max)
+}

@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/testbed"
+)
+
+// ErrPopulation indicates an invalid population-sweep configuration.
+var ErrPopulation = errors.New("sweep: invalid population")
+
+// DefaultShardUsers is the default number of sessions per request shard:
+// large enough that dispatch overhead amortizes, small enough that a
+// worker answers within a scheduling quantum and cancelation lands fast.
+const DefaultShardUsers = 1000
+
+// Cohort is one homogeneous slice of a simulated population: N users
+// running the same scenario and session configuration, each under its own
+// globally-derived seed. Cohorts are the unit of reporting; shards are the
+// unit of dispatch.
+type Cohort struct {
+	// Name labels the cohort in reports.
+	Name string
+	// Request is the cohort's session request template: Op OpSession,
+	// the scenario, the fit provenance, the base seed, and a Session
+	// whose Users field is the cohort's TOTAL population. RunPopulation
+	// splits it into shards by rewriting Users/FirstUser only, so every
+	// other field is shared verbatim by construction.
+	Request testbed.Request
+}
+
+// PopulationOptions configures a population sweep.
+type PopulationOptions struct {
+	// ShardUsers caps sessions per request shard (0 → DefaultShardUsers).
+	ShardUsers int
+}
+
+// CohortResult pairs a cohort with its merged summary.
+type CohortResult struct {
+	Name    string
+	Summary *testbed.SessionSummary
+}
+
+// PopulationResult is the outcome of a population sweep: per-cohort
+// summaries plus the population-wide merge, all built from shard summaries
+// folded in strict request order so the float accumulations — and
+// therefore the rendered report — are byte-identical on any backend at any
+// worker count. Changing the shard size changes how float sums associate
+// (round-off only, invisible at report precision); everything integer —
+// counts, sketch buckets, extremes — is exact at any shard size.
+type PopulationResult struct {
+	Cohorts []CohortResult
+	Total   *testbed.SessionSummary
+	// Shards counts the dispatched requests.
+	Shards int
+}
+
+// RunPopulation expands each cohort into session-request shards, executes
+// them on the runner, and folds the shard summaries per cohort and in
+// total. Memory stays flat at any population size: a shard's response is a
+// few kilobytes of sketches, merged and dropped as it streams in. Shard
+// summaries coming from a memoizing cache may be shared with other
+// waiters, so they are merged into fresh accumulators, never mutated.
+func RunPopulation(ctx context.Context, r Runner, cohorts []Cohort, opts PopulationOptions) (*PopulationResult, error) {
+	if len(cohorts) == 0 {
+		return nil, fmt.Errorf("%w: no cohorts", ErrPopulation)
+	}
+	shardUsers := opts.ShardUsers
+	if shardUsers <= 0 {
+		shardUsers = DefaultShardUsers
+	}
+
+	res := &PopulationResult{}
+	var reqs []testbed.Request
+	var owner []int // request index → cohort index
+	for ci, c := range cohorts {
+		if c.Request.Session == nil {
+			return nil, fmt.Errorf("%w: cohort %q has no session config", ErrPopulation, c.Name)
+		}
+		if op := c.Request.Op; op != testbed.OpSession {
+			return nil, fmt.Errorf("%w: cohort %q op %q, want %q", ErrPopulation, c.Name, op, testbed.OpSession)
+		}
+		users := c.Request.Session.Users
+		if users <= 0 {
+			users = 1
+		}
+		if c.Request.Session.IncludeTrace {
+			return nil, fmt.Errorf("%w: cohort %q retains traces; population sweeps must stay compact", ErrPopulation, c.Name)
+		}
+		res.Cohorts = append(res.Cohorts, CohortResult{Name: c.Name})
+		base := c.Request.Session.FirstUser
+		for off := 0; off < users; off += shardUsers {
+			n := users - off
+			if n > shardUsers {
+				n = shardUsers
+			}
+			req := c.Request
+			s := *c.Request.Session
+			s.Users = n
+			s.FirstUser = base + uint64(off)
+			req.Session = &s
+			reqs = append(reqs, req)
+			owner = append(owner, ci)
+		}
+	}
+	res.Shards = len(reqs)
+
+	err := r.Stream(ctx, reqs, func(idx int, m testbed.Measurement) error {
+		sum := m.Session
+		if sum == nil {
+			return fmt.Errorf("%w: shard %d returned no session summary", ErrPopulation, idx)
+		}
+		ci := owner[idx]
+		if res.Cohorts[ci].Summary == nil {
+			res.Cohorts[ci].Summary = testbed.NewSessionSummary(sum.Latency.Alpha)
+		}
+		if res.Total == nil {
+			res.Total = testbed.NewSessionSummary(sum.Latency.Alpha)
+		}
+		if err := res.Cohorts[ci].Summary.Merge(sum); err != nil {
+			return err
+		}
+		return res.Total.Merge(sum)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the population report. The layout depends only on the
+// merged summaries, which are deterministic in the request list — so two
+// backends that honor the Runner contract render identical bytes.
+func (r *PopulationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %9s %9s %9s %9s %10s %7s %9s\n",
+		"cohort", "users", "frames", "p50 ms", "p90 ms", "p99 ms", "max ms",
+		"mJ/frame", "thr %", "depleted")
+	row := func(name string, s *testbed.SessionSummary) {
+		if s == nil || s.Users == 0 {
+			fmt.Fprintf(&b, "%-14s %10s\n", name, "-")
+			return
+		}
+		p50, _ := s.Latency.Quantile(0.50)
+		p90, _ := s.Latency.Quantile(0.90)
+		p99, _ := s.Latency.Quantile(0.99)
+		thr := 100 * float64(s.ThrottledFrames) / float64(s.Frames)
+		fmt.Fprintf(&b, "%-14s %10d %12d %9.2f %9.2f %9.2f %9.2f %10.2f %7.2f %9d\n",
+			name, s.Users, s.Frames, p50, p90, p99, s.Latency.Max,
+			s.Energy.Mean(), thr, s.Depleted)
+	}
+	for _, c := range r.Cohorts {
+		row(c.Name, c.Summary)
+	}
+	if len(r.Cohorts) > 1 {
+		row("TOTAL", r.Total)
+	}
+	return b.String()
+}

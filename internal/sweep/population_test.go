@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/pipeline"
+	"repro/internal/session"
+	"repro/internal/testbed"
+)
+
+// testCohorts builds a small two-cohort population over distinct
+// operating points, with thermal and battery dynamics switched on so the
+// report exercises every column.
+func testCohorts(t testing.TB, users int) []Cohort {
+	t.Helper()
+	dev, err := device.ByName("XR6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := session.DefaultThermal()
+	var cohorts []Cohort
+	for i, mode := range []pipeline.InferenceMode{pipeline.ModeLocal, pipeline.ModeRemote} {
+		sc, err := pipeline.NewScenario(dev,
+			pipeline.WithMode(mode), pipeline.WithFrameSize(500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "local"
+		if mode == pipeline.ModeRemote {
+			name = "remote"
+		}
+		cohorts = append(cohorts, Cohort{
+			Name: name,
+			Request: testbed.Request{
+				Op:       testbed.OpSession,
+				Scenario: sc,
+				Seed:     ShardSeed(42, i),
+				Session: &testbed.SessionConfig{
+					Frames:     8,
+					Users:      users,
+					Thermal:    &th,
+					BatteryMAh: 4000,
+				},
+			},
+		})
+	}
+	return cohorts
+}
+
+func TestRunPopulationShapes(t *testing.T) {
+	res, err := RunPopulation(context.Background(), &PoolRunner{Workers: 2},
+		testCohorts(t, 25), PopulationOptions{ShardUsers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 6 {
+		t.Fatalf("25 users per cohort at 10/shard over 2 cohorts: %d shards, want 6", res.Shards)
+	}
+	if len(res.Cohorts) != 2 {
+		t.Fatalf("cohort results: %d, want 2", len(res.Cohorts))
+	}
+	for _, c := range res.Cohorts {
+		if c.Summary == nil || c.Summary.Users != 25 || c.Summary.Frames != 200 {
+			t.Fatalf("cohort %q summary %+v, want 25 users / 200 frames", c.Name, c.Summary)
+		}
+		if c.Summary.Trace != nil {
+			t.Fatalf("cohort %q retained a trace", c.Name)
+		}
+	}
+	if res.Total.Users != 50 || res.Total.Frames != 400 {
+		t.Fatalf("total %d users / %d frames, want 50 / 400", res.Total.Users, res.Total.Frames)
+	}
+	rep := res.Render()
+	for _, want := range []string{"cohort", "local", "remote", "TOTAL", "p99 ms", "depleted"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestPopulationBackendEquivalence pins the tentpole acceptance invariant
+// at the sweep layer: the same cohorts rendered through the in-process
+// pool, worker subprocesses, and TCP serve nodes — at different worker
+// counts — produce byte-identical population reports.
+func TestPopulationBackendEquivalence(t *testing.T) {
+	cohorts := testCohorts(t, 12)
+	opts := PopulationOptions{ShardUsers: 5}
+
+	baseline, err := RunPopulation(context.Background(), &PoolRunner{Workers: 1}, cohorts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Render()
+
+	pr := &ProcRunner{Procs: 2}
+	defer pr.Close()
+	nr := &NetRunner{Nodes: []string{startServeNode(t), startServeNode(t)}, ConnsPerNode: 2}
+	defer nr.Close()
+	backends := []struct {
+		name string
+		r    Runner
+	}{
+		{"pool-4", &PoolRunner{Workers: 4}},
+		{"proc", pr},
+		{"net", nr},
+	}
+	for _, b := range backends {
+		res, err := RunPopulation(context.Background(), b.r, cohorts, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if got := res.Render(); got != want {
+			t.Errorf("%s report diverges from pool baseline:\n--- pool\n%s--- %s\n%s",
+				b.name, want, b.name, got)
+		}
+	}
+}
+
+// TestPopulationShardSizeInvariance checks the report is stable under
+// re-sharding: every column is derived from integer counters, sketch
+// buckets, or means rounded far beyond float round-off.
+func TestPopulationShardSizeInvariance(t *testing.T) {
+	cohorts := testCohorts(t, 18)
+	r := &PoolRunner{Workers: 3}
+	var want string
+	for i, shard := range []int{1, 5, 100} {
+		res, err := RunPopulation(context.Background(), r, cohorts, PopulationOptions{ShardUsers: shard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Render(); i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("shard size %d changes the report:\n%s\nvs\n%s", shard, got, want)
+		}
+	}
+}
+
+// TestPopulationCancel checks a canceled context aborts a large cohort
+// promptly instead of grinding through every remaining shard.
+func TestPopulationCancel(t *testing.T) {
+	cohorts := testCohorts(t, 200000)
+	cohorts[0].Request.Session.Frames = 500
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunPopulation(ctx, &PoolRunner{Workers: 2}, cohorts, PopulationOptions{})
+	if err == nil {
+		t.Fatal("canceled population must error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("cancelation took %v", d)
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	if _, err := RunPopulation(context.Background(), &PoolRunner{}, nil, PopulationOptions{}); !errors.Is(err, ErrPopulation) {
+		t.Fatalf("no cohorts: %v", err)
+	}
+	missing := testCohorts(t, 1)
+	missing[0].Request.Session = nil
+	if _, err := RunPopulation(context.Background(), &PoolRunner{}, missing, PopulationOptions{}); !errors.Is(err, ErrPopulation) {
+		t.Fatalf("nil session: %v", err)
+	}
+	wrongOp := testCohorts(t, 1)
+	wrongOp[0].Request.Op = testbed.OpMeasure
+	if _, err := RunPopulation(context.Background(), &PoolRunner{}, wrongOp, PopulationOptions{}); !errors.Is(err, ErrPopulation) {
+		t.Fatalf("wrong op: %v", err)
+	}
+	traced := testCohorts(t, 1)
+	traced[0].Request.Session.IncludeTrace = true
+	if _, err := RunPopulation(context.Background(), &PoolRunner{}, traced, PopulationOptions{}); !errors.Is(err, ErrPopulation) {
+		t.Fatalf("trace retention: %v", err)
+	}
+}
+
+// TestPopulationThroughCache checks session shards flow through the
+// memoizing cache: identical shards are deduplicated in memory, the
+// shared summaries merge without cross-contamination, and nothing session
+// ever lands in the persistent store (sessions are not disk-persistable).
+func TestPopulationThroughCache(t *testing.T) {
+	disk, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := NewCachedRunner(&PoolRunner{Workers: 2}, WithDiskCache(disk))
+	cohorts := testCohorts(t, 10)
+	opts := PopulationOptions{ShardUsers: 5}
+
+	first, err := RunPopulation(context.Background(), cr, cohorts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cr.Stats()
+	if st.Misses == 0 {
+		t.Fatalf("cold run must miss: %+v", st)
+	}
+	if ds := disk.Stats(); ds.Stores != 0 {
+		t.Fatalf("session summaries must never persist on disk: %+v", ds)
+	}
+	again, err := RunPopulation(context.Background(), cr, cohorts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := cr.Stats()
+	if st2.Misses != st.Misses {
+		t.Fatalf("warm run re-dispatched: %+v then %+v", st, st2)
+	}
+	if a, b := first.Render(), again.Render(); a != b {
+		t.Fatalf("warm report diverges:\n%s\nvs\n%s", a, b)
+	}
+}

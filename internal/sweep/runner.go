@@ -72,11 +72,13 @@ func (p *PoolRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed
 	})
 }
 
-// Stream implements Runner on the generic in-process engine.
+// Stream implements Runner on the generic in-process engine. Each shard
+// executes under the sweep's cancelable context, so long-running requests
+// (session blocks) abort mid-run instead of finishing after a cancel.
 func (p *PoolRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(idx int, m testbed.Measurement) error) error {
 	exec := p.executor()
 	return Stream(ctx, len(reqs), Options{Workers: p.Workers},
-		func(_ context.Context, sh Shard) (testbed.Measurement, error) {
-			return exec.Do(reqs[sh.Index])
+		func(sctx context.Context, sh Shard) (testbed.Measurement, error) {
+			return exec.DoContext(sctx, reqs[sh.Index])
 		}, emit)
 }

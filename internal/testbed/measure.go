@@ -52,6 +52,10 @@ type Measurement struct {
 	Latency latency.Breakdown
 	// Energy is the noise-free energy breakdown.
 	Energy energy.Breakdown
+	// Session is the session-workload summary (OpSession requests only);
+	// the scalar fields above carry its sketch means so measurement-only
+	// consumers still see meaningful numbers.
+	Session *SessionSummary `json:",omitempty"`
 }
 
 // MeasureFrame runs one frame of the scenario on the hidden physics and

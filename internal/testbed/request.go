@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,9 +63,13 @@ type Request struct {
 	// worker subprocess than in the caller's bench and break the
 	// byte-identical-across-backends contract.
 	NoiseRel float64 `json:"noise_rel,omitempty"`
-	// Fit identifies the re-fitted model bundle for analyze requests;
-	// nil means the paper's published coefficients.
+	// Fit identifies the re-fitted model bundle for analyze and session
+	// requests; nil means the paper's published coefficients.
 	Fit *FitConfig `json:"fit,omitempty"`
+	// Session describes the session workload (session only); the
+	// scenario still rides in Scenario and Seed doubles as the base
+	// session seed, content-derived exactly like measurement seeds.
+	Session *SessionConfig `json:"session,omitempty"`
 }
 
 func (r Request) op() RequestOp {
@@ -136,6 +141,11 @@ func (r Request) WireSafe() error {
 	if r.Scenario.Coop != nil && r.Scenario.Coop.Link.Loss != nil {
 		return fmt.Errorf("%w: cooperation-link path-loss model is process-local and cannot cross a worker boundary", ErrRequest)
 	}
+	if r.op() == OpSession {
+		if err := r.Session.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -180,11 +190,22 @@ func NewExecutor(bench *Bench) *Executor {
 
 // Do executes one request.
 func (e *Executor) Do(req Request) (Measurement, error) {
+	return e.DoContext(context.Background(), req)
+}
+
+// DoContext executes one request, aborting promptly when ctx is canceled.
+// Measure and analyze requests are single frames and complete regardless;
+// session requests — potentially thousands of users × frames — check the
+// context every frame, which is what lets a dispatcher kill an in-flight
+// population shard mid-run.
+func (e *Executor) DoContext(ctx context.Context, req Request) (Measurement, error) {
 	switch req.op() {
 	case OpMeasure:
 		return e.bench.Do(req)
 	case OpAnalyze:
 		return e.analyze(req)
+	case OpSession:
+		return e.runSessions(ctx, req)
 	default:
 		return Measurement{}, fmt.Errorf("%w: unknown op %q", ErrRequest, req.Op)
 	}
