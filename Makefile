@@ -18,10 +18,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Benchmark trajectory: one 1x pass distilled into BENCH_6.json
+# Benchmark trajectory: one 1x pass distilled into BENCH_7.json
 # (ns/op per benchmark); CI archives it per run.
 bench-json:
-	sh scripts/bench_json.sh BENCH_6.json
+	sh scripts/bench_json.sh BENCH_7.json
 
 lint:
 	$(GO) vet ./...

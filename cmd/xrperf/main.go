@@ -17,6 +17,8 @@
 //	xrperf report [-stream]             regenerate the full Markdown evaluation report
 //	xrperf worker                       serve measurement requests over stdin/stdout
 //	xrperf serve -listen <addr>         run a worker-fleet node answering over TCP
+//	xrperf server -listen <addr>        run a long-lived job server (sweep as a service)
+//	xrperf submit [-addr <addr>]        submit one job to a server, print its output
 //
 // The experiment, all, sweep, report, and population subcommands share
 // one serializable job specification (internal/job.Spec): the suite
@@ -39,18 +41,28 @@
 // measured cells on disk, so a warm re-run of the same configuration —
 // by any backend, or a fleet of dispatchers sharing the directory —
 // dispatches zero backend measurements and still prints the same bytes.
+//
+// The server subcommand turns the same machinery into sweep-as-a-service:
+// a long-lived process accepting job documents (internal/job JSON) from
+// concurrent submit clients over the frame protocol, executing them on
+// one shared measurement cache — overlapping client grids measure each
+// unique cell once globally — and streaming each job's canonical bytes
+// back as ordered prefixes complete. Admission control is a bounded
+// queue with busy rejection; `xrperf submit -stats` reports queue depth,
+// cache counters, and observed λ/µ checked against the internal/queue
+// M/M/1 model. For any job, `xrperf submit` and the equivalent one-shot
+// subcommand print byte-identical output.
 package main
 
 import (
 	"context"
-	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 
@@ -63,6 +75,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/pipeline"
 	"repro/internal/scenario"
+	"repro/internal/server"
 	"repro/internal/sweep"
 	"repro/internal/testbed"
 )
@@ -103,6 +116,10 @@ func run(args []string, out io.Writer) error {
 		return runWorker(out)
 	case "serve":
 		return runServe(args[1:])
+	case "server":
+		return runServer(args[1:])
+	case "submit":
+		return runSubmit(args[1:], out)
 	case "help", "-h", "--help":
 		printUsage(out)
 		return nil
@@ -112,7 +129,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|population|export|report|worker|serve} (ids: %s)",
+	return fmt.Errorf("usage: xrperf {devices|cnns|fit|experiment <id>|all|analyze|sweep|population|export|report|worker|serve|server|submit} (ids: %s)",
 		strings.Join(experiments.IDs(), ", "))
 }
 
@@ -148,6 +165,121 @@ func runServe(args []string) error {
 	return nil
 }
 
+// runServer runs the long-lived job server: accept submit clients on
+// -listen, execute their jobs on one shared cached runner (whatever
+// backend the server's own -backend flags select), and stream each
+// job's canonical output back. Operational output goes to stderr;
+// client streams carry the job bytes only.
+func runServer(args []string) error {
+	fs := flag.NewFlagSet("server", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7700", "TCP address to accept submit clients on")
+	maxActive := fs.Int("max-active", server.DefaultMaxActive, "maximum concurrently executing jobs")
+	queueDepth := fs.Int("queue", server.DefaultQueueDepth, "admitted jobs that may wait beyond the active set; arrivals past it are rejected busy (-1 = no waiting room)")
+	jobTimeout := fs.Duration("job-timeout", 0, "abort any job running longer than this (0 = no limit)")
+	spec := job.Default()
+	spec.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner, cleanup, err := spec.BuildRunner()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "xrperf server: "+format+"\n", a...)
+	}
+	srv, err := server.New(server.Config{
+		Runner:     runner,
+		MaxActive:  *maxActive,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf("listening on %s (job protocol %d, backend %s)", ln.Addr(), testbed.JobProtocolVersion, spec.Backend)
+	if err := srv.Serve(ctx, ln); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	logf("shutting down")
+	printStats(runner.Stats())
+	return nil
+}
+
+// runSubmit sends one job to a running `xrperf server` and prints the
+// streamed output — byte-identical to the equivalent one-shot
+// subcommand. The job comes from -job FILE (a job JSON document, "-"
+// for stdin) or is assembled from the same flags the one-shot
+// subcommands take.
+func runSubmit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7700", "job server address")
+	jobFile := fs.String("job", "", "job document (JSON) to submit; \"-\" reads stdin; empty builds the job from flags")
+	kind := fs.String("kind", "sweep", "job kind when building from flags: sweep or report")
+	format := fs.String("format", "table", "sweep output format: table or csv")
+	stats := fs.Bool("stats", false, "print the server's introspection snapshot (JSON) instead of submitting a job")
+	gridOf := registerGridFlags(fs)
+	spec := job.Default()
+	spec.RegisterFlags(fs)
+	spec.RegisterSuiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *stats {
+		st, err := server.QueryStats(ctx, *addr)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	var jb job.Job
+	switch {
+	case *jobFile != "":
+		data, err := readJobFile(*jobFile)
+		if err != nil {
+			return err
+		}
+		if jb, err = job.Decode(data); err != nil {
+			return err
+		}
+	default:
+		jb = job.Job{Kind: job.Kind(*kind), Spec: spec, Format: *format}
+		if jb.Kind == job.KindSweep {
+			grid, err := gridOf()
+			if err != nil {
+				return err
+			}
+			jb.Grid = &grid
+		}
+	}
+	// Validate client-side first: a bad job fails here with the exact
+	// one-shot CLI error text, without needing the server round trip.
+	if err := jb.Validate(); err != nil {
+		return err
+	}
+	return server.Submit(ctx, *addr, jb, out)
+}
+
+// readJobFile loads a job document from a path or stdin ("-").
+func readJobFile(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
 func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "xrperf — XR performance-analysis framework (ICDCS 2024 reproduction)")
 	fmt.Fprintln(out, "  devices                      Table I device catalog")
@@ -173,6 +305,16 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "  serve [-listen ADDR]         run a worker-fleet node: answer measurement")
 	fmt.Fprintln(out, "                               requests over TCP for -backend net dispatchers")
 	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions)")
+	fmt.Fprintln(out, "  server [-listen ADDR] [-max-active N] [-queue N] [-job-timeout D]")
+	fmt.Fprintln(out, "         [backend flags]       run a long-lived job server: execute submitted")
+	fmt.Fprintln(out, "                               jobs on one shared measurement cache (overlapping")
+	fmt.Fprintln(out, "                               client grids measure each unique cell once) and")
+	fmt.Fprintln(out, "                               stream canonical output back; bounded queue with")
+	fmt.Fprintln(out, "                               busy rejection when full")
+	fmt.Fprintln(out, "  submit [-addr ADDR] [-job FILE|-] [-kind sweep|report] [-stats]")
+	fmt.Fprintln(out, "         [sweep/suite flags]   submit one job to a server and print the stream —")
+	fmt.Fprintln(out, "                               byte-identical to the one-shot subcommand; -stats")
+	fmt.Fprintln(out, "                               prints the server's queue/cache/λµ snapshot")
 	fmt.Fprintln(out, "  Suite flags (experiment/all/sweep/report; population takes the backend")
 	fmt.Fprintln(out, "                               subset): -seed N -train N -test N")
 	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc|net")
@@ -354,16 +496,20 @@ func runAll(args []string, out io.Writer) error {
 func runReport(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	stream := fs.Bool("stream", false, "write each section as soon as it completes instead of buffering the whole report")
-	suite, cleanup, err := buildSuite(fs, args)
+	spec := job.Default()
+	spec.RegisterFlags(fs)
+	spec.RegisterSuiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jb := job.Job{Kind: job.KindReport, Spec: spec, Stream: *stream}
+	suite, cleanup, err := spec.BuildSuite()
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 	defer printCacheStats(suite)
-	if *stream {
-		return suite.StreamReport(context.Background(), out)
-	}
-	return suite.WriteReport(out)
+	return jb.Run(context.Background(), suite, out)
 }
 
 func runAnalyze(args []string, out io.Writer) error {
@@ -414,159 +560,46 @@ func runAnalyze(args []string, out io.Writer) error {
 	return nil
 }
 
-// splitList splits a comma-separated flag value, dropping empty entries.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-// parseFloats parses a comma-separated list of numbers.
-func parseFloats(flagName, s string) ([]float64, error) {
-	var out []float64
-	for _, part := range splitList(s) {
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			return nil, fmt.Errorf("-%s: %q is not a number", flagName, part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// sweepGrid translates the sweep subcommand's flags into an engine grid.
-func sweepGrid(devices, modes, cnns, sizes, freqs string) (sweep.Grid, error) {
-	var g sweep.Grid
-	if devices == "all" {
-		g.Devices = device.Catalog()
-	} else {
-		for _, name := range splitList(devices) {
-			d, err := device.ByName(name)
-			if err != nil {
-				return sweep.Grid{}, err
-			}
-			g.Devices = append(g.Devices, d)
-		}
-	}
-	if len(g.Devices) == 0 {
-		return sweep.Grid{}, fmt.Errorf("-devices: at least one device required")
-	}
-	for _, m := range splitList(modes) {
-		switch m {
-		case "local":
-			g.Modes = append(g.Modes, pipeline.ModeLocal)
-		case "remote":
-			g.Modes = append(g.Modes, pipeline.ModeRemote)
-		default:
-			return sweep.Grid{}, fmt.Errorf("-modes: unknown mode %q (local or remote)", m)
-		}
-	}
-	for _, name := range splitList(cnns) {
-		m, err := cnn.ByName(name)
-		if err != nil {
-			return sweep.Grid{}, err
-		}
-		g.CNNs = append(g.CNNs, m)
-	}
-	var err error
-	if g.FrameSizes, err = parseFloats("sizes", sizes); err != nil {
-		return sweep.Grid{}, err
-	}
-	if g.CPUFreqs, err = parseFloats("freqs", freqs); err != nil {
-		return sweep.Grid{}, err
-	}
-	return g, nil
-}
-
-func runSweep(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+// registerGridFlags registers the sweep grid flags on fs and returns a
+// builder that translates their parsed values into the serializable
+// job.Grid — the same structure a submit client ships to a server.
+func registerGridFlags(fs *flag.FlagSet) func() (job.Grid, error) {
 	devices := fs.String("devices", "XR1", "comma-separated Table I devices, or \"all\"")
 	modes := fs.String("modes", "local,remote", "comma-separated inference modes")
 	cnns := fs.String("cnns", "", "comma-separated Table II CNNs (empty = pipeline defaults)")
 	sizes := fs.String("sizes", "300,400,500,600,700", "comma-separated frame sizes (pixel² unit)")
 	freqs := fs.String("freqs", "0", "comma-separated CPU clocks in GHz (0 = device max, clamped)")
+	return func() (job.Grid, error) {
+		return job.ParseGrid(*devices, *modes, *cnns, *sizes, *freqs)
+	}
+}
+
+func runSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	gridOf := registerGridFlags(fs)
 	stream := fs.Bool("stream", false, "write each grid row as soon as its prefix completes instead of buffering the table")
 	format := fs.String("format", "table", "output format: table or csv")
-	suite, cleanup, err := buildSuite(fs, args)
+	spec := job.Default()
+	spec.RegisterFlags(fs)
+	spec.RegisterSuiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid, err := gridOf()
+	if err != nil {
+		return err
+	}
+	jb := job.Job{Kind: job.KindSweep, Spec: spec, Grid: &grid, Format: *format, Stream: *stream}
+	if err := jb.Validate(); err != nil {
+		return err
+	}
+	suite, cleanup, err := spec.BuildSuite()
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	grid, err := sweepGrid(*devices, *modes, *cnns, *sizes, *freqs)
-	if err != nil {
-		return err
-	}
 	defer printCacheStats(suite)
-	switch *format {
-	case "table":
-		return sweepTable(suite, grid, *stream, out)
-	case "csv":
-		return sweepCSV(suite, grid, *stream, out)
-	default:
-		return fmt.Errorf("-format: unknown format %q (table or csv)", *format)
-	}
-}
-
-// sweepTable renders the sweep as the human-readable table. With stream,
-// rows are written as grid prefixes complete; the bytes are identical to
-// the buffered table, only the timing differs. The header carries the
-// grid size, which is known up front, and the aggregate line follows the
-// last row.
-func sweepTable(suite *experiments.Suite, grid sweep.Grid, stream bool, out io.Writer) error {
-	if !stream {
-		res, err := suite.RunGrid(context.Background(), grid)
-		if err != nil {
-			return err
-		}
-		_, err = fmt.Fprint(out, res.Render())
-		return err
-	}
-	header := (&experiments.GridResult{Points: make([]experiments.GridPoint, grid.Size())}).RenderHeader()
-	if _, err := fmt.Fprint(out, header); err != nil {
-		return err
-	}
-	res, err := suite.StreamGrid(context.Background(), grid, func(p experiments.GridPoint) error {
-		_, err := fmt.Fprint(out, p.RenderRow())
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprint(out, res.RenderFooter())
-	return err
-}
-
-// sweepCSV renders the sweep as machine-readable CSV (full float
-// precision, data rows only), optionally streaming records as grid
-// prefixes complete.
-func sweepCSV(suite *experiments.Suite, grid sweep.Grid, stream bool, out io.Writer) error {
-	if !stream {
-		res, err := suite.RunGrid(context.Background(), grid)
-		if err != nil {
-			return err
-		}
-		return res.WriteCSV(out)
-	}
-	cw := csv.NewWriter(out)
-	if err := cw.Write(experiments.CSVHeader()); err != nil {
-		return err
-	}
-	cw.Flush()
-	if _, err := suite.StreamGrid(context.Background(), grid, func(p experiments.GridPoint) error {
-		if err := cw.Write(p.CSVRecord()); err != nil {
-			return err
-		}
-		cw.Flush()
-		return cw.Error()
-	}); err != nil {
-		return err
-	}
-	cw.Flush()
-	return cw.Error()
+	return jb.Run(context.Background(), suite, out)
 }
 
 func runExport(args []string, out io.Writer) error {

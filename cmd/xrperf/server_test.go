@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// startJobServer runs an in-process job server on the pool backend for
+// the test's lifetime and returns its address. The CLI-facing pieces —
+// the submit subcommand, flag parsing, error texts — still go through
+// run(); only the server loop is hosted in-process (the CI fleet job
+// exercises the real `xrperf server` binary end to end).
+func startJobServer(t *testing.T) string {
+	t.Helper()
+	runner := sweep.NewCachedRunner(&sweep.PoolRunner{Workers: 2})
+	srv, err := server.New(server.Config{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("job server did not shut down")
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestSubmitMatchesOneShotCLI pins the tentpole contract at the CLI
+// layer: `xrperf submit` with the same flags prints byte-identically to
+// the one-shot subcommand, for table and CSV sweeps and the report.
+func TestSubmitMatchesOneShotCLI(t *testing.T) {
+	addr := startJobServer(t)
+	cases := [][]string{
+		{"-devices", "XR1", "-sizes", "300,500"},
+		{"-devices", "XR1", "-sizes", "300,500", "-format", "csv"},
+	}
+	for _, grid := range cases {
+		oneShot := runCLI(t, append(append([]string{"sweep"}, grid...), fastFlags...)...)
+		submitted := runCLI(t, append(append([]string{"submit", "-addr", addr}, grid...), fastFlags...)...)
+		if submitted != oneShot {
+			t.Fatalf("submit %v diverges from one-shot sweep:\nsubmit %q\nsweep  %q", grid, submitted, oneShot)
+		}
+	}
+	oneShot := runCLI(t, append([]string{"report"}, fastFlags...)...)
+	submitted := runCLI(t, append([]string{"submit", "-addr", addr, "-kind", "report"}, fastFlags...)...)
+	if submitted != oneShot {
+		t.Fatal("submit -kind report diverges from one-shot report")
+	}
+}
+
+// TestSubmitJobFile pins the jobs-as-data path: a job document read from
+// a file (and from stdin via "-") submits and prints the same bytes as
+// the flag-built equivalent.
+func TestSubmitJobFile(t *testing.T) {
+	addr := startJobServer(t)
+	doc := `{
+		"kind": "sweep",
+		"spec": {"seed": 42, "train_rows": 2000, "test_rows": 500, "trials": 5},
+		"grid": {"devices": ["XR1"], "modes": ["local", "remote"], "sizes": [300, 500]},
+		"format": "csv"
+	}`
+	file := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(file, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile := runCLI(t, "submit", "-addr", addr, "-job", file)
+	fromFlags := runCLI(t, append([]string{"submit", "-addr", addr,
+		"-devices", "XR1", "-sizes", "300,500", "-format", "csv"}, fastFlags...)...)
+	if fromFile != fromFlags {
+		t.Fatalf("-job file diverges from flags:\nfile  %q\nflags %q", fromFile, fromFlags)
+	}
+	if !strings.Contains(fromFile, "device,") {
+		t.Fatalf("unexpected CSV output: %q", fromFile)
+	}
+}
+
+// TestSubmitErrorParity pins satellite 4 at the CLI layer: for the same
+// invalid spec, `xrperf submit` and the one-shot subcommand fail with
+// exactly the same error text.
+func TestSubmitErrorParity(t *testing.T) {
+	addr := startJobServer(t)
+	cases := [][]string{
+		{"-backend", "teleport"},
+		{"-backend", "net"}, // net without nodes
+		{"-nodes", "x:1"},   // nodes without net
+		{"-workers", "-1"},
+		{"-trials", "-3"},
+		{"-format", "xml"},
+		{"-modes", "sideways"},
+		{"-sizes", "tall"},
+	}
+	var sink bytes.Buffer
+	for _, extra := range cases {
+		oneShotErr := run(append([]string{"sweep"}, extra...), &sink)
+		submitErr := run(append([]string{"submit", "-addr", addr}, extra...), &sink)
+		if oneShotErr == nil || submitErr == nil {
+			t.Fatalf("%v: expected both doors to reject (sweep=%v submit=%v)", extra, oneShotErr, submitErr)
+		}
+		if oneShotErr.Error() != submitErr.Error() {
+			t.Fatalf("%v: error text diverges between doors:\nsweep  %q\nsubmit %q", extra, oneShotErr, submitErr)
+		}
+	}
+}
+
+// TestSubmitStats checks the introspection op end to end through the
+// CLI: the snapshot is valid JSON carrying the queue and cache counters.
+func TestSubmitStats(t *testing.T) {
+	addr := startJobServer(t)
+	runCLI(t, append([]string{"submit", "-addr", addr, "-devices", "XR1", "-sizes", "300"}, fastFlags...)...)
+	out := runCLI(t, "submit", "-addr", addr, "-stats")
+	for _, want := range []string{`"arrivals": 1`, `"completed": 1`, `"cache"`, `"lambda_per_ms"`, `"predicted_sojourn_ms"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSubmitToFleetNode pins the clear-error path when a submit client
+// dials an `xrperf serve` measurement node instead of a job server.
+func TestSubmitToFleetNode(t *testing.T) {
+	nodeAddr := startServeNodes(t, 1)
+	var sink bytes.Buffer
+	err := run([]string{"submit", "-addr", nodeAddr, "-devices", "XR1", "-sizes", "300"}, &sink)
+	if err == nil || !strings.Contains(err.Error(), "not a job server") {
+		t.Fatalf("want a not-a-job-server error, got %v", err)
+	}
+}
+
+// TestServerFlagErrors checks the server subcommand rejects bad
+// configuration with the shared spec error texts.
+func TestServerFlagErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run([]string{"server", "-backend", "teleport"}, &sink); err == nil ||
+		!strings.Contains(err.Error(), "-backend") {
+		t.Fatalf("bad backend: %v", err)
+	}
+	if err := run([]string{"server", "-backend", "net"}, &sink); err == nil ||
+		!strings.Contains(err.Error(), "-nodes") {
+		t.Fatalf("net without nodes: %v", err)
+	}
+	if err := run([]string{"server", "-listen", "not an address"}, &sink); err == nil {
+		t.Fatal("unusable listen address must error")
+	}
+}
+
+// TestReportByteIdenticalUnderChaos pins the chaos satellite at the
+// report level: the full Markdown report generated over a net fleet
+// whose first node dies repeatedly mid-stream (every connection killed
+// three frames in) is byte-identical to the pool backend's.
+func TestReportByteIdenticalUnderChaos(t *testing.T) {
+	want := runCLI(t, append([]string{"report", "-workers", "2"}, fastFlags...)...)
+	proxy, err := sweep.NewChaosProxy(startServeNodes(t, 1), sweep.ChaosConfig{
+		CrashAfterFrames: 3,
+		MaxCrashes:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	nodes := proxy.Addr() + "," + startServeNodes(t, 1)
+	got := runCLI(t, append([]string{"report", "-backend", "net", "-nodes", nodes, "-workers", "2"}, fastFlags...)...)
+	if got != want {
+		t.Fatal("report bytes diverge under injected node death")
+	}
+	if proxy.Crashes() == 0 {
+		t.Fatal("chaos proxy injected no crashes; the test exercised nothing")
+	}
+}

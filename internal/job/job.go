@@ -90,10 +90,31 @@ func (s Spec) backend() string {
 	return s.Backend
 }
 
-// Validate checks the specification.
+// Validate checks the specification. Zero means "use the default" for
+// every count (workers, procs, trials, rows), so only negatives — which
+// no default resolves — are rejected; the backend/nodes combination must
+// be coherent both ways (net needs nodes, nodes need net).
 func (s Spec) Validate() error {
+	if s.Workers < 0 {
+		return fmt.Errorf("job: -workers must be >= 0, have %d", s.Workers)
+	}
+	if s.Procs < 0 {
+		return fmt.Errorf("job: -procs must be >= 0, have %d", s.Procs)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("job: -trials must be >= 0, have %d", s.Trials)
+	}
+	if s.TrainRows < 0 {
+		return fmt.Errorf("job: -train must be >= 0, have %d", s.TrainRows)
+	}
+	if s.TestRows < 0 {
+		return fmt.Errorf("job: -test must be >= 0, have %d", s.TestRows)
+	}
 	switch s.backend() {
 	case "pool", "proc":
+		if len(s.Nodes) > 0 {
+			return fmt.Errorf("job: -nodes is only meaningful with -backend net, have -backend %s", s.backend())
+		}
 	case "net":
 		if len(s.Nodes) == 0 {
 			return fmt.Errorf("job: -backend net requires -nodes (host:port,...)")
@@ -152,16 +173,33 @@ func (s Spec) BuildSuite() (suite *experiments.Suite, cleanup func(), err error)
 	if err != nil {
 		return nil, nil, err
 	}
-	suite, err = experiments.NewSuite(s.Seed, s.TrainRows, s.TestRows)
+	suite, err = s.BuildSuiteOn(runner)
 	if err != nil {
 		cleanup()
 		return nil, nil, err
+	}
+	return suite, cleanup, nil
+}
+
+// BuildSuiteOn assembles the spec's suite on a caller-supplied runner
+// instead of the spec's own backend — the server path, where every job
+// shares one long-lived runner (and its measurement cache) so identical
+// cells requested by different clients are measured once globally. The
+// spec is validated in full, backend fields included, so an invalid job
+// is rejected with the exact error the one-shot CLI would print.
+func (s Spec) BuildSuiteOn(runner *sweep.CachedRunner) (*experiments.Suite, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	suite, err := experiments.NewSuite(s.Seed, s.TrainRows, s.TestRows)
+	if err != nil {
+		return nil, err
 	}
 	suite.Trials = s.Trials
 	suite.Workers = s.Workers
 	suite.Disk = runner.Disk()
 	suite.Runner = runner
-	return suite, cleanup, nil
+	return suite, nil
 }
 
 // String renders the spec as its canonical JSON.

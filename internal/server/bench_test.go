@@ -1,0 +1,40 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerSubmit measures the sweep-as-a-service round trip: one
+// full submit cycle — dial, handshake, job frame, suite build, streamed
+// chunks, done frame — against a warm cache, so the number tracks the
+// service path (framing, admission, scheduling, rendering) rather than
+// the synthetic physics. Reported as both ns/op (the bench trajectory's
+// unit) and jobs/s (the service-level figure the ISSUE asks for).
+func BenchmarkServerSubmit(b *testing.B) {
+	addr, _, _ := startServer(b, Config{})
+	jb := sweepJob("table", 300, 500)
+	var buf bytes.Buffer
+	if err := Submit(context.Background(), addr, jb, &buf); err != nil {
+		b.Fatal(err)
+	}
+	want := buf.String()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Submit(context.Background(), addr, jb, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if buf.String() != want {
+		b.Fatal("warm submit bytes diverged from cold")
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "jobs/s")
+	}
+}

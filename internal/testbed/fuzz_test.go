@@ -1,0 +1,107 @@
+package testbed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes encodes v as one wire frame for seeding.
+func frameBytes(t testing.TB, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame feeds the frame decoder arbitrary byte streams: hostile
+// length prefixes, truncated payloads, and garbage JSON must all surface
+// as clean errors — never a panic, and never an allocation sized by the
+// attacker's length prefix rather than by the bytes actually present.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                   // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})    // length beyond MaxFrameBytes
+	f.Add([]byte{0, 0, 0, 4, '{', '}'})      // truncated payload
+	f.Add([]byte{0, 0, 0, 2, 'n', 'o'})      // invalid JSON
+	f.Add(frameBytes(f, Hello()))            // valid handshake frame
+	f.Add(frameBytes(f, WireRequest{ID: 3})) // valid request frame
+	// A frame declaring the maximum length but delivering ten bytes: the
+	// over-allocation regression case.
+	huge := []byte{0, 0, 127, 255, 'x', 'x', 'x', 'x', 'x', 'x'}
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v json.RawMessage
+		err := ReadFrame(bytes.NewReader(data), &v)
+		if err == nil {
+			// A successful decode must round-trip: re-encoding the payload
+			// as a frame and decoding again yields the same JSON.
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, v); err != nil {
+				t.Fatalf("decoded frame did not re-encode: %v", err)
+			}
+			var v2 json.RawMessage
+			if err := ReadFrame(&buf, &v2); err != nil {
+				t.Fatalf("re-encoded frame did not decode: %v", err)
+			}
+			return
+		}
+		// Errors must be the protocol's own taxonomy, not raw panics
+		// converted downstream: a frame error, a clean EOF, or an
+		// unexpected EOF.
+		if !errors.Is(err, ErrFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}
+
+// FuzzWireHello feeds the handshake reader arbitrary streams: whatever a
+// malicious or confused peer sends in place of a hello must produce a
+// clean frame/version error, never a panic.
+func FuzzWireHello(f *testing.F) {
+	f.Add(frameBytes(f, Hello()))
+	f.Add(frameBytes(f, JobsHello()))
+	f.Add(frameBytes(f, WireHello{Protocol: 99, Physics: 1}))
+	f.Add(frameBytes(f, map[string]any{"proto": "one"}))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHello(bytes.NewReader(data))
+		if err == nil {
+			if cerr := h.Check(); cerr != nil {
+				t.Fatalf("ReadHello accepted a hello Check rejects: %v", cerr)
+			}
+			return
+		}
+		if !errors.Is(err, ErrFrame) && !errors.Is(err, ErrVersionMismatch) &&
+			!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}
+
+// TestReadFrameBoundedAllocation pins the over-allocation defence
+// directly (the fuzz target only proves no panic): a stream declaring an
+// enormous frame but carrying a handful of bytes must fail without
+// allocating anywhere near the declared length.
+func TestReadFrameBoundedAllocation(t *testing.T) {
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], MaxFrameBytes) // 8 MB declared
+	stream := append(head[:], []byte("short")...)
+	var v json.RawMessage
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ReadFrame(bytes.NewReader(stream), &v); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+		}
+	})
+	// The exact count is implementation detail; the point is it is a
+	// handful of small buffers, not an 8 MB slab per call. AllocsPerRun
+	// counts allocations, so pair it with a size probe.
+	if allocs > 50 {
+		t.Fatalf("ReadFrame made %.0f allocations for a 9-byte hostile stream", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -68,6 +69,11 @@ type WireHello struct {
 	Protocol int `json:"proto"`
 	// Physics is the node's testbed.PhysicsVersion.
 	Physics int `json:"physics"`
+	// Service names what the peer serves: empty for a worker-fleet node
+	// (the original service, kept empty for wire compatibility),
+	// ServiceJobs for a job server. Version checks ignore it; clients
+	// use it to fail fast when dialing the wrong kind of endpoint.
+	Service string `json:"svc,omitempty"`
 }
 
 // Hello returns this binary's handshake frame.
@@ -117,14 +123,18 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > MaxFrameBytes {
 		return fmt.Errorf("%w: declared length %d exceeds limit %d", ErrFrame, n, MaxFrameBytes)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// The payload buffer grows with the bytes that actually arrive, so a
+	// hostile length prefix on a short stream costs nothing: a declared
+	// 8 MB frame that truncates after 10 bytes allocates ~10 bytes, not
+	// the declared length.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		if errors.Is(err, io.EOF) {
 			return io.ErrUnexpectedEOF
 		}
 		return err
 	}
-	if err := json.Unmarshal(payload, v); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		return fmt.Errorf("%w: decode: %v", ErrFrame, err)
 	}
 	return nil

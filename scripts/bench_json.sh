@@ -6,11 +6,11 @@
 # CI uploads the file as an artifact per run, so successive PRs leave a
 # perf trail that can be diffed instead of re-measured from memory.
 #
-# Usage: bench_json.sh [output.json]   (default: BENCH_6.json)
+# Usage: bench_json.sh [output.json]   (default: BENCH_7.json)
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
