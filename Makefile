@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt docs ci
+.PHONY: all build test race bench bench-json bench-compare lint fmt docs ci
 
 all: build
 
@@ -18,10 +18,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Benchmark trajectory: one 1x pass distilled into BENCH_7.json
-# (ns/op per benchmark); CI archives it per run.
+# Benchmark trajectory: one 1x pass distilled into the newest committed
+# BENCH_<n>.json (ns/op per benchmark); CI archives it per run.
 bench-json:
-	sh scripts/bench_json.sh BENCH_7.json
+	sh scripts/bench_json.sh
+
+# Bench ratchet: fresh 1x pass diffed against the committed baseline;
+# fails on any benchmark slower than BENCH_TOLERANCE (default 2.0x).
+bench-compare:
+	sh scripts/bench_compare.sh
 
 lint:
 	$(GO) vet ./...

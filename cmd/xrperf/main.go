@@ -145,6 +145,7 @@ func runWorker(out io.Writer) error {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7600", "TCP address to accept dispatcher connections on")
+	jsonOnly := fs.Bool("json-only", false, "advertise only the JSON codec (exercise mixed-fleet negotiation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,7 +159,7 @@ func runServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "xrperf serve: "+format+"\n", a...)
 	}
 	logf("listening on %s (protocol %d, physics %d)", ln.Addr(), testbed.ProtocolVersion, testbed.PhysicsVersion)
-	if err := testbed.ServeListener(ctx, ln, logf); err != nil {
+	if err := testbed.ServeListenerOpts(ctx, ln, logf, testbed.ServeOptions{JSONOnly: *jsonOnly}); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	logf("shutting down")
@@ -302,9 +303,12 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "                               -stream emits each section as soon as it completes")
 	fmt.Fprintln(out, "  worker                       serve measurement requests over stdin/stdout")
 	fmt.Fprintln(out, "                               (spawned by -backend proc; length-delimited JSON)")
-	fmt.Fprintln(out, "  serve [-listen ADDR]         run a worker-fleet node: answer measurement")
+	fmt.Fprintln(out, "  serve [-listen ADDR] [-json-only]")
+	fmt.Fprintln(out, "                               run a worker-fleet node: answer measurement")
 	fmt.Fprintln(out, "                               requests over TCP for -backend net dispatchers")
-	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions)")
+	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions")
+	fmt.Fprintln(out, "                               and negotiates the frame codec; -json-only opts")
+	fmt.Fprintln(out, "                               the node out of the binary codec)")
 	fmt.Fprintln(out, "  server [-listen ADDR] [-max-active N] [-queue N] [-job-timeout D]")
 	fmt.Fprintln(out, "         [backend flags]       run a long-lived job server: execute submitted")
 	fmt.Fprintln(out, "                               jobs on one shared measurement cache (overlapping")
@@ -319,9 +323,12 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "                               subset): -seed N -train N -test N")
 	fmt.Fprintln(out, "                               -trials N -workers N -backend pool|proc|net")
 	fmt.Fprintln(out, "                               -procs N -nodes host:port,... -cache-dir DIR")
+	fmt.Fprintln(out, "                               -batch N -pipeline N")
 	fmt.Fprintln(out, "                               (0 = GOMAXPROCS; output is byte-identical for any")
 	fmt.Fprintln(out, "                               backend at any parallelism; -cache-dir persists")
-	fmt.Fprintln(out, "                               measurements so warm re-runs dispatch nothing)")
+	fmt.Fprintln(out, "                               measurements so warm re-runs dispatch nothing;")
+	fmt.Fprintln(out, "                               -batch/-pipeline tune the proc/net wire batching")
+	fmt.Fprintln(out, "                               and window depth without changing output)")
 }
 
 func runDevices(out io.Writer) error {

@@ -401,15 +401,22 @@ func TestCacheDirUnusableDegrades(t *testing.T) {
 }
 
 // TestWorkerSubcommandEOF checks that `xrperf worker` with an empty
-// stdin (EOF immediately — go test wires /dev/null) exits cleanly with
-// no output.
+// stdin (EOF immediately — go test wires /dev/null) writes exactly its
+// handshake frame and exits cleanly.
 func TestWorkerSubcommandEOF(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"worker"}, &buf); err != nil {
 		t.Fatalf("worker at EOF: %v", err)
 	}
+	h, err := testbed.ReadHello(&buf)
+	if err != nil {
+		t.Fatalf("worker did not lead with a valid hello: %v", err)
+	}
+	if h != testbed.Hello() {
+		t.Fatalf("worker hello = %+v", h)
+	}
 	if buf.Len() != 0 {
-		t.Fatalf("worker wrote %d bytes with no requests", buf.Len())
+		t.Fatalf("worker wrote %d bytes beyond the handshake with no requests", buf.Len())
 	}
 }
 

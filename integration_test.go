@@ -413,8 +413,12 @@ func TestReportByteIdenticalNetWithNodeDeath(t *testing.T) {
 				if err := testbed.WriteFrame(conn, testbed.Hello()); err != nil {
 					return
 				}
-				var req testbed.WireRequest
-				if err := testbed.ReadFrame(conn, &req); err == nil {
+				var start testbed.WireStart
+				if err := testbed.ReadFrame(conn, &start); err != nil {
+					return
+				}
+				var b testbed.WireBatch
+				if err := testbed.ReadFrameCodec(conn, start.Codec, &b); err == nil {
 					dropped.Add(1)
 				}
 			}(conn)

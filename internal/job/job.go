@@ -42,6 +42,13 @@ type Spec struct {
 	Trials int `json:"trials,omitempty"`
 	// CacheDir persists measured cells on disk (empty = memory only).
 	CacheDir string `json:"cache_dir,omitempty"`
+	// Batch caps requests per wire frame on the dispatching backends
+	// (0 = sweep.DefaultBatch; output is byte-identical for any value).
+	Batch int `json:"batch,omitempty"`
+	// Pipeline is the window of outstanding batches per worker or
+	// connection (0 = sweep.DefaultPipeline; output is byte-identical
+	// for any value).
+	Pipeline int `json:"pipeline,omitempty"`
 }
 
 // Default returns the specification every subcommand starts from.
@@ -72,6 +79,8 @@ func (s *Spec) RegisterFlags(fs *flag.FlagSet) {
 		return nil
 	})
 	fs.StringVar(&s.CacheDir, "cache-dir", s.CacheDir, "persist measured cells on disk so warm re-runs dispatch nothing (empty = in-memory cache only)")
+	fs.IntVar(&s.Batch, "batch", s.Batch, "proc/net backends: requests per wire frame (0 = auto; output identical for any value)")
+	fs.IntVar(&s.Pipeline, "pipeline", s.Pipeline, "proc/net backends: outstanding batches per worker (0 = auto; output identical for any value)")
 }
 
 // RegisterSuiteFlags registers the dataset/measurement flags
@@ -109,6 +118,12 @@ func (s Spec) Validate() error {
 	}
 	if s.TestRows < 0 {
 		return fmt.Errorf("job: -test must be >= 0, have %d", s.TestRows)
+	}
+	if s.Batch < 0 {
+		return fmt.Errorf("job: -batch must be >= 0, have %d", s.Batch)
+	}
+	if s.Pipeline < 0 {
+		return fmt.Errorf("job: -pipeline must be >= 0, have %d", s.Pipeline)
 	}
 	switch s.backend() {
 	case "pool", "proc":
@@ -155,11 +170,11 @@ func (s Spec) BuildRunner() (runner *sweep.CachedRunner, cleanup func(), err err
 	case "pool":
 		backend = &sweep.PoolRunner{Workers: s.Workers}
 	case "proc":
-		pr := &sweep.ProcRunner{Procs: s.Procs}
+		pr := &sweep.ProcRunner{Procs: s.Procs, Batch: s.Batch, Pipeline: s.Pipeline}
 		backend = pr
 		cleanup = func() { _ = pr.Close() }
 	case "net":
-		nr := &sweep.NetRunner{Nodes: s.Nodes}
+		nr := &sweep.NetRunner{Nodes: s.Nodes, Batch: s.Batch, Pipeline: s.Pipeline}
 		backend = nr
 		cleanup = func() { _ = nr.Close() }
 	}

@@ -221,44 +221,54 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	if err := wj.Check(); err != nil {
-		return writeErr(conn, err)
+		return writeErr(conn, testbed.CodecJSON, err)
+	}
+	// The client picks the result-stream codec from the hello's
+	// advertisement (WireJob.Codec); every WireResult frame after this
+	// point rides it. The rejection of an unknown codec is necessarily
+	// JSON — no codec was agreed.
+	codec := testbed.NormalizeCodec(wj.Codec)
+	if !testbed.KnownCodec(codec) {
+		return writeErr(conn, testbed.CodecJSON,
+			fmt.Errorf("%w: client requested codec %q, this server speaks %s, %s",
+				testbed.ErrVersionMismatch, wj.Codec, testbed.CodecJSON, testbed.CodecBinary))
 	}
 	switch wj.Op {
 	case testbed.JobOpStats:
-		return s.writeStats(conn)
+		return s.writeStats(conn, codec)
 	case "", testbed.JobOpRun:
-		return s.runJob(ctx, conn, wj.Job)
+		return s.runJob(ctx, conn, codec, wj.Job)
 	default:
-		return writeErr(conn, fmt.Errorf("server: unknown op %q", wj.Op))
+		return writeErr(conn, codec, fmt.Errorf("server: unknown op %q", wj.Op))
 	}
 }
 
 // writeErr reports a job-level failure to the client. The message is the
 // error's exact text — for an invalid job, the same text the one-shot
 // CLI prints for the same spec.
-func writeErr(conn net.Conn, err error) error {
-	return testbed.WriteFrame(conn, testbed.WireResult{Kind: testbed.ResultErr, Err: err.Error()})
+func writeErr(conn net.Conn, codec string, err error) error {
+	return testbed.WriteFrameCodec(conn, codec, testbed.WireResult{Kind: testbed.ResultErr, Err: err.Error()})
 }
 
 // writeStats answers a stats op with the current snapshot.
-func (s *Server) writeStats(conn net.Conn) error {
+func (s *Server) writeStats(conn net.Conn, codec string) error {
 	payload, err := json.Marshal(s.Stats())
 	if err != nil {
 		return err
 	}
-	return testbed.WriteFrame(conn, testbed.WireResult{Kind: testbed.ResultStats, Stats: payload})
+	return testbed.WriteFrameCodec(conn, codec, testbed.WireResult{Kind: testbed.ResultStats, Stats: payload})
 }
 
 // runJob admits, executes, and streams one job.
-func (s *Server) runJob(ctx context.Context, conn net.Conn, doc json.RawMessage) error {
+func (s *Server) runJob(ctx context.Context, conn net.Conn, codec string, doc json.RawMessage) error {
 	jb, err := job.Decode(doc)
 	if err != nil {
-		return writeErr(conn, err)
+		return writeErr(conn, codec, err)
 	}
 	// Validate before admission: a malformed job must not consume a
 	// queue slot, and must fail with the exact one-shot CLI error text.
 	if err := jb.Validate(); err != nil {
-		return writeErr(conn, err)
+		return writeErr(conn, codec, err)
 	}
 
 	s.mu.Lock()
@@ -278,7 +288,7 @@ func (s *Server) runJob(ctx context.Context, conn net.Conn, doc json.RawMessage)
 		queued, active := len(s.admission)-len(s.active), len(s.active)
 		s.mu.Unlock()
 		s.logf("job %d rejected: queue full (%d queued, %d active)", id, queued, active)
-		return testbed.WriteFrame(conn, testbed.WireResult{
+		return testbed.WriteFrameCodec(conn, codec, testbed.WireResult{
 			Kind: testbed.ResultBusy,
 			Err:  fmt.Sprintf("job queue full (%d queued, %d active); retry later", queued, active),
 		})
@@ -306,7 +316,7 @@ func (s *Server) runJob(ctx context.Context, conn net.Conn, doc json.RawMessage)
 	case s.active <- struct{}{}:
 	case <-jctx.Done():
 		s.finish(id, admittedAt, admittedAt, fmt.Errorf("job canceled while queued: %w", jctx.Err()))
-		return writeErr(conn, jctx.Err())
+		return writeErr(conn, codec, jctx.Err())
 	}
 	defer func() { <-s.active }()
 	if s.cfg.JobTimeout > 0 {
@@ -318,21 +328,21 @@ func (s *Server) runJob(ctx context.Context, conn net.Conn, doc json.RawMessage)
 	suite, err := jb.Spec.BuildSuiteOn(s.cfg.Runner)
 	if err != nil {
 		s.finish(id, admittedAt, admittedAt, err)
-		return writeErr(conn, err)
+		return writeErr(conn, codec, err)
 	}
 	before := s.cfg.Runner.Stats()
 	startedAt := time.Now()
 	jb.Stream = true
-	runErr := jb.Run(jctx, suite, &frameWriter{conn: conn})
+	runErr := jb.Run(jctx, suite, &frameWriter{conn: conn, codec: codec})
 	s.finish(id, admittedAt, startedAt, runErr)
 	delta := s.cfg.Runner.Stats()
 	s.logf("job %d (%s) done in %s: %d new cells measured, %d served from cache",
 		id, kindName(jb), time.Since(startedAt).Round(time.Millisecond),
 		delta.Misses-before.Misses, (delta.Hits+delta.DiskHits)-(before.Hits+before.DiskHits))
 	if runErr != nil {
-		return writeErr(conn, runErr)
+		return writeErr(conn, codec, runErr)
 	}
-	return testbed.WriteFrame(conn, testbed.WireResult{Kind: testbed.ResultDone})
+	return testbed.WriteFrameCodec(conn, codec, testbed.WireResult{Kind: testbed.ResultDone})
 }
 
 func kindName(j job.Job) string {
@@ -401,14 +411,15 @@ func (s *Server) Stats() Stats {
 // Write becomes one chunk frame, so the client reproduces the byte
 // stream exactly by concatenating chunks in arrival order.
 type frameWriter struct {
-	conn net.Conn
+	conn  net.Conn
+	codec string
 }
 
 func (w *frameWriter) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	if err := testbed.WriteFrame(w.conn, testbed.WireResult{Kind: testbed.ResultChunk, Chunk: string(p)}); err != nil {
+	if err := testbed.WriteFrameCodec(w.conn, w.codec, testbed.WireResult{Kind: testbed.ResultChunk, Chunk: string(p)}); err != nil {
 		return 0, err
 	}
 	return len(p), nil

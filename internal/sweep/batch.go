@@ -1,0 +1,544 @@
+package sweep
+
+// The batched, pipelined dispatch engine shared by ProcRunner and
+// NetRunner. Version 1 of the wire protocol round-tripped one request
+// per frame, so every grid point paid one full dispatcher↔worker
+// latency; profiles (BENCH_7) showed that latency — not measurement —
+// dominating both distributed backends. The engine here removes it two
+// ways:
+//
+//   - Batching: contiguous runs of the request slice ride together in
+//     one WireBatch frame (splitBatches), so a 64-point grid costs a
+//     handful of round trips instead of 64. Session requests stay
+//     singleton batches — their results carry traces and sketches, and
+//     a 16-wide session batch could overflow MaxFrameBytes.
+//   - Pipelining: each worker session keeps a window of batches in
+//     flight (cfg.depth), sending the next batch while earlier ones are
+//     still being answered, so a worker never idles between frames.
+//
+// The engine mirrors the generic in-process Stream engine's contract at
+// request granularity, which is what keeps the three backends
+// byte-identical: results are delivered to an ordered aggregator that
+// emits each contiguous prefix as it forms; failures report through the
+// same lowest-index, genuine-beats-canceled selection; cancelation
+// destroys transports to unblock in-flight I/O; and a dead transport's
+// unanswered batches are re-dispatched to a fresh one under a bounded
+// per-batch attempt budget, exactly like v1 re-dispatched shards.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/testbed"
+)
+
+// Tuning defaults shared by the dispatching backends.
+const (
+	// DefaultBatch is the default cap on requests per WireBatch frame.
+	// Small grids use smaller batches automatically so every session
+	// window stays busy (splitBatches).
+	DefaultBatch = 16
+	// DefaultPipeline is the default window of outstanding batches per
+	// worker session.
+	DefaultPipeline = 2
+)
+
+// batchJob is one batch of contiguous requests on its way through the
+// dispatcher. Its tag (id) doubles as the grid offset of reqs[0], so a
+// result frame identifies both its window slot and its output indices.
+type batchJob struct {
+	id       int
+	off      int
+	reqs     []testbed.Request
+	attempts int
+	lastErr  error
+}
+
+// terminalError marks an acquire failure that fails the pulled batch —
+// and therefore the sweep — immediately instead of consuming one of its
+// retry attempts: a quarantined spawn source, a spawn failure, a version
+// mismatch, a fully poisoned fleet, or cancelation.
+type terminalError struct {
+	err error
+	// needsIdx renders the error through noHealthySource with the
+	// batch's index and last dispatch failure (the net backend's
+	// fleet-exhausted diagnostics).
+	needsIdx bool
+}
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// errAllCooling reports an acquire that waited out a fully quarantined
+// fleet: the attempt is consumed but carries no new failure cause.
+var errAllCooling = errors.New("every node quarantined after repeated failures")
+
+// batchSource checks out transports for the dispatcher. Attempt-level
+// failures (a crashed spawn handshake, an unreachable node) return plain
+// errors; unrecoverable conditions return *terminalError.
+type batchSource interface {
+	acquire(cctx context.Context) (batchTransport, error)
+}
+
+// batchTransport is one live worker session: a subprocess pipe pair or
+// a fleet TCP connection, post-handshake, speaking the negotiated codec.
+type batchTransport interface {
+	// send writes one batch frame; errors are retryable worker failures.
+	send(b testbed.WireBatch) error
+	// recv reads one batch-result frame; errors are retryable worker
+	// failures.
+	recv() (testbed.WireBatchResult, error)
+	// success records one healthy batch round trip (resets quarantine).
+	success()
+	// reject converts a request-level rejection reported by a healthy
+	// worker into its non-retryable error.
+	reject(msg string) error
+	// corrupt converts protocol corruption into a retryable worker
+	// failure naming the source.
+	corrupt(format string, args ...any) error
+	// park returns the healthy transport for reuse by a later acquire.
+	park()
+	// fail records a transport death with its cause, destroys the
+	// transport, and frees its slot for a replacement.
+	fail(cause error)
+	// abort destroys the transport and frees its slot without failure
+	// accounting (cancelation and request-rejection paths).
+	abort()
+	// destroy kills the transport without blocking (idempotent); the
+	// dispatcher hooks it to cancelation to unblock in-flight I/O.
+	destroy()
+}
+
+// batchConfig parameterizes one dispatch run.
+type batchConfig struct {
+	sessions int // concurrent worker sessions (procs, or nodes×conns)
+	batch    int // per-frame request cap; <=0 means DefaultBatch
+	depth    int // pipeline window per session; <=0 means DefaultPipeline
+	budget   int // attempts per batch before givingUp
+	source   batchSource
+	givingUp func(j *batchJob) error
+}
+
+// splitBatches carves the request slice into contiguous batch jobs of at
+// most batch requests, shrinking the batch size on small grids so every
+// session window (sessions×depth lanes) has work. Session requests are
+// isolated into singleton batches.
+func splitBatches(reqs []testbed.Request, sessions, batch, depth int) []*batchJob {
+	if sessions < 1 {
+		sessions = 1
+	}
+	lanes := sessions * depth
+	if per := (len(reqs) + lanes - 1) / lanes; per < batch {
+		batch = per
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	var jobs []*batchJob
+	flush := func(off, end int) {
+		for off < end {
+			e := off + batch
+			if e > end {
+				e = end
+			}
+			jobs = append(jobs, &batchJob{id: off, off: off, reqs: reqs[off:e]})
+			off = e
+		}
+	}
+	start := 0
+	for i, r := range reqs {
+		if r.Op == testbed.OpSession {
+			flush(start, i)
+			jobs = append(jobs, &batchJob{id: i, off: i, reqs: reqs[i : i+1]})
+			start = i + 1
+		}
+	}
+	flush(start, len(reqs))
+	return jobs
+}
+
+// batchDispatcher is the run state of one runBatches call.
+type batchDispatcher struct {
+	cfg     batchConfig
+	cctx    context.Context
+	cancel  context.CancelFunc
+	queue   chan *batchJob
+	results chan indexed[testbed.Measurement]
+
+	remaining atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr *pointError
+}
+
+// runBatches evaluates reqs across the source's transports and invokes
+// emit in strict request order — the batch-dispatch mirror of the
+// generic Stream engine, with identical error selection and final-error
+// semantics.
+func runBatches(ctx context.Context, reqs []testbed.Request, cfg batchConfig, emit func(idx int, m testbed.Measurement) error) error {
+	n := len(reqs)
+	if cfg.batch <= 0 {
+		cfg.batch = DefaultBatch
+	}
+	if cfg.depth <= 0 {
+		cfg.depth = DefaultPipeline
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := splitBatches(reqs, cfg.sessions, cfg.batch, cfg.depth)
+	d := &batchDispatcher{
+		cfg:     cfg,
+		cctx:    cctx,
+		cancel:  cancel,
+		queue:   make(chan *batchJob, len(jobs)),
+		results: make(chan indexed[testbed.Measurement], n),
+	}
+	for _, j := range jobs {
+		d.queue <- j
+	}
+	d.remaining.Store(int64(len(jobs)))
+
+	sessions := cfg.sessions
+	if sessions > len(jobs) {
+		sessions = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.session()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(d.results)
+	}()
+
+	// Ordered streaming aggregation, identical to the Stream engine's:
+	// buffer out-of-order completions, flush each contiguous prefix.
+	pending := make(map[int]testbed.Measurement)
+	next := 0
+	var emitErr error
+	for r := range d.results {
+		if emitErr != nil {
+			continue // drain; the sweep is already canceled
+		}
+		pending[r.idx] = r.val
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if err := emit(next, v); err != nil {
+				emitErr = fmt.Errorf("sweep: emit point %d: %w", next, err)
+				cancel()
+				break
+			}
+			next++
+		}
+	}
+
+	d.errMu.Lock()
+	pe := d.firstErr
+	d.errMu.Unlock()
+	if pe != nil && (emitErr == nil || !errors.Is(pe.err, context.Canceled)) {
+		return fmt.Errorf("sweep: point %d: %w", pe.idx, pe.err)
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if next != n {
+		// Cancelation raced result delivery: some points never ran.
+		return fmt.Errorf("sweep: %w", cctx.Err())
+	}
+	return nil
+}
+
+// report records a failed request index with the Stream engine's
+// selection rule — genuine errors outrank consequential Canceled ones,
+// lowest index wins within a class — and cancels the sweep.
+func (d *batchDispatcher) report(idx int, err error) {
+	canceled := errors.Is(err, context.Canceled)
+	d.errMu.Lock()
+	if d.firstErr == nil ||
+		(!canceled && errors.Is(d.firstErr.err, context.Canceled)) ||
+		(canceled == errors.Is(d.firstErr.err, context.Canceled) && idx < d.firstErr.idx) {
+		d.firstErr = &pointError{idx, err}
+	}
+	d.errMu.Unlock()
+	d.cancel()
+}
+
+// pull takes the next batch job, or reports done when the queue closed
+// (all batches delivered) or the sweep canceled.
+func (d *batchDispatcher) pull() (*batchJob, bool) {
+	select {
+	case j, ok := <-d.queue:
+		return j, ok
+	case <-d.cctx.Done():
+		return nil, false
+	}
+}
+
+// retry charges one attempt against the batch and requeues it, or gives
+// up through cfg.givingUp when the budget is spent. A nil cause (a
+// quarantine wait) leaves the recorded last failure untouched.
+func (d *batchDispatcher) retry(j *batchJob, cause error) {
+	if cause != nil {
+		j.lastErr = cause
+	}
+	j.attempts++
+	if j.attempts >= d.cfg.budget {
+		d.report(j.off, d.cfg.givingUp(j))
+		return
+	}
+	select {
+	case d.queue <- j:
+	case <-d.cctx.Done():
+	}
+}
+
+// session is one worker lane: pull a batch, check out a transport, and
+// drive it until the transport dies or the work runs out.
+func (d *batchDispatcher) session() {
+	for {
+		j, ok := d.pull()
+		if !ok {
+			return
+		}
+		t, err := d.cfg.source.acquire(d.cctx)
+		if err != nil {
+			var te *terminalError
+			if errors.As(err, &te) {
+				e := te.err
+				if te.needsIdx {
+					e = noHealthySource(j.off, te.err, j.lastErr)
+				}
+				d.report(j.off, e)
+				return
+			}
+			if errors.Is(err, errAllCooling) {
+				err = nil
+			}
+			d.retry(j, err)
+			continue
+		}
+		d.drive(t, j)
+	}
+}
+
+// drive runs one transport's send/receive session: the calling goroutine
+// sends batch frames with up to depth outstanding, while a receiver
+// goroutine matches result frames to the in-flight FIFO and delivers
+// items. Responses come back in send order on a connection (the worker
+// loop is sequential), so FIFO matching is exact; the echoed batch tag
+// is checked as a corruption guard. On transport death every unanswered
+// batch is collected and re-dispatched through retry.
+func (d *batchDispatcher) drive(t batchTransport, first *batchJob) {
+	stop := context.AfterFunc(d.cctx, t.destroy)
+	defer stop()
+
+	var (
+		mu       sync.Mutex
+		inflight []*batchJob
+	)
+	push := func(j *batchJob) {
+		mu.Lock()
+		inflight = append(inflight, j)
+		mu.Unlock()
+	}
+	pop := func() *batchJob {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(inflight) == 0 {
+			return nil
+		}
+		j := inflight[0]
+		inflight = inflight[1:]
+		return j
+	}
+	unpop := func(j *batchJob) {
+		mu.Lock()
+		inflight = append([]*batchJob{j}, inflight...)
+		mu.Unlock()
+	}
+
+	// sem bounds the window; tokens hands sent batches to the receiver.
+	// Tokens in flight never exceed held window slots, so the token send
+	// cannot block even after the receiver dies.
+	sem := make(chan struct{}, d.cfg.depth)
+	tokens := make(chan struct{}, d.cfg.depth)
+	recvDone := make(chan error, 1)
+	// outstanding counts sent-but-not-fully-processed batches; drained
+	// pulses when it returns to zero, so the sender can wake up and
+	// release an idle transport instead of holding it against the queue.
+	var outstanding atomic.Int64
+	drained := make(chan struct{}, 1)
+
+	go func() {
+		for range tokens {
+			res, err := t.recv()
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			j := pop()
+			if j == nil {
+				recvDone <- t.corrupt("answered with no batch in flight")
+				return
+			}
+			if res.Err != "" {
+				unpop(j)
+				recvDone <- t.corrupt("rejected the stream: %s", sanitizeLine(res.Err))
+				return
+			}
+			if res.ID != j.id {
+				unpop(j)
+				recvDone <- t.corrupt("answered batch %d to batch %d", res.ID, j.id)
+				return
+			}
+			if len(res.Items) != len(j.reqs) {
+				unpop(j)
+				recvDone <- t.corrupt("answered %d items to a %d-request batch", len(res.Items), len(j.reqs))
+				return
+			}
+			bad := -1
+			for i, it := range res.Items {
+				if it.Err != "" {
+					bad = i
+					break
+				}
+				d.results <- indexed[testbed.Measurement]{j.off + i, it.M}
+			}
+			if bad >= 0 {
+				// Request-level rejection from a healthy worker:
+				// deterministic, never retried. Earlier items of the batch
+				// still count — they are valid prefix results.
+				d.report(j.off+bad, t.reject(res.Items[bad].Err))
+				recvDone <- nil
+				return
+			}
+			t.success()
+			if d.remaining.Add(-1) == 0 {
+				close(d.queue)
+			}
+			<-sem
+			if outstanding.Add(-1) == 0 {
+				select {
+				case drained <- struct{}{}:
+				default:
+				}
+			}
+		}
+		recvDone <- nil
+	}()
+
+	j := first
+	var rerr, sendFail error
+	recvSeen := false
+send:
+	for {
+		if j == nil {
+			select {
+			case jj, ok := <-d.queue:
+				if !ok {
+					break send
+				}
+				j = jj
+			case <-d.cctx.Done():
+				break send
+			case rerr = <-recvDone:
+				recvSeen = true
+				break send
+			default:
+				if outstanding.Load() == 0 {
+					// Nothing queued and nothing in flight. Holding the
+					// transport against the queue here can deadlock: with
+					// concurrent dispatchers over one shared source, the next
+					// batch may be in the hands of a session blocked in
+					// acquire, waiting for exactly this slot. Release the
+					// transport instead; the session loop re-acquires when
+					// more work arrives.
+					break send
+				}
+				select {
+				case jj, ok := <-d.queue:
+					if !ok {
+						break send
+					}
+					j = jj
+				case <-d.cctx.Done():
+					break send
+				case rerr = <-recvDone:
+					recvSeen = true
+					break send
+				case <-drained:
+					// The window just emptied; re-evaluate idleness.
+					continue
+				}
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-d.cctx.Done():
+			break send
+		case rerr = <-recvDone:
+			recvSeen = true
+			break send
+		}
+		if err := t.send(testbed.WireBatch{ID: j.id, Reqs: j.reqs}); err != nil {
+			sendFail = err
+			break send
+		}
+		push(j)
+		outstanding.Add(1)
+		tokens <- struct{}{}
+		j = nil
+	}
+	close(tokens)
+	if !recvSeen {
+		// Wait the receiver out: it exits on the closed token stream, or
+		// on the recv error cancelation's transport destroy provokes.
+		if r := <-recvDone; rerr == nil {
+			rerr = r
+		}
+	}
+
+	var orphans []*batchJob
+	mu.Lock()
+	orphans = append(orphans, inflight...)
+	inflight = nil
+	mu.Unlock()
+	if j != nil {
+		orphans = append(orphans, j)
+	}
+
+	if d.cctx.Err() != nil {
+		// Canceled (by a report, an emit failure, or the caller): no
+		// accounting, no retries — just make sure the transport is dead
+		// and its slot freed.
+		t.abort()
+		return
+	}
+	cause := sendFail
+	if cause == nil {
+		cause = rerr
+	}
+	if cause == nil {
+		t.park()
+		return
+	}
+	t.fail(cause)
+	for _, o := range orphans {
+		d.retry(o, cause)
+	}
+}

@@ -11,7 +11,10 @@ import (
 
 // chaosFleet builds a two-node fleet where the first node sits behind a
 // fault-injecting proxy, plus the pool-backend baseline the fleet's
-// output must reproduce bit for bit.
+// output must reproduce bit for bit. Batch is pinned to 1 so the
+// proxy's frame-count crash points land where the per-request tests
+// expect them; the batch-granular kill points get their own tests
+// below.
 func chaosFleet(t *testing.T, cfg ChaosConfig, trials int) (*ChaosProxy, *NetRunner, []testbed.Request, []testbed.Measurement) {
 	t.Helper()
 	reqs := testRequests(t, trials)
@@ -24,18 +27,19 @@ func chaosFleet(t *testing.T, cfg ChaosConfig, trials int) (*ChaosProxy, *NetRun
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { proxy.Close() })
-	nr := &NetRunner{Nodes: []string{proxy.Addr(), startServeNode(t)}, ConnsPerNode: 1}
+	nr := &NetRunner{Nodes: []string{proxy.Addr(), startServeNode(t)}, ConnsPerNode: 1, Batch: 1}
 	t.Cleanup(func() { nr.Close() })
 	return proxy, nr, reqs, want
 }
 
 // TestChaosNodeDeathByteIdentical pins the headline chaos invariant: a
-// node whose every connection is killed two responses in (the proxy
-// swallows the third frame and drops the socket) must not change a
-// single output byte — its shards re-dispatch to the healthy node.
+// node whose every connection dies answering (the proxy relays the
+// handshake, then swallows the first response frame and drops the
+// socket) must not change a single output byte — its batches
+// re-dispatch to the healthy node.
 func TestChaosNodeDeathByteIdentical(t *testing.T) {
 	proxy, nr, reqs, want := chaosFleet(t, ChaosConfig{
-		CrashAfterFrames: 3, // hello + 2 responses, then death
+		CrashAfterFrames: 2, // hello through, die on the first response
 		MaxCrashes:       -1,
 	}, 3)
 	got, err := nr.Run(context.Background(), reqs)
@@ -109,6 +113,83 @@ func TestChaosSlowNodeQuarantine(t *testing.T) {
 	// rather than one per shard.
 	if c := proxy.Conns(); c > quarantineAfter+2 {
 		t.Fatalf("proxy saw %d connections; quarantine should have capped dialing near %d", c, quarantineAfter)
+	}
+}
+
+// chaosSingleNode builds a single-node fleet entirely behind the proxy
+// with multi-request batches, so every crash point lands relative to
+// batch frames and every retry must come back through the proxy.
+func chaosSingleNode(t *testing.T, cfg ChaosConfig) (*ChaosProxy, *NetRunner, []testbed.Request, []testbed.Measurement) {
+	t.Helper()
+	reqs := testRequests(t, 3)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewChaosProxy(startServeNode(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	nr := &NetRunner{Nodes: []string{proxy.Addr()}, ConnsPerNode: 1, Batch: 3}
+	t.Cleanup(func() { nr.Close() })
+	return proxy, nr, reqs, want
+}
+
+// TestChaosBatchBoundaryKill pins node death at a batch boundary: the
+// connection delivers one complete multi-request batch result, then
+// dies before the next. The delivered batch's results stand, the
+// orphaned batch re-dispatches on a fresh connection, and the output
+// stays byte-identical.
+func TestChaosBatchBoundaryKill(t *testing.T) {
+	proxy, nr, reqs, want := chaosSingleNode(t, ChaosConfig{
+		CrashAfterFrames: 3, // hello + one full batch result, then death
+		MaxCrashes:       1,
+	})
+	got, err := nr.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d diverges under a batch-boundary kill", i)
+		}
+	}
+	if proxy.Crashes() != 1 {
+		t.Fatalf("proxy crashed %d times, want exactly 1", proxy.Crashes())
+	}
+}
+
+// TestChaosMidBatchCut pins the nastier batch variant: the connection
+// dies halfway through a multi-request batch-result frame, so the
+// dispatcher sees a truncated frame with several requests' results
+// inside it. The whole batch re-dispatches — partial frames deliver
+// nothing — and the output stays byte-identical.
+func TestChaosMidBatchCut(t *testing.T) {
+	proxy, nr, reqs, want := chaosSingleNode(t, ChaosConfig{
+		CrashAfterFrames: 2, // hello, then die inside the first batch result
+		CrashMidFrame:    true,
+		MaxCrashes:       1,
+	})
+	next := 0
+	err := nr.Stream(context.Background(), reqs, func(idx int, m testbed.Measurement) error {
+		if idx != next {
+			t.Fatalf("emitted %d, want %d: order broke under a mid-batch cut", idx, next)
+		}
+		if m != want[idx] {
+			t.Fatalf("point %d diverges under a mid-batch cut", idx)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != len(reqs) {
+		t.Fatalf("emitted %d of %d", next, len(reqs))
+	}
+	if proxy.Crashes() != 1 {
+		t.Fatalf("proxy crashed %d times, want exactly 1", proxy.Crashes())
 	}
 }
 

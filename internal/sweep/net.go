@@ -16,10 +16,10 @@ import (
 // Defaults for the network backend.
 const (
 	// netConnsPerNode is the default number of concurrent connections a
-	// dispatcher opens per node. A serve node answers one request at a
+	// dispatcher opens per node. A serve node answers one batch at a
 	// time per connection, and the dispatcher cannot see a remote node's
 	// core count, so a small fixed fan-out per node keeps several
-	// measurements in flight without assuming anything about the fleet.
+	// batches in flight without assuming anything about the fleet.
 	netConnsPerNode = 4
 	// netDialTimeout bounds connection establishment plus the handshake
 	// read.
@@ -32,20 +32,24 @@ const (
 
 // NetRunner executes requests across a fleet of serve nodes — processes
 // running `xrperf serve` (testbed.ServeListener) — over TCP, speaking
-// the same length-delimited JSON frame protocol the proc backend speaks
-// over pipes. Connections are dialed lazily, verified against the node's
-// handshake (protocol + physics version; a mismatched node is rejected
-// with a clear error and never used), kept alive across Run/Stream calls
-// (Close reaps them), and replaced transparently when they break.
+// the same batched frame protocol the proc backend speaks over pipes.
+// Connections are dialed lazily, verified against the node's handshake
+// (protocol + physics version; a mismatched node is rejected with a
+// clear error and never used), codec-negotiated per connection (binary
+// when the node advertises it, JSON otherwise — a mixed fleet produces
+// the same bytes either way), kept alive across Run/Stream calls (Close
+// reaps them), and replaced transparently when they break. Requests ride
+// in multi-request WireBatch frames with up to Pipeline batches
+// outstanding per connection.
 //
 // Failure semantics extend the proc backend's: a node that dies
-// mid-shard — crash, disconnect, kill — has its shard re-dispatched to a
-// healthy node, and a node that keeps failing is quarantined with
-// exponential backoff (sourceHealth) so the fleet routes around it and
-// probes it again later. Requests must be wire-safe (Request.WireSafe);
-// measurements depend only on request content and the deterministic
-// hidden physics, so any healthy node produces the same bytes and
-// re-dispatch never changes the output.
+// mid-batch — crash, disconnect, kill — has its unanswered batches
+// re-dispatched to a healthy node, and a node that keeps failing is
+// quarantined with exponential backoff (sourceHealth) so the fleet
+// routes around it and probes it again later. Requests must be
+// wire-safe (Request.WireSafe); measurements depend only on request
+// content and the deterministic hidden physics, so any healthy node
+// produces the same bytes and re-dispatch never changes the output.
 type NetRunner struct {
 	// Nodes lists the serve-node addresses (host:port). Required.
 	Nodes []string
@@ -55,6 +59,17 @@ type NetRunner struct {
 	// DialTimeout bounds dial + handshake per connection attempt; 0
 	// means netDialTimeout.
 	DialTimeout time.Duration
+	// Batch caps requests per frame; 0 means DefaultBatch. Small grids
+	// use smaller batches automatically to keep every connection busy.
+	Batch int
+	// Pipeline is the window of outstanding batches per connection; 0
+	// means DefaultPipeline.
+	Pipeline int
+	// Codec forces the frame codec ("json" or "binary"); empty
+	// negotiates per connection from the node's advertisement. A forced
+	// codec a node does not speak poisons that node like a version
+	// mismatch.
+	Codec string
 
 	mu       sync.Mutex
 	started  bool
@@ -71,7 +86,7 @@ type NetRunner struct {
 }
 
 // netNode is the dispatcher's view of one serve node: its address, its
-// health, and a stack of idle connections ready for the next shard.
+// health, and a stack of idle connections ready for the next batch.
 type netNode struct {
 	addr   string
 	health sourceHealth
@@ -93,6 +108,10 @@ func (r *NetRunner) init() error {
 	r.started = true
 	if len(r.Nodes) == 0 {
 		r.startErr = errors.New("sweep: net runner needs at least one node address")
+		return r.startErr
+	}
+	if r.Codec != "" && !testbed.KnownCodec(r.Codec) {
+		r.startErr = fmt.Errorf("sweep: unknown frame codec %q", r.Codec)
 		return r.startErr
 	}
 	r.nodes = make([]*netNode, len(r.Nodes))
@@ -118,9 +137,9 @@ func (r *NetRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.
 	})
 }
 
-// Stream implements Runner: shards the batch across the fleet with the
-// same ordered-merge and lowest-index error semantics as every other
-// backend (it delegates aggregation to the in-process engine).
+// Stream implements Runner: batches the requests across the fleet with
+// the same ordered-merge and lowest-index error semantics as every
+// other backend (runBatches mirrors the in-process engine exactly).
 func (r *NetRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(idx int, m testbed.Measurement) error) error {
 	n := len(reqs)
 	if n == 0 {
@@ -134,75 +153,64 @@ func (r *NetRunner) Stream(ctx context.Context, reqs []testbed.Request, emit fun
 	if err := r.init(); err != nil {
 		return err
 	}
-	workers := len(r.nodes) * r.conns
-	if workers > n {
-		workers = n
+	attempts := 2 * len(r.nodes)
+	cfg := batchConfig{
+		sessions: len(r.nodes) * r.conns,
+		batch:    r.Batch,
+		depth:    r.Pipeline,
+		budget:   attempts,
+		source:   netSource{r},
+		givingUp: func(j *batchJob) error {
+			last := j.lastErr
+			if last == nil {
+				last = errors.New("every node quarantined after repeated failures")
+			}
+			return fmt.Errorf("sweep: shard %d failed after %d dispatch attempts across %d node(s): %w",
+				j.off, attempts, len(r.nodes), last)
+		},
 	}
-	return Stream(ctx, n, Options{Workers: workers},
-		func(fctx context.Context, sh Shard) (testbed.Measurement, error) {
-			return r.dispatch(fctx, sh.Index, reqs[sh.Index])
-		}, emit)
+	return runBatches(ctx, reqs, cfg, emit)
 }
 
-// dispatch round-trips one request through the fleet, re-dispatching the
-// shard to another node on worker failures until the attempt budget —
-// every node, twice — runs out. Request-level errors (a healthy node
-// rejecting the request) are deterministic and surface immediately; a
-// node whose handshake mismatches is poisoned and never retried.
-func (r *NetRunner) dispatch(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
-	attempts := 2 * len(r.nodes)
-	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return testbed.Measurement{}, err
-		}
-		node, wait, err := r.pickNode()
-		if err != nil {
-			return testbed.Measurement{}, noHealthySource(idx, err, lastErr)
-		}
-		if node == nil {
-			// Every node is cooling off; wait out the soonest quarantine
-			// (costing one attempt) instead of failing a recoverable
-			// fleet.
-			select {
-			case <-time.After(wait):
-				continue
-			case <-ctx.Done():
-				return testbed.Measurement{}, ctx.Err()
-			}
-		}
-		c, err := node.acquire(ctx, r)
-		if err != nil {
-			if ctx.Err() != nil {
-				return testbed.Measurement{}, ctx.Err()
-			}
-			if retryable(err) {
-				node.health.failure(time.Now(), err)
-			}
-			lastErr = err
-			continue
-		}
-		m, err := c.roundTrip(ctx, idx, req)
-		if err == nil {
-			node.health.success()
-			r.release(c)
-			return m, nil
-		}
-		c.destroy()
-		if ctx.Err() != nil {
-			return testbed.Measurement{}, ctx.Err()
-		}
-		if !retryable(err) {
-			return testbed.Measurement{}, err
-		}
-		node.health.failure(time.Now(), err)
-		lastErr = err
+// netSource checks fleet connections out for the batch dispatcher.
+type netSource struct{ r *NetRunner }
+
+// acquire picks a usable node and pops or dials a connection to it. A
+// fully poisoned fleet is terminal (every node rejected the handshake);
+// a fully quarantined one waits out the soonest release and consumes an
+// attempt; everything else — dial failures, broken handshakes, a poison
+// discovered on this very dial — consumes an attempt and lets the
+// dispatcher route the batch elsewhere.
+func (s netSource) acquire(cctx context.Context) (batchTransport, error) {
+	r := s.r
+	if err := cctx.Err(); err != nil {
+		return nil, &terminalError{err: err}
 	}
-	if lastErr == nil {
-		lastErr = errors.New("every node quarantined after repeated failures")
+	node, wait, err := r.pickNode()
+	if err != nil {
+		return nil, &terminalError{err: err, needsIdx: true}
 	}
-	return testbed.Measurement{}, fmt.Errorf("sweep: shard %d failed after %d dispatch attempts across %d node(s): %w",
-		idx, attempts, len(r.nodes), lastErr)
+	if node == nil {
+		// Every node is cooling off; wait out the soonest quarantine
+		// (costing one attempt) instead of failing a recoverable fleet.
+		select {
+		case <-time.After(wait):
+			return nil, errAllCooling
+		case <-cctx.Done():
+			return nil, &terminalError{err: cctx.Err()}
+		}
+	}
+	c, err := node.acquire(cctx, r)
+	if err != nil {
+		if cctx.Err() != nil {
+			return nil, &terminalError{err: cctx.Err()}
+		}
+		if retryable(err) {
+			node.health.failure(time.Now(), err)
+		}
+		return nil, err
+	}
+	return &netTransport{r: r, c: c}, nil
 }
 
 // pickNode returns the next usable node in round-robin order. With every
@@ -257,9 +265,11 @@ func (nd *netNode) acquire(ctx context.Context, r *NetRunner) (*netConn, error) 
 	return r.dialNode(ctx, nd)
 }
 
-// dialNode opens, keepalives, and handshakes one connection to a node.
-// Transport failures are retryable worker failures; a version mismatch
-// poisons the node permanently and surfaces as a non-retryable error.
+// dialNode opens, keepalives, handshakes, and codec-negotiates one
+// connection to a node. Transport failures are retryable worker
+// failures; a version mismatch — or a forced codec the node does not
+// advertise — poisons the node permanently and surfaces as a
+// non-retryable error.
 func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error) {
 	dctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
@@ -268,9 +278,10 @@ func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error)
 	if err != nil {
 		return nil, &workerFailure{fmt.Errorf("dial node %s: %w", nd.addr, err)}
 	}
-	c := &netConn{runner: r, node: nd, conn: conn, br: bufio.NewReader(conn)}
+	c := &netConn{runner: r, node: nd, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 	_ = conn.SetReadDeadline(time.Now().Add(r.timeout))
-	switch _, err := testbed.ReadHello(c.br); {
+	h, err := testbed.ReadHello(c.br)
+	switch {
 	case errors.Is(err, testbed.ErrVersionMismatch):
 		c.close()
 		perr := fmt.Errorf("sweep: node %s rejected: %w", nd.addr, err)
@@ -279,6 +290,25 @@ func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error)
 	case err != nil:
 		c.close()
 		return nil, &workerFailure{fmt.Errorf("node %s: no handshake: %w", nd.addr, err)}
+	}
+	codec := r.Codec
+	if codec == "" {
+		codec = h.PickCodec()
+	} else if !h.Supports(codec) {
+		c.close()
+		perr := fmt.Errorf("sweep: node %s rejected: %w",
+			nd.addr, fmt.Errorf("%w: node does not speak codec %q", testbed.ErrVersionMismatch, codec))
+		nd.health.poisonWith(perr)
+		return nil, perr
+	}
+	c.codec = codec
+	if err := testbed.WriteFrame(c.bw, testbed.WireStart{Codec: codec}); err != nil {
+		c.close()
+		return nil, &workerFailure{fmt.Errorf("node %s: start: %w", nd.addr, err)}
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.close()
+		return nil, &workerFailure{fmt.Errorf("node %s: start: %w", nd.addr, err)}
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	r.liveMu.Lock()
@@ -334,51 +364,64 @@ func (r *NetRunner) Close() error {
 	return nil
 }
 
-// netConn is one live dispatcher connection to a serve node.
+// netConn is one live dispatcher connection to a serve node,
+// post-handshake.
 type netConn struct {
 	runner    *NetRunner
 	node      *netNode
 	conn      net.Conn
 	br        *bufio.Reader
+	bw        *bufio.Writer
+	codec     string
 	closeOnce sync.Once
 }
 
-// roundTrip sends one request and awaits its response. Cancelation
-// closes the connection to unblock the in-flight read, so a canceled
-// shard returns promptly instead of hanging on a socket.
-func (c *netConn) roundTrip(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
-	type rt struct {
-		m   testbed.Measurement
-		err error
-	}
-	done := make(chan rt, 1)
-	go func() {
-		if err := testbed.WriteFrame(c.conn, testbed.WireRequest{ID: idx, Req: req}); err != nil {
-			done <- rt{err: &workerFailure{fmt.Errorf("node %s: write: %w", c.node.addr, err)}}
-			return
-		}
-		var resp testbed.WireResponse
-		if err := testbed.ReadFrame(c.br, &resp); err != nil {
-			done <- rt{err: &workerFailure{fmt.Errorf("node %s died mid-shard (read failed: %v)", c.node.addr, err)}}
-			return
-		}
-		switch {
-		case resp.ID != idx:
-			done <- rt{err: &workerFailure{fmt.Errorf("node %s answered id %d to request %d", c.node.addr, resp.ID, idx)}}
-		case resp.Err != "":
-			done <- rt{err: fmt.Errorf("node %s: %s", c.node.addr, sanitizeLine(resp.Err))}
-		default:
-			done <- rt{m: resp.M}
-		}
-	}()
-	select {
-	case r := <-done:
-		return r.m, r.err
-	case <-ctx.Done():
-		c.destroy()
-		return testbed.Measurement{}, ctx.Err()
-	}
+// netTransport adapts one fleet connection to the batch dispatcher.
+type netTransport struct {
+	r *NetRunner
+	c *netConn
 }
+
+func (t *netTransport) send(b testbed.WireBatch) error {
+	if err := testbed.WriteFrameCodec(t.c.bw, t.c.codec, b); err != nil {
+		return &workerFailure{fmt.Errorf("node %s: write: %w", t.c.node.addr, err)}
+	}
+	if err := t.c.bw.Flush(); err != nil {
+		return &workerFailure{fmt.Errorf("node %s: write: %w", t.c.node.addr, err)}
+	}
+	return nil
+}
+
+func (t *netTransport) recv() (testbed.WireBatchResult, error) {
+	var res testbed.WireBatchResult
+	if err := testbed.ReadFrameCodec(t.c.br, t.c.codec, &res); err != nil {
+		return res, &workerFailure{fmt.Errorf("node %s died mid-shard (read failed: %v)", t.c.node.addr, err)}
+	}
+	return res, nil
+}
+
+func (t *netTransport) success() { t.c.node.health.success() }
+
+func (t *netTransport) reject(msg string) error {
+	// Request-level rejection from a healthy node: deterministic, never
+	// retried.
+	return fmt.Errorf("node %s: %s", t.c.node.addr, sanitizeLine(msg))
+}
+
+func (t *netTransport) corrupt(format string, args ...any) error {
+	return &workerFailure{fmt.Errorf("node %s %s", t.c.node.addr, fmt.Sprintf(format, args...))}
+}
+
+func (t *netTransport) park() { t.r.release(t.c) }
+
+func (t *netTransport) fail(cause error) {
+	t.c.node.health.failure(time.Now(), cause)
+	t.c.destroy()
+}
+
+func (t *netTransport) abort() { t.c.destroy() }
+
+func (t *netTransport) destroy() { t.c.destroy() }
 
 // close shuts the socket (idempotent).
 func (c *netConn) close() {

@@ -39,6 +39,31 @@ func startServeNode(t *testing.T) string {
 	return ln.Addr().String()
 }
 
+// startJSONOnlyNode runs a worker-fleet node restricted to the JSON
+// codec — the mixed-fleet fixture.
+func startJSONOnlyNode(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = testbed.ServeListenerOpts(ctx, ln, nil, testbed.ServeOptions{JSONOnly: true})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("JSON-only node did not shut down")
+		}
+	})
+	return ln.Addr().String()
+}
+
 // startRawNode runs a hand-rolled node whose per-connection behaviour is
 // supplied by the test — the tool for simulating crashes, version skew,
 // and protocol abuse.
@@ -123,8 +148,13 @@ func TestNetRunnerRedispatchOnNodeDeath(t *testing.T) {
 		if err := testbed.WriteFrame(conn, testbed.Hello()); err != nil {
 			return
 		}
-		var req testbed.WireRequest
-		if err := testbed.ReadFrame(bufio.NewReader(conn), &req); err == nil {
+		br := bufio.NewReader(conn)
+		var start testbed.WireStart
+		if err := testbed.ReadFrame(br, &start); err != nil {
+			return
+		}
+		var b testbed.WireBatch
+		if err := testbed.ReadFrameCodec(br, start.Codec, &b); err == nil {
 			killed.Add(1)
 		}
 		// Die mid-shard: the dispatcher is left awaiting a response.
@@ -188,6 +218,75 @@ func TestNetRunnerHandshakeMismatchRejected(t *testing.T) {
 	}
 }
 
+// TestNetRunnerMixedCodecFleet pins the mixed-fleet guarantee: a fleet
+// where one node only speaks JSON while the others negotiate binary
+// produces measurements bit-identical to the in-process pool — the
+// codec is a per-connection transport detail, invisible in the output.
+func TestNetRunnerMixedCodecFleet(t *testing.T) {
+	reqs := testRequests(t, 4)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := &NetRunner{
+		Nodes:        []string{startServeNode(t), startJSONOnlyNode(t), startServeNode(t)},
+		ConnsPerNode: 1,
+		Batch:        2,
+	}
+	defer nr.Close()
+	got, err := nr.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("mixed-codec fleet failed: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mixed-codec point %d diverges from pool", i)
+		}
+	}
+}
+
+// TestNetRunnerForcedCodecMismatch pins the forced-codec gate: a
+// dispatcher pinned to the binary codec treats a JSON-only node like a
+// version mismatch — poisoned alone, routed around in a mixed fleet.
+func TestNetRunnerForcedCodecMismatch(t *testing.T) {
+	reqs := testRequests(t, 2)
+	jsonOnly := startJSONOnlyNode(t)
+
+	alone := &NetRunner{Nodes: []string{jsonOnly}, Codec: testbed.CodecBinary}
+	defer alone.Close()
+	_, err := alone.Run(context.Background(), reqs)
+	if !errors.Is(err, testbed.ErrVersionMismatch) {
+		t.Fatalf("forced-codec fleet error = %v, want ErrVersionMismatch", err)
+	}
+	for _, want := range []string{jsonOnly, `does not speak codec "binary"`, "rejected"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("forced-codec error missing %q: %v", want, err)
+		}
+	}
+
+	mixed := &NetRunner{Nodes: []string{jsonOnly, startServeNode(t)}, Codec: testbed.CodecBinary}
+	defer mixed.Close()
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mixed.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("mixed fleet must route around the JSON-only node: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mixed-fleet point %d diverges", i)
+		}
+	}
+
+	bogus := &NetRunner{Nodes: []string{jsonOnly}, Codec: "protobuf"}
+	defer bogus.Close()
+	if _, err := bogus.Run(context.Background(), reqs); err == nil || !strings.Contains(err.Error(), `unknown frame codec "protobuf"`) {
+		t.Fatalf("unknown codec error = %v", err)
+	}
+}
+
 // TestNetRunnerCancelMidShard pins mid-shard cancelation: canceling the
 // context while shards are awaiting node responses must close the
 // in-flight connections — observed from the node side — and return
@@ -200,14 +299,23 @@ func TestNetRunnerCancelMidShard(t *testing.T) {
 			return
 		}
 		br := bufio.NewReader(conn)
-		var req testbed.WireRequest
-		if err := testbed.ReadFrame(br, &req); err != nil {
+		var start testbed.WireStart
+		if err := testbed.ReadFrame(br, &start); err != nil {
 			return
 		}
-		// Simulate a node stuck in a long measurement: never answer,
-		// block until the dispatcher closes the connection.
-		_ = testbed.ReadFrame(br, &req)
-		unblocked <- struct{}{}
+		// Simulate a node stuck in a long measurement: accept batches,
+		// never answer, block until the dispatcher closes the connection.
+		got := false
+		for {
+			var b testbed.WireBatch
+			if err := testbed.ReadFrameCodec(br, start.Codec, &b); err != nil {
+				break
+			}
+			got = true
+		}
+		if got {
+			unblocked <- struct{}{}
+		}
 	})
 	nr := &NetRunner{Nodes: []string{slow}, ConnsPerNode: 2}
 	defer nr.Close()

@@ -20,18 +20,21 @@ import (
 // ErrRunnerClosed indicates use of a dispatching backend after Close.
 var ErrRunnerClosed = errors.New("sweep: runner closed")
 
-// procShardAttempts bounds how many workers one shard may consume: a
-// crashed worker's shard is re-dispatched once to a fresh subprocess —
-// riding out a one-off death (OOM kill, operator mistake) — while a
-// command that crashes on every request still fails the sweep with the
-// second worker's descriptive error instead of spawning forever.
+// procShardAttempts bounds how many workers one batch may consume: a
+// crashed worker's unanswered batches are re-dispatched once to a fresh
+// subprocess — riding out a one-off death (OOM kill, operator mistake) —
+// while a command that crashes on every batch still fails the sweep with
+// the second worker's descriptive error instead of spawning forever.
 const procShardAttempts = 2
 
 // ProcRunner executes requests across worker subprocesses speaking the
-// length-delimited JSON protocol of internal/testbed over stdin/stdout.
-// Workers start lazily on first use and persist across Run/Stream calls
-// (Close reaps them); a worker that crashes or is killed mid-shard is
-// replaced and its shard re-dispatched to a fresh worker
+// batched frame protocol of internal/testbed over stdin/stdout. Workers
+// start lazily on first use — handshaking versions and negotiating the
+// frame codec at spawn — and persist across Run/Stream calls (Close
+// reaps them); requests ride in multi-request WireBatch frames with up
+// to Pipeline batches outstanding per worker, so a worker never idles
+// between frames. A worker that crashes or is killed mid-batch is
+// replaced and its unanswered batches re-dispatched to a fresh worker
 // (procShardAttempts), surfacing a descriptive error carrying the exit
 // status and stderr tail — never a hang — when the retry fails too.
 // Repeated consecutive failures quarantine the spawn source with backoff
@@ -40,9 +43,8 @@ const procShardAttempts = 2
 //
 // Requests must be wire-safe (Request.WireSafe); measurements depend only
 // on request content and the deterministic hidden physics, so a proc
-// sweep reproduces an in-process pool sweep bit for bit — JSON encodes
-// float64 values with shortest-round-trip precision, losing nothing
-// across the boundary.
+// sweep reproduces an in-process pool sweep bit for bit — both the JSON
+// and binary codecs carry float64 values losslessly across the boundary.
 type ProcRunner struct {
 	// Procs is the number of worker subprocesses; 0 or negative means
 	// GOMAXPROCS.
@@ -54,6 +56,15 @@ type ProcRunner struct {
 	Command []string
 	// Env appends to the inherited environment of each worker.
 	Env []string
+	// Batch caps requests per frame; 0 means DefaultBatch. Small grids
+	// use smaller batches automatically to keep every worker busy.
+	Batch int
+	// Pipeline is the window of outstanding batches per worker; 0 means
+	// DefaultPipeline.
+	Pipeline int
+	// Codec forces the frame codec ("json" or "binary"); empty
+	// negotiates the densest codec the worker advertises.
+	Codec string
 
 	mu       sync.Mutex
 	started  bool
@@ -80,6 +91,10 @@ func (p *ProcRunner) init() error {
 		return p.startErr
 	}
 	p.started = true
+	if p.Codec != "" && !testbed.KnownCodec(p.Codec) {
+		p.startErr = fmt.Errorf("sweep: unknown frame codec %q", p.Codec)
+		return p.startErr
+	}
 	p.argv = p.Command
 	if len(p.argv) == 0 {
 		exe, err := os.Executable()
@@ -108,9 +123,9 @@ func (p *ProcRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed
 	})
 }
 
-// Stream implements Runner: shards the batch across the subprocess pool
-// with the same ordered-merge and lowest-index error semantics as the
-// in-process engine (which it delegates aggregation to).
+// Stream implements Runner: batches the requests across the subprocess
+// pool with the same ordered-merge and lowest-index error semantics as
+// the in-process engine (runBatches mirrors it exactly).
 func (p *ProcRunner) Stream(ctx context.Context, reqs []testbed.Request, emit func(idx int, m testbed.Measurement) error) error {
 	n := len(reqs)
 	if n == 0 {
@@ -124,60 +139,36 @@ func (p *ProcRunner) Stream(ctx context.Context, reqs []testbed.Request, emit fu
 	if err := p.init(); err != nil {
 		return err
 	}
-	workers := p.procs
-	if workers > n {
-		workers = n
+	cfg := batchConfig{
+		sessions: p.procs,
+		batch:    p.Batch,
+		depth:    p.Pipeline,
+		budget:   procShardAttempts,
+		source:   procSource{p},
+		givingUp: func(j *batchJob) error {
+			return fmt.Errorf("sweep: shard %d: giving up after %d workers failed: %w",
+				j.off, procShardAttempts, j.lastErr)
+		},
 	}
-	return Stream(ctx, n, Options{Workers: workers},
-		func(fctx context.Context, sh Shard) (testbed.Measurement, error) {
-			return p.dispatch(fctx, sh.Index, reqs[sh.Index])
-		}, emit)
+	return runBatches(ctx, reqs, cfg, emit)
 }
 
-// dispatch round-trips one request through the subprocess pool. A
-// healthy round trip returns the worker to the pool; a worker failure
-// (crash, kill, protocol corruption) destroys the worker, frees its slot
-// so the next checkout spawns a replacement, and re-dispatches the shard
-// to a fresh worker up to procShardAttempts. Request-level errors — the
-// worker correctly rejecting the request — are deterministic and surface
-// immediately (the worker is still replaced: its protocol state is
-// certain, its process state is not worth trusting).
-func (p *ProcRunner) dispatch(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
-	var lastErr error
-	for attempt := 0; attempt < procShardAttempts; attempt++ {
-		w, err := p.checkout(ctx)
-		if err != nil {
-			return testbed.Measurement{}, err
-		}
-		m, err := w.roundTrip(ctx, idx, req)
-		if err == nil {
-			p.health.success()
-			p.pool <- w
-			return m, nil
-		}
-		w.destroy()
-		p.pool <- nil
-		if ctx.Err() != nil {
-			return testbed.Measurement{}, ctx.Err()
-		}
-		if !retryable(err) {
-			return testbed.Measurement{}, err
-		}
-		p.health.failure(time.Now(), err)
-		lastErr = err
-	}
-	return testbed.Measurement{}, fmt.Errorf("sweep: shard %d: giving up after %d workers failed: %w",
-		idx, procShardAttempts, lastErr)
-}
+// procSource checks worker subprocesses out of the pool for the batch
+// dispatcher.
+type procSource struct{ p *ProcRunner }
 
-// checkout acquires a pool slot, spawning a worker if the slot is empty.
-// A quarantined spawn source fails fast instead of hot-looping respawns
-// of a command that keeps dying.
-func (p *ProcRunner) checkout(ctx context.Context) (*workerProc, error) {
+// acquire takes a pool slot, spawning and handshaking a worker if the
+// slot is empty. A quarantined spawn source, a spawn failure, and a
+// version or codec mismatch fail the sweep outright (terminalError) — a
+// command that cannot produce a compatible worker will not produce one
+// on retry either — while a handshake that dies mid-read (the worker
+// crashed at startup) consumes a retry attempt like any other crash.
+func (s procSource) acquire(cctx context.Context) (batchTransport, error) {
+	p := s.p
 	select {
 	case w := <-p.pool:
 		if w != nil {
-			return w, nil
+			return &procTransport{p: p, w: w}, nil
 		}
 		if wait := p.health.quarantinedFor(time.Now()); wait > 0 {
 			p.pool <- nil
@@ -189,17 +180,29 @@ func (p *ProcRunner) checkout(ctx context.Context) (*workerProc, error) {
 			if last := p.health.lastFailure(); last != nil {
 				err = fmt.Errorf("%w; last: %w", err, last)
 			}
-			return nil, err
+			return nil, &terminalError{err: err}
 		}
 		nw, err := p.startWorker()
 		if err != nil {
 			p.pool <- nil
 			p.health.failure(time.Now(), err)
+			return nil, &terminalError{err: err}
+		}
+		if err := p.handshake(cctx, nw); err != nil {
+			nw.destroy()
+			p.pool <- nil
+			if cctx.Err() != nil {
+				return nil, &terminalError{err: cctx.Err()}
+			}
+			p.health.failure(time.Now(), err)
+			if errors.Is(err, testbed.ErrVersionMismatch) {
+				return nil, &terminalError{err: err}
+			}
 			return nil, err
 		}
-		return nw, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		return &procTransport{p: p, w: nw}, nil
+	case <-cctx.Done():
+		return nil, &terminalError{err: cctx.Err()}
 	}
 }
 
@@ -228,11 +231,13 @@ func (p *ProcRunner) Close() error {
 	return nil
 }
 
-// workerProc is one live worker subprocess.
+// workerProc is one live worker subprocess, post-handshake.
 type workerProc struct {
 	id       int64
+	codec    string
 	cmd      *exec.Cmd
 	stdin    io.WriteCloser
+	bw       *bufio.Writer
 	stdout   *bufio.Reader
 	stderr   *tailWriter
 	waitErr  error
@@ -262,6 +267,7 @@ func (p *ProcRunner) startWorker() (*workerProc, error) {
 		return nil, fmt.Errorf("sweep: start worker %d (%s): %w", w.id, strings.Join(p.argv, " "), err)
 	}
 	w.cmd, w.stdin, w.stdout = cmd, stdin, bufio.NewReader(stdout)
+	w.bw = bufio.NewWriter(stdin)
 	go func() {
 		w.waitErr = cmd.Wait()
 		close(w.waitDone)
@@ -269,45 +275,102 @@ func (p *ProcRunner) startWorker() (*workerProc, error) {
 	return w, nil
 }
 
-// roundTrip sends one request and awaits its response. Cancelation kills
-// the worker to unblock the in-flight read, so a canceled shard returns
-// promptly instead of hanging on a pipe.
-func (w *workerProc) roundTrip(ctx context.Context, idx int, req testbed.Request) (testbed.Measurement, error) {
-	type rt struct {
-		m   testbed.Measurement
+// handshake reads the fresh worker's hello, verifies the protocol and
+// physics versions, picks the frame codec, and sends the start frame.
+// It runs under the sweep context so cancelation kills the worker
+// instead of wedging on a dead pipe.
+func (p *ProcRunner) handshake(cctx context.Context, w *workerProc) error {
+	type hs struct {
+		h   testbed.WireHello
 		err error
 	}
-	done := make(chan rt, 1)
+	done := make(chan hs, 1)
 	go func() {
-		if err := testbed.WriteFrame(w.stdin, testbed.WireRequest{ID: idx, Req: req}); err != nil {
-			done <- rt{err: w.ioErr("write", err)}
-			return
-		}
-		var resp testbed.WireResponse
-		if err := testbed.ReadFrame(w.stdout, &resp); err != nil {
-			done <- rt{err: w.ioErr("read", err)}
-			return
-		}
-		switch {
-		case resp.ID != idx:
-			// Protocol corruption: the worker is broken, not the request.
-			done <- rt{err: &workerFailure{fmt.Errorf("worker %d answered id %d to request %d", w.id, resp.ID, idx)}}
-		case resp.Err != "":
-			// Request-level rejection from a healthy worker: deterministic,
-			// never retried.
-			done <- rt{err: fmt.Errorf("worker %d: %s", w.id, sanitizeLine(resp.Err))}
-		default:
-			done <- rt{m: resp.M}
-		}
+		h, err := testbed.ReadHello(w.stdout)
+		done <- hs{h, err}
 	}()
+	var h testbed.WireHello
 	select {
 	case r := <-done:
-		return r.m, r.err
-	case <-ctx.Done():
+		if r.err != nil {
+			if errors.Is(r.err, testbed.ErrVersionMismatch) {
+				return fmt.Errorf("sweep: worker %d rejected: %w", w.id, r.err)
+			}
+			return w.ioErr("handshake", r.err)
+		}
+		h = r.h
+	case <-cctx.Done():
 		w.kill()
-		return testbed.Measurement{}, ctx.Err()
+		return cctx.Err()
 	}
+	codec := p.Codec
+	if codec == "" {
+		codec = h.PickCodec()
+	} else if !h.Supports(codec) {
+		return fmt.Errorf("sweep: worker %d does not speak codec %q: %w",
+			w.id, codec, testbed.ErrVersionMismatch)
+	}
+	if err := testbed.WriteFrame(w.bw, testbed.WireStart{Codec: codec}); err != nil {
+		return w.ioErr("start", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return w.ioErr("start", err)
+	}
+	w.codec = codec
+	return nil
 }
+
+// procTransport adapts one worker subprocess to the batch dispatcher.
+type procTransport struct {
+	p *ProcRunner
+	w *workerProc
+}
+
+func (t *procTransport) send(b testbed.WireBatch) error {
+	if err := testbed.WriteFrameCodec(t.w.bw, t.w.codec, b); err != nil {
+		return t.w.ioErr("write", err)
+	}
+	if err := t.w.bw.Flush(); err != nil {
+		return t.w.ioErr("write", err)
+	}
+	return nil
+}
+
+func (t *procTransport) recv() (testbed.WireBatchResult, error) {
+	var res testbed.WireBatchResult
+	if err := testbed.ReadFrameCodec(t.w.stdout, t.w.codec, &res); err != nil {
+		return res, t.w.ioErr("read", err)
+	}
+	return res, nil
+}
+
+func (t *procTransport) success() { t.p.health.success() }
+
+func (t *procTransport) reject(msg string) error {
+	// Request-level rejection from a healthy worker: deterministic,
+	// never retried.
+	return fmt.Errorf("worker %d: %s", t.w.id, sanitizeLine(msg))
+}
+
+func (t *procTransport) corrupt(format string, args ...any) error {
+	// Protocol corruption: the worker is broken, not the request.
+	return &workerFailure{fmt.Errorf("worker %d %s", t.w.id, fmt.Sprintf(format, args...))}
+}
+
+func (t *procTransport) park() { t.p.pool <- t.w }
+
+func (t *procTransport) fail(cause error) {
+	t.p.health.failure(time.Now(), cause)
+	t.w.destroy()
+	t.p.pool <- nil
+}
+
+func (t *procTransport) abort() {
+	t.w.destroy()
+	t.p.pool <- nil
+}
+
+func (t *procTransport) destroy() { t.w.kill() }
 
 // ioErr builds the descriptive error for a broken worker pipe: if the
 // process has (or promptly) exited, report its status and stderr tail;

@@ -113,6 +113,49 @@ func TestProcRunnerMatchesPool(t *testing.T) {
 	}
 }
 
+// TestProcRunnerBatchPipelineConfigs pins the tuning contract: any
+// batch size, pipeline depth, and frame codec produce the same
+// measurements bit for bit — the knobs change wire traffic, never
+// output.
+func TestProcRunnerBatchPipelineConfigs(t *testing.T) {
+	reqs := testRequests(t, 2)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []ProcRunner{
+		{Procs: 1, Batch: 1, Pipeline: 1},
+		{Procs: 2, Batch: 2, Pipeline: 3},
+		{Procs: 3, Batch: 64, Pipeline: 2},
+		{Procs: 2, Codec: testbed.CodecJSON},
+		{Procs: 2, Codec: testbed.CodecBinary, Batch: 1},
+	}
+	for i := range configs {
+		pr := &configs[i]
+		got, err := pr.Run(context.Background(), reqs)
+		pr.Close()
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("config %d point %d diverges from pool", i, j)
+			}
+		}
+	}
+}
+
+// TestProcRunnerRejectsUnknownCodec pins the config validation: a codec
+// this binary does not implement fails fast, before any worker spawns.
+func TestProcRunnerRejectsUnknownCodec(t *testing.T) {
+	pr := &ProcRunner{Procs: 1, Codec: "protobuf"}
+	defer pr.Close()
+	_, err := pr.Run(context.Background(), testRequests(t, 1))
+	if err == nil || !strings.Contains(err.Error(), `unknown frame codec "protobuf"`) {
+		t.Fatalf("unknown codec error = %v", err)
+	}
+}
+
 // TestProcRunnerStreamsInOrder checks prefix-ordered delivery and pool
 // reuse across calls on one persistent runner.
 func TestProcRunnerStreamsInOrder(t *testing.T) {
@@ -138,14 +181,14 @@ func TestProcRunnerStreamsInOrder(t *testing.T) {
 }
 
 // TestProcRunnerWorkerCrash pins crash recovery: a worker that dies
-// mid-shard must surface a descriptive error — exit status and stderr
-// included — not hang the sweep.
+// without ever completing its handshake must surface a descriptive
+// error — exit status and stderr included — not hang the sweep.
 func TestProcRunnerWorkerCrash(t *testing.T) {
 	requireSh(t)
 	reqs := testRequests(t, 2)
 	pr := &ProcRunner{
 		Procs:   2,
-		Command: []string{"sh", "-c", "echo boom >&2; head -c 4 >/dev/null; exit 9"},
+		Command: []string{"sh", "-c", "echo boom >&2; exit 9"},
 	}
 	defer pr.Close()
 

@@ -1,0 +1,330 @@
+package testbed
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// The compact binary codec for the hot frame types (WireBatch,
+// WireBatchResult, WireResult, and everything they embed). Encoding is
+// reflection-driven over the exported fields in struct order — the same
+// field set and order encoding/json uses — so the codec cannot drift
+// from the wire structs: a field added to Request or Measurement is
+// carried automatically, and the cross-codec property test
+// (TestBinaryMatchesJSONDecode) pins binary-decode == JSON-decode for
+// every wire type.
+//
+// Layout, per value:
+//
+//	bool            1 byte (0/1)
+//	int*            zigzag varint
+//	uint*           uvarint
+//	float64         8-byte little-endian IEEE 754 bits (exact — no
+//	                formatting, so decoded values match JSON's
+//	                shortest-round-trip floats bit for bit)
+//	string, []byte  uvarint length + bytes
+//	pointer, slice  presence byte (0 = nil) + contents (slices add a
+//	                uvarint element count; nil and empty stay distinct,
+//	                matching encoding/json's null vs [])
+//	struct          fields in order, no names
+//	map             uvarint length + canonical JSON bytes (maps have no
+//	                deterministic binary order; stats.Sketch buckets ride
+//	                as JSON, whose map-key sorting is deterministic)
+//	interface       presence byte, nil only (process-local values such
+//	                as path-loss models are rejected — Request.WireSafe
+//	                gates them off the wire in the first place)
+//
+// Decoding is allocation-bounded: every length and element count is
+// checked against the bytes actually remaining before anything is
+// allocated, so a hostile frame can cost at most its own size
+// (FuzzBinaryFrame exercises this).
+
+// errBinary indicates a malformed or unsupported binary encoding.
+var errBinary = errors.New("testbed: bad binary encoding")
+
+// EncodeBinary encodes v (a wire struct or pointer to one) in the
+// compact binary codec.
+func EncodeBinary(v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("%w: nil value", errBinary)
+		}
+		rv = rv.Elem()
+	}
+	return appendBinary(nil, rv)
+}
+
+// DecodeBinary decodes a compact binary payload into v, which must be a
+// non-nil pointer. Trailing garbage after a complete value is rejected.
+func DecodeBinary(data []byte, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("%w: decode target must be a non-nil pointer", errBinary)
+	}
+	d := &binDecoder{data: data}
+	if err := d.value(rv.Elem()); err != nil {
+		return err
+	}
+	if d.off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes", errBinary, len(data)-d.off)
+	}
+	return nil
+}
+
+func appendBinary(buf []byte, rv reflect.Value) ([]byte, error) {
+	switch rv.Kind() {
+	case reflect.Bool:
+		if rv.Bool() {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return binary.AppendVarint(buf, rv.Int()), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return binary.AppendUvarint(buf, rv.Uint()), nil
+	case reflect.Float64:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rv.Float())), nil
+	case reflect.String:
+		s := rv.String()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		return append(buf, s...), nil
+	case reflect.Slice:
+		if rv.IsNil() {
+			return append(buf, 0), nil
+		}
+		buf = append(buf, 1)
+		n := rv.Len()
+		buf = binary.AppendUvarint(buf, uint64(n))
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			return append(buf, rv.Bytes()...), nil
+		}
+		var err error
+		for i := 0; i < n; i++ {
+			if buf, err = appendBinary(buf, rv.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return append(buf, 0), nil
+		}
+		return appendBinary(append(buf, 1), rv.Elem())
+	case reflect.Struct:
+		t := rv.Type()
+		var err error
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			if buf, err = appendBinary(buf, rv.Field(i)); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case reflect.Map:
+		blob, err := json.Marshal(rv.Interface())
+		if err != nil {
+			return nil, fmt.Errorf("%w: map field: %v", errBinary, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		return append(buf, blob...), nil
+	case reflect.Interface:
+		if !rv.IsNil() {
+			return nil, fmt.Errorf("%w: non-nil interface field %s is process-local and cannot cross a worker boundary",
+				errBinary, rv.Type())
+		}
+		return append(buf, 0), nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported kind %s", errBinary, rv.Kind())
+	}
+}
+
+type binDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *binDecoder) remaining() int { return len(d.data) - d.off }
+
+func (d *binDecoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("%w: truncated", errBinary)
+	}
+	b := d.data[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *binDecoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", errBinary)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *binDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", errBinary)
+	}
+	d.off += n
+	return v, nil
+}
+
+// length reads a uvarint length and bounds it by the remaining bytes, so
+// a hostile declared length never drives an allocation larger than the
+// input itself.
+func (d *binDecoder) length() (int, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > uint64(d.remaining()) {
+		return 0, fmt.Errorf("%w: declared length %d exceeds %d remaining bytes", errBinary, u, d.remaining())
+	}
+	return int(u), nil
+}
+
+func (d *binDecoder) take(n int) []byte {
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *binDecoder) value(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Bool:
+		b, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			return fmt.Errorf("%w: bad bool byte %d", errBinary, b)
+		}
+		rv.SetBool(b == 1)
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v, err := d.varint()
+		if err != nil {
+			return err
+		}
+		if rv.OverflowInt(v) {
+			return fmt.Errorf("%w: %d overflows %s", errBinary, v, rv.Type())
+		}
+		rv.SetInt(v)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if rv.OverflowUint(u) {
+			return fmt.Errorf("%w: %d overflows %s", errBinary, u, rv.Type())
+		}
+		rv.SetUint(u)
+		return nil
+	case reflect.Float64:
+		if d.remaining() < 8 {
+			return fmt.Errorf("%w: truncated float", errBinary)
+		}
+		rv.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(d.take(8))))
+		return nil
+	case reflect.String:
+		n, err := d.length()
+		if err != nil {
+			return err
+		}
+		rv.SetString(string(d.take(n)))
+		return nil
+	case reflect.Slice:
+		p, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if p == 0 {
+			rv.SetZero()
+			return nil
+		}
+		if p != 1 {
+			return fmt.Errorf("%w: bad presence byte %d", errBinary, p)
+		}
+		n, err := d.length()
+		if err != nil {
+			return err
+		}
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			b := make([]byte, n)
+			copy(b, d.take(n))
+			rv.SetBytes(b)
+			return nil
+		}
+		// Grow incrementally so allocation tracks the bytes actually
+		// decoded, not a hostile declared count.
+		s := reflect.MakeSlice(rv.Type(), 0, 0)
+		elem := reflect.New(rv.Type().Elem()).Elem()
+		for i := 0; i < n; i++ {
+			elem.SetZero()
+			if err := d.value(elem); err != nil {
+				return err
+			}
+			s = reflect.Append(s, elem)
+		}
+		rv.Set(s)
+		return nil
+	case reflect.Pointer:
+		p, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if p == 0 {
+			rv.SetZero()
+			return nil
+		}
+		if p != 1 {
+			return fmt.Errorf("%w: bad presence byte %d", errBinary, p)
+		}
+		rv.Set(reflect.New(rv.Type().Elem()))
+		return d.value(rv.Elem())
+	case reflect.Struct:
+		t := rv.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			if err := d.value(rv.Field(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Map:
+		n, err := d.length()
+		if err != nil {
+			return err
+		}
+		rv.SetZero() // json.Unmarshal merges into an existing map; decode must not
+		if err := json.Unmarshal(d.take(n), rv.Addr().Interface()); err != nil {
+			return fmt.Errorf("%w: map field: %v", errBinary, err)
+		}
+		return nil
+	case reflect.Interface:
+		p, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if p != 0 {
+			return fmt.Errorf("%w: non-nil interface field %s on the wire", errBinary, rv.Type())
+		}
+		rv.SetZero()
+		return nil
+	default:
+		return fmt.Errorf("%w: unsupported kind %s", errBinary, rv.Kind())
+	}
+}

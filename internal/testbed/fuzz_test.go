@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 )
 
@@ -25,12 +26,13 @@ func frameBytes(t testing.TB, v any) []byte {
 // attacker's length prefix rather than by the bytes actually present.
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0})                   // truncated header
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff})    // length beyond MaxFrameBytes
-	f.Add([]byte{0, 0, 0, 4, '{', '}'})      // truncated payload
-	f.Add([]byte{0, 0, 0, 2, 'n', 'o'})      // invalid JSON
-	f.Add(frameBytes(f, Hello()))            // valid handshake frame
-	f.Add(frameBytes(f, WireRequest{ID: 3})) // valid request frame
+	f.Add([]byte{0, 0, 0})                 // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})  // length beyond MaxFrameBytes
+	f.Add([]byte{0, 0, 0, 4, '{', '}'})    // truncated payload
+	f.Add([]byte{0, 0, 0, 2, 'n', 'o'})    // invalid JSON
+	f.Add(frameBytes(f, Hello()))          // valid handshake frame
+	f.Add(frameBytes(f, WireBatch{ID: 3})) // valid batch frame
+	f.Add(frameBytes(f, WireBatchResult{ID: 3, Items: []WireItem{{Err: "x"}}}))
 	// A frame declaring the maximum length but delivering ten bytes: the
 	// over-allocation regression case.
 	huge := []byte{0, 0, 127, 255, 'x', 'x', 'x', 'x', 'x', 'x'}
@@ -82,6 +84,137 @@ func FuzzWireHello(f *testing.F) {
 			t.Fatalf("unexpected error class: %v", err)
 		}
 	})
+}
+
+// binFrameBytes encodes v as one binary-codec wire frame for seeding.
+func binFrameBytes(t testing.TB, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrameCodec(&buf, CodecBinary, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzBinaryFrame feeds the binary-codec frame decoder arbitrary byte
+// streams, mirroring FuzzReadFrame for the JSON codec: hostile length
+// prefixes, truncated payloads, and garbage encodings must surface as
+// clean protocol errors — never a panic, never an allocation sized by a
+// declared length rather than the bytes present. Accepted inputs must
+// be stable: encoding the decoded value yields a canonical form that
+// round-trips to itself byte for byte. (The first encoding need not
+// equal the input — varints have non-minimal spellings — and DeepEqual
+// is no use here because NaN != NaN; canonical-form equality pins both.)
+func FuzzBinaryFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // length beyond MaxFrameBytes
+	f.Add([]byte{0, 0, 0, 4, 1, 2})       // truncated payload
+	f.Add(binFrameBytes(f, WireBatch{ID: 3}))
+	f.Add(binFrameBytes(f, WireBatch{ID: 0, Reqs: []Request{{Trials: 2, Seed: 9}}}))
+	f.Add(binFrameBytes(f, WireBatchResult{ID: 1, Items: []WireItem{{Err: "trial count"}}}))
+	// A declared slice count far beyond the frame's bytes: the
+	// over-allocation regression case for the binary decoder.
+	f.Add([]byte{0, 0, 0, 6, 1, 1, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, probe := range []func() (any, error){
+			func() (any, error) {
+				var v WireBatch
+				return &v, ReadFrameCodec(bytes.NewReader(data), CodecBinary, &v)
+			},
+			func() (any, error) {
+				var v WireBatchResult
+				return &v, ReadFrameCodec(bytes.NewReader(data), CodecBinary, &v)
+			},
+		} {
+			v, err := probe()
+			if err != nil {
+				if !errors.Is(err, ErrFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				continue
+			}
+			e1, err := EncodeBinary(v)
+			if err != nil {
+				t.Fatalf("decoded frame did not re-encode: %v", err)
+			}
+			if err := DecodeBinary(e1, v); err != nil {
+				t.Fatalf("canonical form did not decode: %v", err)
+			}
+			e2, err := EncodeBinary(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(e1, e2) {
+				t.Fatalf("canonical form unstable:\n% x\n% x", e1, e2)
+			}
+		}
+	})
+}
+
+// TestBinaryMatchesJSONDecode is the cross-codec property test: for
+// every wire type, the value decoded from the binary codec equals the
+// value decoded from the JSON codec for the same original — the
+// byte-identical-output guarantee across mixed-codec fleets reduces to
+// this equality.
+func TestBinaryMatchesJSONDecode(t *testing.T) {
+	req := workerRequest(t, 5)
+	m, err := NewBench(0).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []any{
+		Hello(),
+		JobsHello(),
+		WireStart{Codec: CodecBinary},
+		WireBatch{ID: 42, Reqs: []Request{req, {Op: OpAnalyze, Scenario: req.Scenario, Fit: &FitConfig{Seed: 3, TrainRows: 10, TestRows: 4}}}},
+		WireItem{M: m},
+		WireBatchResult{ID: 7, Items: []WireItem{{M: m}, {Err: "trial count"}}},
+		WireBatchResult{Err: "rejected"},
+		WireJob{Proto: JobProtocolVersion, Op: JobOpRun, Codec: CodecBinary, Job: json.RawMessage(`{"kind":"sweep"}`)},
+		WireResult{Kind: ResultChunk, Chunk: "| XR1 | local |\n"},
+		WireResult{Kind: ResultStats, Stats: json.RawMessage(`{"queued":1}`)},
+	}
+	for _, v := range values {
+		rt := reflect.TypeOf(v)
+		jsonPayload, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		binPayload, err := EncodeBinary(v)
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		fromJSON := reflect.New(rt)
+		if err := json.Unmarshal(jsonPayload, fromJSON.Interface()); err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		fromBin := reflect.New(rt)
+		if err := DecodeBinary(binPayload, fromBin.Interface()); err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if !reflect.DeepEqual(fromJSON.Elem().Interface(), fromBin.Elem().Interface()) {
+			t.Fatalf("%s: binary decode diverges from JSON decode:\njson   %+v\nbinary %+v",
+				rt, fromJSON.Elem().Interface(), fromBin.Elem().Interface())
+		}
+	}
+}
+
+// TestDecodeBinaryBoundedAllocation pins the binary decoder's
+// over-allocation defence directly: a payload declaring a huge element
+// count with a handful of bytes behind it must fail cheaply.
+func TestDecodeBinaryBoundedAllocation(t *testing.T) {
+	// WireBatch: ID varint 0, Reqs presence 1, count uvarint = huge.
+	hostile := []byte{0, 1, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	var v WireBatch
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := DecodeBinary(hostile, &v); err == nil {
+			t.Fatal("hostile count decoded successfully")
+		}
+	})
+	if allocs > 50 {
+		t.Fatalf("DecodeBinary made %.0f allocations for a 7-byte hostile payload", allocs)
+	}
 }
 
 // TestReadFrameBoundedAllocation pins the over-allocation defence

@@ -48,6 +48,12 @@ type WireJob struct {
 	Proto int `json:"proto"`
 	// Op selects the operation; empty means JobOpRun.
 	Op string `json:"op,omitempty"`
+	// Codec selects the encoding of the server's WireResult stream; empty
+	// means JSON. A client picks it from the server hello's codec
+	// advertisement, so an old client (which never sets it) and an old
+	// server (which ignores it) interoperate unchanged — WireJob itself,
+	// like every handshake frame, is always JSON.
+	Codec string `json:"codec,omitempty"`
 	// Job is the job document (internal/job.Job JSON) for run ops.
 	Job json.RawMessage `json:"job,omitempty"`
 }

@@ -8,22 +8,31 @@ import (
 	"sync"
 )
 
-// ServeListener runs a worker-fleet node: accept connections on ln until
-// ctx is canceled (or the listener fails) and answer each over the
+// ServeListener runs a worker-fleet node with default options; see
+// ServeListenerOpts.
+func ServeListener(ctx context.Context, ln net.Listener, logf func(format string, args ...any)) error {
+	return ServeListenerOpts(ctx, ln, logf, ServeOptions{})
+}
+
+// ServeListenerOpts runs a worker-fleet node: accept connections on ln
+// until ctx is canceled (or the listener fails) and answer each over the
 // length-delimited frame protocol. Every connection opens with a
 // handshake frame (WireHello) carrying this binary's protocol and
-// physics versions, so an incompatible dispatcher rejects the node
-// before any work is exchanged. Connections are served concurrently and
-// share one Executor, so re-fitted model bundles are resolved once per
-// node, not once per dispatcher connection. A connection-level failure
-// (disconnect, corrupt frame) closes that connection only — reported via
-// logf when non-nil — never the node. Canceling ctx closes the listener
-// and every live connection and returns nil promptly — an in-flight
-// measurement is not waited for (it is CPU-bound and uncancelable; its
-// goroutine exits once its response write fails on the closed socket,
-// and the dispatcher has already re-dispatched or abandoned the shard).
-// ln is closed in every exit path.
-func ServeListener(ctx context.Context, ln net.Listener, logf func(format string, args ...any)) error {
+// physics versions plus its codec advertisement, so an incompatible
+// dispatcher rejects the node before any work is exchanged and a
+// compatible one picks the densest codec both sides speak (opts.JSONOnly
+// withholds the binary advertisement). Connections are served
+// concurrently and share one Executor, so re-fitted model bundles are
+// resolved once per node, not once per dispatcher connection. A
+// connection-level failure (disconnect, corrupt frame) closes that
+// connection only — reported via logf when non-nil — never the node.
+// Canceling ctx closes the listener and every live connection and
+// returns nil promptly — an in-flight measurement is not waited for (it
+// is CPU-bound and uncancelable; its goroutine exits once its response
+// write fails on the closed socket, and the dispatcher has already
+// re-dispatched or abandoned the batch). ln is closed in every exit
+// path.
+func ServeListenerOpts(ctx context.Context, ln net.Listener, logf func(format string, args ...any), opts ServeOptions) error {
 	exec := NewExecutor(nil)
 	var (
 		mu   sync.Mutex
@@ -62,22 +71,25 @@ func ServeListener(ctx context.Context, ln net.Listener, logf func(format string
 				mu.Unlock()
 				_ = conn.Close()
 			}()
-			if err := ServeConn(exec, conn); err != nil && ctx.Err() == nil && logf != nil {
+			if err := ServeConnOpts(exec, conn, opts); err != nil && ctx.Err() == nil && logf != nil {
 				logf("connection %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
 }
 
-// ServeConn performs the node side of one dispatcher connection: write
-// the handshake frame, then run the executor's serve loop until the peer
-// disconnects. A clean disconnect (EOF before a frame header) returns
-// nil.
+// ServeConn performs the node side of one dispatcher connection with
+// default options; see ServeConnOpts.
 func ServeConn(e *Executor, conn net.Conn) error {
-	if err := WriteFrame(conn, Hello()); err != nil {
-		return err
-	}
-	err := e.ServeFrames(conn, conn)
+	return ServeConnOpts(e, conn, ServeOptions{})
+}
+
+// ServeConnOpts performs the node side of one dispatcher connection:
+// write the handshake frame, negotiate the codec, then run the
+// executor's serve loop until the peer disconnects. A clean disconnect
+// (EOF before a frame header) returns nil.
+func ServeConnOpts(e *Executor, conn net.Conn, opts ServeOptions) error {
+	err := e.ServeFramesOpts(conn, conn, opts)
 	// A peer that vanishes mid-read surfaces as a closed-connection
 	// error; treat it like the pipe worker's clean EOF.
 	if err != nil && errors.Is(err, net.ErrClosed) {
@@ -86,10 +98,12 @@ func ServeConn(e *Executor, conn net.Conn) error {
 	return err
 }
 
-// ReadHello reads and validates a serve node's handshake frame. It is
-// the dispatcher half of the handshake ServeConn initiates: a frame
-// error means the peer is not a serve node at all; a version mismatch
+// ReadHello reads and validates a worker's handshake frame. It is the
+// dispatcher half of the handshake every serve loop initiates: a frame
+// error means the peer is not a worker at all; a version mismatch
 // (ErrVersionMismatch) means it is one, built from incompatible code.
+// The returned hello carries the worker's codec advertisement even when
+// validation fails.
 func ReadHello(r io.Reader) (WireHello, error) {
 	var h WireHello
 	if err := ReadFrame(r, &h); err != nil {

@@ -3,12 +3,14 @@ package testbed
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // WorkerEnv is the environment marker the proc sweep backend sets on its
@@ -18,13 +20,15 @@ import (
 const WorkerEnv = "XRPERF_PROC_WORKER"
 
 // ProtocolVersion identifies the wire protocol of this binary: the
-// 4-byte-length-prefixed JSON framing and the WireRequest/WireResponse
-// message schema. Network serve nodes announce it in their handshake so
-// a dispatcher built against an incompatible frame layout is rejected
-// before any work is exchanged; the stdin/stdout worker path skips the
-// handshake because the proc backend always spawns its own binary. Bump
-// it on any incompatible frame or message change.
-const ProtocolVersion = 1
+// 4-byte-length-prefixed framing, the handshake/start negotiation, and
+// the WireBatch/WireBatchResult message schema. Version 2 replaced the
+// per-request WireRequest/WireResponse round trips of version 1 with
+// batched, pipelined frames and per-connection codec negotiation
+// (WireHello.Codecs + WireStart). Every worker — subprocess or serve
+// node — announces it in its handshake so a dispatcher built against an
+// incompatible frame layout is rejected before any work is exchanged.
+// Bump it on any incompatible frame or message change.
+const ProtocolVersion = 2
 
 // MaxFrameBytes bounds a single protocol frame; larger length prefixes
 // indicate a corrupt or hostile stream and are rejected.
@@ -33,52 +37,124 @@ const MaxFrameBytes = 8 << 20
 // ErrFrame indicates a malformed protocol frame.
 var ErrFrame = errors.New("testbed: bad protocol frame")
 
-// WireRequest is one framed request of the worker protocol: the
-// dispatcher tags each Request with its shard index so responses can be
-// matched and merged in order.
-type WireRequest struct {
-	// ID is the dispatcher-chosen request tag (the shard index).
-	ID int `json:"id"`
-	// Req is the work unit.
-	Req Request `json:"req"`
+// Frame codecs negotiated per connection: the handshake (WireHello) and
+// the start frame (WireStart) are always JSON, and every batch frame
+// after them is encoded in the codec the dispatcher selected from the
+// worker's advertisement.
+const (
+	// CodecJSON is the baseline codec every peer speaks; the empty
+	// string means the same thing on the wire.
+	CodecJSON = "json"
+	// CodecBinary is the compact binary codec for the hot frame types
+	// (see codec_binary.go): no field names, no float formatting, same
+	// decoded values as JSON bit for bit.
+	CodecBinary = "binary"
+)
+
+// NormalizeCodec resolves the empty codec name to CodecJSON.
+func NormalizeCodec(c string) string {
+	if c == "" {
+		return CodecJSON
+	}
+	return c
 }
 
-// WireResponse is one framed response.
-type WireResponse struct {
-	// ID echoes the request tag.
+// KnownCodec reports whether this binary implements codec c.
+func KnownCodec(c string) bool {
+	switch NormalizeCodec(c) {
+	case CodecJSON, CodecBinary:
+		return true
+	}
+	return false
+}
+
+// WireBatch is one framed batch of requests: the dispatcher tags each
+// batch with the grid offset of its first request so results can be
+// matched to their window slot and merged in request order. Reqs are
+// contiguous in grid order, so request i of the batch is grid point
+// ID+i.
+type WireBatch struct {
+	// ID is the dispatcher-chosen batch tag (the grid offset of Reqs[0]).
 	ID int `json:"id"`
+	// Reqs are the work units, contiguous in grid order.
+	Reqs []Request `json:"reqs"`
+}
+
+// WireItem is one request's result within a batch.
+type WireItem struct {
 	// M is the result when Err is empty.
 	M Measurement `json:"m"`
-	// Err carries a request-level failure; the worker stays alive.
+	// Err carries a request-level failure; the worker stays alive and
+	// the batch's other items are unaffected.
 	Err string `json:"err,omitempty"`
 }
 
-// ErrVersionMismatch indicates a serve node whose protocol or physics
-// version differs from this binary's.
+// WireBatchResult is one framed batch response. Items answer the
+// batch's requests positionally; a non-empty envelope Err reports a
+// protocol-level rejection (e.g. an unacceptable codec in WireStart)
+// and closes the connection.
+type WireBatchResult struct {
+	// ID echoes the batch tag.
+	ID int `json:"id"`
+	// Items answer Reqs positionally.
+	Items []WireItem `json:"items,omitempty"`
+	// Err is a connection-level rejection; no Items accompany it.
+	Err string `json:"err,omitempty"`
+}
+
+// WireStart is the one frame a dispatcher sends before its first batch:
+// the codec every subsequent frame on this connection uses. It is
+// always JSON — codec negotiation must be readable before a codec is
+// agreed — and unacknowledged: an acceptable codec costs no round trip,
+// and an unacceptable one is answered with an envelope-level
+// WireBatchResult.Err in JSON.
+type WireStart struct {
+	// Codec selects the batch-frame codec; empty means CodecJSON.
+	Codec string `json:"codec,omitempty"`
+}
+
+// ErrVersionMismatch indicates a peer whose protocol, physics, or codec
+// support differs incompatibly from this binary's.
 var ErrVersionMismatch = errors.New("testbed: version mismatch")
 
-// WireHello is the handshake frame a network serve node writes once per
-// connection, before reading any request: the node's wire-protocol
-// version and its measurement semantics (PhysicsVersion). The dispatcher
-// checks both against its own binary — a node built from different
-// physics would return measurements that silently break the
-// byte-identical-across-backends contract, so mismatched nodes are
-// rejected up front, not discovered as wrong numbers later.
+// WireHello is the handshake frame a worker writes once per connection
+// (serve nodes over TCP, worker subprocesses on stdout), before reading
+// any request: the worker's wire-protocol version, its measurement
+// semantics (PhysicsVersion), and the extra frame codecs it accepts
+// beyond JSON. The dispatcher checks the versions against its own
+// binary — a node built from different physics would return
+// measurements that silently break the byte-identical-across-backends
+// contract, so mismatched nodes are rejected up front, not discovered
+// as wrong numbers later — and picks the best codec both sides speak.
 type WireHello struct {
-	// Protocol is the node's wire-protocol version.
+	// Protocol is the worker's wire-protocol version.
 	Protocol int `json:"proto"`
-	// Physics is the node's testbed.PhysicsVersion.
+	// Physics is the worker's testbed.PhysicsVersion.
 	Physics int `json:"physics"`
 	// Service names what the peer serves: empty for a worker-fleet node
 	// (the original service, kept empty for wire compatibility),
 	// ServiceJobs for a job server. Version checks ignore it; clients
 	// use it to fail fast when dialing the wrong kind of endpoint.
 	Service string `json:"svc,omitempty"`
+	// Codecs lists the frame codecs the worker accepts beyond JSON,
+	// comma-separated (e.g. "binary"). Empty means JSON only. Kept a
+	// string, not a slice, so WireHello stays comparable.
+	Codecs string `json:"codecs,omitempty"`
 }
 
-// Hello returns this binary's handshake frame.
+// Hello returns this binary's handshake frame, advertising every codec
+// it speaks.
 func Hello() WireHello {
-	return WireHello{Protocol: ProtocolVersion, Physics: PhysicsVersion}
+	return WireHello{Protocol: ProtocolVersion, Physics: PhysicsVersion, Codecs: CodecBinary}
+}
+
+// JSONHello returns the handshake frame of a worker restricted to the
+// JSON codec (`xrperf serve -json-only`): same versions, no codec
+// advertisement, so dispatchers fall back to JSON frames automatically.
+func JSONHello() WireHello {
+	h := Hello()
+	h.Codecs = ""
+	return h
 }
 
 // Check validates a peer's handshake against this binary.
@@ -90,12 +166,32 @@ func (h WireHello) Check() error {
 	return nil
 }
 
-// WriteFrame encodes v as JSON behind a 4-byte big-endian length prefix.
-func WriteFrame(w io.Writer, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("%w: encode: %v", ErrFrame, err)
+// Supports reports whether the handshake's sender accepts frames in
+// codec c. Every peer speaks JSON.
+func (h WireHello) Supports(c string) bool {
+	c = NormalizeCodec(c)
+	if c == CodecJSON {
+		return true
 	}
+	for _, adv := range strings.Split(h.Codecs, ",") {
+		if strings.TrimSpace(adv) == c {
+			return true
+		}
+	}
+	return false
+}
+
+// PickCodec returns the densest codec both this binary and the
+// handshake's sender speak: binary when advertised, JSON otherwise.
+func (h WireHello) PickCodec() string {
+	if h.Supports(CodecBinary) {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+// WriteRawFrame writes payload behind a 4-byte big-endian length prefix.
+func WriteRawFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameBytes {
 		return fmt.Errorf("%w: %d bytes exceeds limit %d", ErrFrame, len(payload), MaxFrameBytes)
 	}
@@ -104,24 +200,24 @@ func WriteFrame(w io.Writer, v any) error {
 	if _, err := w.Write(head[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(payload)
+	_, err := w.Write(payload)
 	return err
 }
 
-// ReadFrame decodes one length-prefixed JSON frame into v. A clean EOF
-// before the first header byte returns io.EOF; EOF mid-frame returns
+// ReadRawFrame reads one length-prefixed payload. A clean EOF before the
+// first header byte returns io.EOF; EOF mid-frame returns
 // io.ErrUnexpectedEOF.
-func ReadFrame(r io.Reader, v any) error {
+func ReadRawFrame(r io.Reader) ([]byte, error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return io.EOF
+			return nil, io.EOF
 		}
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(head[:])
 	if n > MaxFrameBytes {
-		return fmt.Errorf("%w: declared length %d exceeds limit %d", ErrFrame, n, MaxFrameBytes)
+		return nil, fmt.Errorf("%w: declared length %d exceeds limit %d", ErrFrame, n, MaxFrameBytes)
 	}
 	// The payload buffer grows with the bytes that actually arrive, so a
 	// hostile length prefix on a short stream costs nothing: a declared
@@ -130,58 +226,163 @@ func ReadFrame(r io.Reader, v any) error {
 	var buf bytes.Buffer
 	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		if errors.Is(err, io.EOF) {
-			return io.ErrUnexpectedEOF
+			return nil, io.ErrUnexpectedEOF
 		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFrame encodes v as JSON behind a 4-byte big-endian length prefix.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: encode: %v", ErrFrame, err)
+	}
+	return WriteRawFrame(w, payload)
+}
+
+// ReadFrame decodes one length-prefixed JSON frame into v. A clean EOF
+// before the first header byte returns io.EOF; EOF mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, v any) error {
+	payload, err := ReadRawFrame(r)
+	if err != nil {
 		return err
 	}
-	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+	if err := json.Unmarshal(payload, v); err != nil {
 		return fmt.Errorf("%w: decode: %v", ErrFrame, err)
 	}
 	return nil
 }
 
-// Serve runs the worker loop on a fresh executor: read framed requests
-// from r until EOF, execute each, and write framed responses to w in
-// arrival order. It is the stdin/stdout entry point of the proc backend;
-// network serve nodes run the same loop per connection via ServeListener,
-// sharing one executor across connections.
+// WriteFrameCodec encodes v in the negotiated codec behind the length
+// prefix.
+func WriteFrameCodec(w io.Writer, codec string, v any) error {
+	switch NormalizeCodec(codec) {
+	case CodecJSON:
+		return WriteFrame(w, v)
+	case CodecBinary:
+		payload, err := EncodeBinary(v)
+		if err != nil {
+			return fmt.Errorf("%w: encode: %v", ErrFrame, err)
+		}
+		return WriteRawFrame(w, payload)
+	default:
+		return fmt.Errorf("%w: unknown codec %q", ErrFrame, codec)
+	}
+}
+
+// ReadFrameCodec decodes one length-prefixed frame of the negotiated
+// codec into v, with ReadFrame's EOF semantics.
+func ReadFrameCodec(r io.Reader, codec string, v any) error {
+	switch NormalizeCodec(codec) {
+	case CodecJSON:
+		return ReadFrame(r, v)
+	case CodecBinary:
+		payload, err := ReadRawFrame(r)
+		if err != nil {
+			return err
+		}
+		if err := DecodeBinary(payload, v); err != nil {
+			return fmt.Errorf("%w: decode: %v", ErrFrame, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown codec %q", ErrFrame, codec)
+	}
+}
+
+// ServeOptions restricts a worker's serve loop.
+type ServeOptions struct {
+	// JSONOnly withholds the binary-codec advertisement and rejects
+	// dispatchers that request it anyway — the operational escape hatch
+	// (and mixed-fleet test fixture) for running a node on the baseline
+	// codec.
+	JSONOnly bool
+}
+
+func (o ServeOptions) hello() WireHello {
+	if o.JSONOnly {
+		return JSONHello()
+	}
+	return Hello()
+}
+
+// Serve runs the worker loop on a fresh executor: write the handshake,
+// negotiate the frame codec, then answer framed request batches from r
+// until EOF, writing framed results to w in arrival order. It is the
+// stdin/stdout entry point of the proc backend; network serve nodes run
+// the same loop per connection via ServeListener, sharing one executor
+// across connections.
 func Serve(r io.Reader, w io.Writer) error {
 	return NewExecutor(nil).ServeFrames(r, w)
 }
 
-// ServeFrames runs the transport-agnostic worker loop on the executor:
-// read framed requests from r until EOF, execute each, and write framed
-// responses to w in arrival order. Request-level failures (bad trials,
-// invalid scenario) are reported in the response and do not kill the
-// loop; protocol-level failures (corrupt frame, broken pipe) return an
-// error. The hidden physics is deterministic, so a worker's observations
-// for seeded requests match any other process's bit for bit — which is
-// what lets one serve loop back pipes and sockets interchangeably.
+// ServeFrames runs the transport-agnostic worker loop on the executor
+// with default options.
 func (e *Executor) ServeFrames(r io.Reader, w io.Writer) error {
+	return e.ServeFramesOpts(r, w, ServeOptions{})
+}
+
+// ServeFramesOpts runs the transport-agnostic worker loop on the
+// executor: write the handshake frame, read the dispatcher's WireStart
+// (both JSON), then answer WireBatch frames in the negotiated codec
+// until EOF. Request-level failures (bad trials, invalid scenario) are
+// reported per item and do not kill the loop; a batch-level rejection
+// (an unacceptable codec) is reported in a JSON envelope frame and
+// closes the connection; protocol-level failures (corrupt frame, broken
+// pipe) return an error. The hidden physics is deterministic, so a
+// worker's observations for seeded requests match any other process's
+// bit for bit — which is what lets one serve loop back pipes and
+// sockets interchangeably.
+func (e *Executor) ServeFramesOpts(r io.Reader, w io.Writer, opts ServeOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
+	if err := WriteFrame(bw, opts.hello()); err != nil {
+		return fmt.Errorf("worker hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("worker hello: %w", err)
+	}
+	var start WireStart
+	if err := ReadFrame(br, &start); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // dispatcher probed the handshake and left
+		}
+		return fmt.Errorf("worker start: %w", err)
+	}
+	codec := NormalizeCodec(start.Codec)
+	if !KnownCodec(codec) || (opts.JSONOnly && codec != CodecJSON) {
+		reason := fmt.Errorf("%w: dispatcher requested codec %q, this worker speaks %s",
+			ErrVersionMismatch, start.Codec, e.serveCodecs(opts))
+		_ = WriteFrame(bw, WireBatchResult{Err: reason.Error()})
+		_ = bw.Flush()
+		return reason
+	}
 	for {
-		var req WireRequest
-		if err := ReadFrame(br, &req); err != nil {
+		var b WireBatch
+		if err := ReadFrameCodec(br, codec, &b); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("worker read: %w", err)
 		}
-		resp := WireResponse{ID: req.ID}
-		m, err := e.Do(req.Req)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.M = m
-		}
-		if err := WriteFrame(bw, resp); err != nil {
+		res := WireBatchResult{ID: b.ID, Items: e.DoBatch(context.Background(), b.Reqs)}
+		if err := WriteFrameCodec(bw, codec, res); err != nil {
 			return fmt.Errorf("worker write: %w", err)
 		}
 		if err := bw.Flush(); err != nil {
 			return fmt.Errorf("worker flush: %w", err)
 		}
 	}
+}
+
+func (e *Executor) serveCodecs(opts ServeOptions) string {
+	if opts.JSONOnly {
+		return CodecJSON
+	}
+	return CodecJSON + ", " + CodecBinary
 }
 
 // MaybeServeWorker turns the current process into a measurement worker —

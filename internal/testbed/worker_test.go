@@ -52,27 +52,29 @@ func workerRequest(t testing.TB, trials int) Request {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	in := WireRequest{ID: 3, Req: workerRequest(t, 5)}
-	if err := WriteFrame(&buf, in); err != nil {
-		t.Fatal(err)
-	}
-	var out WireRequest
-	if err := ReadFrame(&buf, &out); err != nil {
-		t.Fatal(err)
-	}
-	if out.ID != 3 || out.Req.Trials != 5 || out.Req.Seed != in.Req.Seed {
-		t.Fatalf("round trip lost fields: %+v", out)
-	}
-	if out.Req.Scenario.Device.Name != "XR2" || len(out.Req.Scenario.Sensors.Sensors) != 1 {
-		t.Fatalf("scenario lost on the wire: %+v", out.Req.Scenario)
+	for _, codec := range []string{CodecJSON, CodecBinary} {
+		var buf bytes.Buffer
+		in := WireBatch{ID: 3, Reqs: []Request{workerRequest(t, 5), workerRequest(t, 2)}}
+		if err := WriteFrameCodec(&buf, codec, in); err != nil {
+			t.Fatal(err)
+		}
+		var out WireBatch
+		if err := ReadFrameCodec(&buf, codec, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ID != 3 || len(out.Reqs) != 2 || out.Reqs[0].Trials != 5 || out.Reqs[0].Seed != in.Reqs[0].Seed {
+			t.Fatalf("%s round trip lost fields: %+v", codec, out)
+		}
+		if out.Reqs[0].Scenario.Device.Name != "XR2" || len(out.Reqs[0].Scenario.Sensors.Sensors) != 1 {
+			t.Fatalf("%s: scenario lost on the wire: %+v", codec, out.Reqs[0].Scenario)
+		}
 	}
 }
 
 func TestReadFrameRejectsOversized(t *testing.T) {
 	var head [4]byte
 	binary.BigEndian.PutUint32(head[:], MaxFrameBytes+1)
-	err := ReadFrame(bytes.NewReader(head[:]), &WireRequest{})
+	err := ReadFrame(bytes.NewReader(head[:]), &WireBatch{})
 	if !errors.Is(err, ErrFrame) {
 		t.Fatalf("oversized frame error = %v", err)
 	}
@@ -80,11 +82,11 @@ func TestReadFrameRejectsOversized(t *testing.T) {
 
 func TestReadFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, WireRequest{ID: 1}); err != nil {
+	if err := WriteFrame(&buf, WireBatch{ID: 1}); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-2]
-	err := ReadFrame(bytes.NewReader(trunc), &WireRequest{})
+	err := ReadFrame(bytes.NewReader(trunc), &WireBatch{})
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("truncated frame error = %v", err)
 	}
@@ -118,49 +120,134 @@ func TestRequestJSONRoundTripMeasuresIdentically(t *testing.T) {
 	}
 }
 
-// TestServeLoop drives the worker protocol end to end in-process: good
-// requests answer with measurements, a bad request answers with an error
-// and the worker keeps serving, and EOF ends the loop cleanly.
+// TestServeLoop drives the worker protocol end to end in-process for
+// both codecs: the worker leads with its handshake, reads the
+// dispatcher's WireStart, then answers batches — good requests answer
+// with measurements, a bad request answers with a per-item error while
+// the rest of its batch (and the loop) keeps serving, and EOF ends the
+// loop cleanly.
 func TestServeLoop(t *testing.T) {
 	good := workerRequest(t, 4)
 	bad := good
 	bad.Trials = 0
-
-	var in bytes.Buffer
-	for i, r := range []Request{good, bad, good} {
-		if err := WriteFrame(&in, WireRequest{ID: i, Req: r}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	var out bytes.Buffer
-	if err := Serve(&in, &out); err != nil {
-		t.Fatal(err)
-	}
-
 	want, err := NewBench(0).Do(good)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
-		var resp WireResponse
-		if err := ReadFrame(&out, &resp); err != nil {
-			t.Fatalf("response %d: %v", i, err)
+
+	for _, codec := range []string{CodecJSON, CodecBinary} {
+		var in bytes.Buffer
+		if err := WriteFrame(&in, WireStart{Codec: codec}); err != nil {
+			t.Fatal(err)
 		}
-		if resp.ID != i {
-			t.Fatalf("response %d has id %d", i, resp.ID)
+		if err := WriteFrameCodec(&in, codec, WireBatch{ID: 7, Reqs: []Request{good, bad, good}}); err != nil {
+			t.Fatal(err)
 		}
-		if i == 1 {
-			if !strings.Contains(resp.Err, "trial count") {
-				t.Fatalf("bad request response = %+v", resp)
+		if err := WriteFrameCodec(&in, codec, WireBatch{ID: 10, Reqs: []Request{good}}); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := Serve(&in, &out); err != nil {
+			t.Fatal(err)
+		}
+
+		hello, err := ReadHello(&out)
+		if err != nil {
+			t.Fatalf("%s: handshake: %v", codec, err)
+		}
+		if hello != Hello() {
+			t.Fatalf("%s: hello = %+v", codec, hello)
+		}
+		var res WireBatchResult
+		if err := ReadFrameCodec(&out, codec, &res); err != nil {
+			t.Fatalf("%s: batch result: %v", codec, err)
+		}
+		if res.ID != 7 || res.Err != "" || len(res.Items) != 3 {
+			t.Fatalf("%s: batch result = %+v", codec, res)
+		}
+		for i, item := range res.Items {
+			if i == 1 {
+				if !strings.Contains(item.Err, "trial count") {
+					t.Fatalf("%s: bad request item = %+v", codec, item)
+				}
+				continue
 			}
-			continue
+			if item.Err != "" || item.M != want {
+				t.Fatalf("%s: item %d = %+v, want %+v", codec, i, item, want)
+			}
 		}
-		if resp.Err != "" || resp.M != want {
-			t.Fatalf("response %d = %+v, want %+v", i, resp, want)
+		var res2 WireBatchResult
+		if err := ReadFrameCodec(&out, codec, &res2); err != nil {
+			t.Fatalf("%s: second batch result: %v", codec, err)
+		}
+		if res2.ID != 10 || len(res2.Items) != 1 || res2.Items[0].M != want {
+			t.Fatalf("%s: second batch result = %+v", codec, res2)
+		}
+		if err := ReadFrameCodec(&out, codec, &WireBatchResult{}); !errors.Is(err, io.EOF) {
+			t.Fatalf("%s: extra response after EOF: %v", codec, err)
 		}
 	}
-	if err := ReadFrame(&out, &WireResponse{}); !errors.Is(err, io.EOF) {
-		t.Fatalf("extra response after EOF: %v", err)
+}
+
+// TestServeLoopRejectsUnknownCodec pins the negotiation failure path: a
+// dispatcher demanding a codec the worker does not speak is answered
+// with a JSON envelope rejection naming both sides' vocabularies, and
+// the serve loop returns the same error.
+func TestServeLoopRejectsUnknownCodec(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  ServeOptions
+		codec string
+		wants []string
+	}{
+		{"unknown", ServeOptions{}, "protobuf", []string{`codec "protobuf"`, "json, binary"}},
+		{"json-only-node", ServeOptions{JSONOnly: true}, CodecBinary, []string{`codec "binary"`, "this worker speaks json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var in, out bytes.Buffer
+			if err := WriteFrame(&in, WireStart{Codec: tc.codec}); err != nil {
+				t.Fatal(err)
+			}
+			err := NewExecutor(nil).ServeFramesOpts(&in, &out, tc.opts)
+			if !errors.Is(err, ErrVersionMismatch) {
+				t.Fatalf("serve error = %v, want ErrVersionMismatch", err)
+			}
+			if _, err := ReadHello(&out); err != nil {
+				t.Fatal(err)
+			}
+			var res WireBatchResult
+			if err := ReadFrame(&out, &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Err == "" || len(res.Items) != 0 {
+				t.Fatalf("rejection frame = %+v", res)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(res.Err, want) {
+					t.Fatalf("rejection %q does not mention %q", res.Err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestServeLoopJSONOnlyHello pins the restricted advertisement: a
+// JSON-only worker's handshake carries no codec list, so a dispatcher's
+// PickCodec falls back to JSON.
+func TestServeLoopJSONOnlyHello(t *testing.T) {
+	h := JSONHello()
+	if h.Supports(CodecBinary) {
+		t.Fatal("JSON-only hello must not advertise binary")
+	}
+	if !h.Supports(CodecJSON) || !h.Supports("") {
+		t.Fatal("every hello supports JSON")
+	}
+	if got := h.PickCodec(); got != CodecJSON {
+		t.Fatalf("PickCodec() = %q, want json", got)
+	}
+	if got := Hello().PickCodec(); got != CodecBinary {
+		t.Fatalf("full hello PickCodec() = %q, want binary", got)
 	}
 }
 

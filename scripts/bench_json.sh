@@ -6,11 +6,14 @@
 # CI uploads the file as an artifact per run, so successive PRs leave a
 # perf trail that can be diffed instead of re-measured from memory.
 #
-# Usage: bench_json.sh [output.json]   (default: BENCH_7.json)
+# Usage: bench_json.sh [output.json]
+# The default output is the newest committed BENCH_<n>.json, so rolling
+# the baseline forward never requires editing this script again.
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_7.json}
+default_out=$(git ls-files 'BENCH_*.json' | sort -t_ -k2 -n | tail -1)
+out=${1:-${default_out:-BENCH.json}}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
