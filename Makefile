@@ -2,6 +2,11 @@
 
 GO ?= go
 
+# Pinned staticcheck release; CI installs exactly this version, so a
+# local `go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)`
+# reproduces the gate bit for bit.
+STATICCHECK_VERSION ?= 2025.1.1
+
 .PHONY: all build test race bench bench-json bench-compare lint fmt docs ci
 
 all: build
@@ -12,8 +17,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface; the seed is printed on failure for replay with -shuffle=<seed>.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -30,8 +37,9 @@ bench-compare:
 
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/xrlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
-		else echo "staticcheck not installed; skipping (CI runs it)"; fi
+		else echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 

@@ -1,0 +1,70 @@
+// Command xrlint runs the repository's custom analyzer suite
+// (internal/lint) over the named packages, in the spirit of a
+// golang.org/x/tools multichecker but with zero dependencies.
+//
+// Usage:
+//
+//	xrlint [-list] [packages]
+//
+// Packages default to ./... and accept go-list patterns. Diagnostics
+// print one per line as
+//
+//	path/file.go:line:col: [analyzer] message
+//
+// and the exit status is 1 when any diagnostic survives its
+// //xrlint:allow review (see internal/lint for the directive syntax).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the suite from the current directory, returning the
+// process exit code: 0 clean, 1 diagnostics, 2 operational failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: xrlint [-list] [-C dir] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "xrlint: %v\n", err)
+		return 2
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "xrlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module and returns
+// its directory.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tiny\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tiny.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunFlagsViolation(t *testing.T) {
+	dir := writeModule(t, `package tiny
+
+import "context"
+
+// Bad takes its context second.
+func Bad(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[ctxfirst]") {
+		t.Errorf("diagnostic listing missing ctxfirst finding:\n%s", stdout.String())
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	dir := writeModule(t, `package tiny
+
+import "context"
+
+// Good takes its context first.
+func Good(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism:", "ctxfirst:", "lockhygiene:", "wiresafe:"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", t.TempDir(), "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code for empty non-module dir = %d, want 2", code)
+	}
+}

@@ -1,0 +1,260 @@
+// Package lint is xrlint: a suite of custom static analyzers that move
+// this repository's load-bearing runtime invariants — byte-identical
+// reports across backends, ctx-first cancelable APIs, no blocking I/O
+// under a mutex, and wire-complete frame structs — into the build, the
+// way vet and staticcheck already gate style.
+//
+// The suite is built directly on the standard library's go/ast and
+// go/types (plus the source importer) rather than on
+// golang.org/x/tools/go/analysis, so it needs no module dependencies:
+// the API below is a deliberately small subset of the x/tools analysis
+// framework (Analyzer, Pass, Reportf, analysistest-style fixtures), and
+// an analyzer written here ports to the real framework mechanically if
+// the dependency ever lands.
+//
+// # Suppression
+//
+// Every diagnostic can be suppressed — with a mandatory reason — by an
+// //xrlint:allow directive on the offending line or on the line
+// directly above it:
+//
+//	now := time.Now() //xrlint:allow determinism -- quarantine backoff timer, not measurement data
+//
+//	//xrlint:allow lockhygiene -- bounded in-memory write, cannot block
+//	ch <- v
+//
+// The directive names one analyzer (or a comma-separated list); a
+// directive without a “-- reason”, or naming an unknown analyzer, is
+// itself a diagnostic, so suppressions stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //xrlint:allow
+	// directives.
+	Name string
+	// Doc is the one-paragraph description printed by `xrlint -help`.
+	Doc string
+	// Run inspects the pass's package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the reporting analyzer ("" for directive errors
+	// reported by the driver itself).
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	name := d.Analyzer
+	if name == "" {
+		name = "xrlint"
+	}
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, name, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Fset resolves token positions for Files and for every package the
+	// shared source importer loaded.
+	Fset *token.FileSet
+	// Files are the package's parsed (non-test) source files, with
+	// comments.
+	Files []*ast.File
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's resolutions for Files.
+	Info *types.Info
+
+	allow map[string]map[int]bool // file -> directive lines for this analyzer
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an //xrlint:allow directive
+// for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines := p.allow[position.Filename]; lines != nil {
+		// A directive suppresses the line it trails and the line below it.
+		if lines[position.Line] || lines[position.Line-1] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ObjectOf resolves an identifier to its object (uses before defs).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// Callee resolves a call expression to the package-level function or
+// method it statically invokes, or nil for calls through function
+// values, type conversions, and builtins.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// unparen strips any parenthesis layers around e. (ast.Unparen exists
+// only from go1.22; the module targets go1.21.)
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// allowDirective matches one //xrlint:allow comment: analyzer names,
+// then a mandatory “-- reason”.
+var allowDirective = regexp.MustCompile(`^//xrlint:allow\s+([A-Za-z0-9_,]+)\s*(?:--\s*(\S.*))?$`)
+
+// directives is the per-package index of //xrlint:allow comments.
+type directives struct {
+	// byAnalyzer maps analyzer name -> file -> lines carrying a
+	// well-formed directive for it.
+	byAnalyzer map[string]map[string]map[int]bool
+	// malformed collects directive syntax errors (missing reason,
+	// unknown analyzer name), reported once per package by the driver.
+	malformed []Diagnostic
+}
+
+// collectDirectives scans the package's comments for //xrlint:allow
+// directives, validating names against the known analyzer set.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) directives {
+	d := directives{byAnalyzer: make(map[string]map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//xrlint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					d.malformed = append(d.malformed, Diagnostic{
+						Pos:     pos,
+						Message: fmt.Sprintf("malformed xrlint directive %q: want //xrlint:allow <analyzer> -- <reason>", c.Text),
+					})
+					continue
+				}
+				if m[2] == "" {
+					d.malformed = append(d.malformed, Diagnostic{
+						Pos:     pos,
+						Message: "xrlint:allow directive is missing its mandatory “-- reason”",
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if !known[name] {
+						d.malformed = append(d.malformed, Diagnostic{
+							Pos:     pos,
+							Message: fmt.Sprintf("xrlint:allow names unknown analyzer %q", name),
+						})
+						continue
+					}
+					files := d.byAnalyzer[name]
+					if files == nil {
+						files = make(map[string]map[int]bool)
+						d.byAnalyzer[name] = files
+					}
+					lines := files[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						files[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Analyzers is the full xrlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, CtxFirst, LockHygiene, WireSafe}
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// surviving diagnostics sorted by position. Directive errors (a
+// suppression without a reason, an unknown analyzer name) are included:
+// an unauditable suppression must not silently suppress.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dir := collectDirectives(pkg.Fset, pkg.Files, known)
+		diags = append(diags, dir.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.PkgPath,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allow:    dir.byAnalyzer[a.Name],
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

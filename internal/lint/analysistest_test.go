@@ -1,0 +1,116 @@
+package lint
+
+// analysistest-style golden harness: each analyzer gets a fixture
+// package under testdata/src/<name>/ whose sources carry trailing
+//
+//	// want `regex`
+//
+// comments on the lines expected to be flagged. The harness type-checks
+// the fixture (with a caller-chosen import path, so scope rules like
+// DeterminismScope can be exercised from both sides), runs one
+// analyzer, and diffs reported diagnostics against the expectations —
+// unexpected findings and unmatched expectations both fail the test.
+
+import (
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectKey addresses one fixture line.
+type expectKey struct {
+	file string // base name
+	line int
+}
+
+// wantComment matches a `// want ...` expectation comment.
+var wantComment = regexp.MustCompile("//\\s*want\\s+(.+)$")
+
+// wantPattern extracts the backquoted regexes from a want comment.
+var wantPattern = regexp.MustCompile("`[^`]*`")
+
+// runFixture type-checks testdata/src/<fixture> as pkgPath, runs a
+// alone, and compares diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, fixture, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	parsed, info, tpkg, err := typeCheck(fset, imp, pkgPath, files, nil)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Fset: fset, Files: parsed, Types: tpkg, Info: info}
+
+	// Collect expectations from the fixture's comments.
+	type expectation struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	expects := make(map[expectKey][]*expectation)
+	for _, f := range parsed {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := expectKey{file: filepath.Base(pos.Filename), line: pos.Line}
+				pats := wantPattern.FindAllString(m[1], -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment carries no backquoted pattern: %s", key.file, key.line, c.Text)
+				}
+				for _, quoted := range pats {
+					pat := strings.Trim(quoted, "`")
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", key.file, key.line, strconv.Quote(pat), err)
+					}
+					expects[key] = append(expects[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	for _, d := range diags {
+		key := expectKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		matched := false
+		for _, e := range expects[key] {
+			if !e.used && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", key.file, key.line, d.Analyzer, d.Message)
+		}
+	}
+	for key, list := range expects {
+		for _, e := range list {
+			if !e.used {
+				t.Errorf("%s:%d: expected a diagnostic matching %q, got none", key.file, key.line, e.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Execution-surface matching for the must-accept-a-context rule:
+// exported methods that execute work on runner/executor/job types. The
+// repo's cancelation story — a disconnected client aborts its in-flight
+// sweep, a canceled dispatch kills a population shard mid-run — only
+// holds if every link of the execution chain threads a context.
+var (
+	// ctxExecTypes matches the named receiver types whose execution
+	// methods must be cancelable.
+	ctxExecTypes = regexp.MustCompile(`(Runner|Executor|Job)$`)
+	// ctxExecMethods matches the exported method names that dispatch or
+	// execute work on those types.
+	ctxExecMethods = regexp.MustCompile(`^(Do|Run|Stream|Execute|Dispatch|Submit|Serve)`)
+)
+
+// CtxFirst enforces the two context conventions.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: `enforces ctx-first cancelable APIs: any function taking a
+context.Context must take it as the first parameter, and exported
+execution methods (Do*/Run*/Stream*/Execute*/Dispatch*/Submit*/Serve*)
+on Runner/Executor/Job types must accept a context at all, so
+cancelation reaches every link of the dispatch chain`,
+	Run: runCtxFirst,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParamIndex returns the index of the first context.Context parameter
+// of sig, or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				fn, ok := pass.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				checkCtxPosition(pass, d.Pos(), fn.Name(), sig)
+				checkExecMethod(pass, d, fn, sig)
+			case *ast.FuncLit:
+				if tv, ok := pass.Info.Types[d]; ok {
+					if sig, ok := tv.Type.(*types.Signature); ok {
+						checkCtxPosition(pass, d.Pos(), "function literal", sig)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxPosition reports a context parameter that is not first.
+func checkCtxPosition(pass *Pass, pos token.Pos, name string, sig *types.Signature) {
+	if idx := ctxParamIndex(sig); idx > 0 {
+		pass.Reportf(pos,
+			"%s takes a context.Context as parameter %d; the context must be the first parameter", name, idx+1)
+	}
+}
+
+// checkExecMethod reports an exported execution method on a
+// runner/executor/job type that accepts no context at all.
+func checkExecMethod(pass *Pass, d *ast.FuncDecl, fn *types.Func, sig *types.Signature) {
+	recv := sig.Recv()
+	if recv == nil || !fn.Exported() {
+		return
+	}
+	if !ctxExecMethods.MatchString(fn.Name()) {
+		return
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || !ctxExecTypes.MatchString(named.Obj().Name()) {
+		return
+	}
+	if ctxParamIndex(sig) >= 0 {
+		return
+	}
+	pass.Reportf(d.Pos(),
+		"exported execution method %s.%s accepts no context.Context; cancelation cannot reach it (add a ctx parameter or annotate a compatibility wrapper)",
+		named.Obj().Name(), fn.Name())
+}

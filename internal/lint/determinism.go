@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// DeterminismScope matches the import paths whose code is on the
+// measurement/report data path: everything these packages compute must
+// be a pure function of (request content, seed), because the
+// byte-identical-across-backends contract replays their work on
+// arbitrary processes. Wall clocks and the global math/rand source break
+// that silently.
+//
+// Exported so the fixture tests (and a future config hook) can observe
+// the boundary; the variable is not intended to be mutated.
+var DeterminismScope = regexp.MustCompile(
+	`^repro/internal/(testbed|experiments|baseline|stats|session|scenario|sweep)(/|$)`)
+
+// randConstructors are the math/rand (and v2) package-level functions
+// that build explicitly seeded generators rather than drawing from the
+// global source; they are the sanctioned way to use rand on the data
+// path.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// timeBanned are the time functions that read the wall clock into a
+// value. (time.Sleep waits but yields no nondeterministic datum, and
+// timers/deadlines are flagged only through the time.Now they read.)
+var timeBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Determinism flags wall-clock reads and global-source randomness inside
+// the measurement/report data path (DeterminismScope).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: `flags time.Now/Since/Until and global math/rand functions in the
+measurement/report data path, where every value must derive from
+(request content, seed) so pool, proc, and net backends produce
+byte-identical reports; suppress legitimate operational clocks
+(quarantine backoff, connection deadlines) with
+//xrlint:allow determinism -- <reason>`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !DeterminismScope.MatchString(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			name := fn.Name()
+			switch fn.Pkg().Path() {
+			case "time":
+				if timeBanned[name] {
+					pass.Reportf(call.Pos(),
+						"time.%s on the measurement/report path: values must derive from (request content, seed), not the wall clock", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s on the measurement/report path: draw from an explicitly seeded generator (stats.NewRNG) instead", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	// An in-scope import path: the sweep subtree is on the
+	// measurement/report data path.
+	runFixture(t, Determinism, "determinism", "repro/internal/sweep/fixture")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	// The same rules must not fire outside DeterminismScope: the fixture
+	// reads the wall clock and carries no want comments.
+	runFixture(t, Determinism, "determinism_out", "repro/internal/server/fixture")
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	runFixture(t, CtxFirst, "ctxfirst", "repro/internal/fixture")
+}
+
+func TestLockHygieneFixture(t *testing.T) {
+	runFixture(t, LockHygiene, "lockhygiene", "repro/internal/fixture")
+}
+
+func TestWireSafeFixture(t *testing.T) {
+	// The testbed import path activates the Request/SessionConfig roots
+	// alongside the Wire* naming rule.
+	runFixture(t, WireSafe, "wiresafe", "repro/internal/testbed")
+}
+
+func TestAnalyzersWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"determinism", "ctxfirst", "lockhygiene", "wiresafe"} {
+		if !seen[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}
+
+// parseDirectives parses src as one file and collects its directives
+// against the real analyzer set.
+func parseDirectives(t *testing.T, src string) directives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return collectDirectives(fset, []*ast.File{f}, known)
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	d := parseDirectives(t, "package p\n\n//xrlint:allow determinism\nvar X = 1\n")
+	if len(d.malformed) != 1 || !strings.Contains(d.malformed[0].Message, "mandatory") {
+		t.Fatalf("want one missing-reason diagnostic, got %+v", d.malformed)
+	}
+}
+
+func TestDirectiveUnknownAnalyzer(t *testing.T) {
+	d := parseDirectives(t, "package p\n\n//xrlint:allow nosuch -- because\nvar X = 1\n")
+	if len(d.malformed) != 1 || !strings.Contains(d.malformed[0].Message, "unknown analyzer") {
+		t.Fatalf("want one unknown-analyzer diagnostic, got %+v", d.malformed)
+	}
+}
+
+func TestDirectiveMultiName(t *testing.T) {
+	d := parseDirectives(t, "package p\n\n//xrlint:allow determinism,lockhygiene -- shared reason\nvar X = 1\n")
+	if len(d.malformed) != 0 {
+		t.Fatalf("well-formed multi-name directive reported malformed: %+v", d.malformed)
+	}
+	for _, name := range []string{"determinism", "lockhygiene"} {
+		if len(d.byAnalyzer[name]["d.go"]) != 1 {
+			t.Errorf("directive not indexed for %s: %+v", name, d.byAnalyzer[name])
+		}
+	}
+}
+
+func TestLoadRejectsBadPattern(t *testing.T) {
+	if _, err := Load(t.TempDir(), "./..."); err == nil {
+		t.Fatal("Load in an empty non-module directory should fail")
+	}
+}
+
+func TestSourceImporterResolvesStdlib(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	src := map[string][]byte{"p.go": []byte("package p\n\nimport \"time\"\n\n// T is a fixture alias.\ntype T = time.Duration\n")}
+	if _, _, _, err := typeCheck(fset, imp, "p", []string{"p.go"}, src); err != nil {
+		t.Fatalf("stdlib import via source importer failed: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked target package.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package directory.
+	Dir string
+	// Fset is the file set shared by every loaded package and by the
+	// source importer's view of their dependencies.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the checker's resolutions for Files.
+	Info *types.Info
+}
+
+// Load resolves patterns (e.g. "./...") with the go tool from dir and
+// type-checks every matched package from source. Test files are not
+// analyzed: the invariants guard production paths, and tests routinely
+// use wall clocks and blocking helpers legitimately.
+//
+// Dependencies — including the standard library — are type-checked on
+// demand by the compiler-independent source importer, so loading works
+// offline and needs no installed export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue // test-only or empty package: nothing to analyze
+		}
+		pkg, err := checkPackage(fset, imp, m)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// goList enumerates the packages matching patterns, in the go tool's
+// deterministic order.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	var metas []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var m listedPackage
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				return metas, nil
+			}
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+}
+
+// checkPackage parses and type-checks one listed package against the
+// shared importer.
+func checkPackage(fset *token.FileSet, imp types.Importer, m listedPackage) (*Package, error) {
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	parsed, info, tpkg, err := typeCheck(fset, imp, m.ImportPath, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath: m.ImportPath,
+		Dir:     m.Dir,
+		Fset:    fset,
+		Files:   parsed,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// typeCheck parses the named files (or uses src overlays keyed by file
+// name, when non-nil) and type-checks them as one package with the
+// given import path.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []string, src map[string][]byte) ([]*ast.File, *types.Info, *types.Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		var content any
+		if src != nil {
+			content = src[name]
+		}
+		f, err := parser.ParseFile(fset, name, content, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, parsed, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, nil, fmt.Errorf("lint: type-check %s:\n\t%s", pkgPath, strings.Join(msgs, "\n\t"))
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: type-check %s: %v", pkgPath, err)
+	}
+	return parsed, info, tpkg, nil
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "context"
+
+// Do is a compatibility wrapper over DoContext; the directive in its
+// doc comment suppresses the execution-method diagnostic.
+//
+//xrlint:allow ctxfirst -- fixture: compatibility wrapper, cancelable callers use DoContext
+func (FixtureRunner) Do(n int) int { return n }
+
+// DoContext is the cancelable variant Do wraps.
+func (FixtureRunner) DoContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the ctxfirst analyzer: contexts must come
+// first, and exported execution methods on Runner/Executor/Job types
+// must accept one at all.
+package fixture
+
+import "context"
+
+// Bad takes its context second and is flagged.
+func Bad(name string, ctx context.Context) error { // want `Bad takes a context\.Context as parameter 2`
+	_ = name
+	return ctx.Err()
+}
+
+// Good takes its context first and is clean.
+func Good(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Literal carries the same rule into function literals.
+var Literal = func(n int, ctx context.Context) error { // want `function literal takes a context\.Context as parameter 2`
+	_ = n
+	return ctx.Err()
+}
+
+// FixtureRunner is an execution type by naming convention.
+type FixtureRunner struct{}
+
+// Run accepts no context on an execution type and is flagged.
+func (FixtureRunner) Run(n int) int { return n } // want `exported execution method FixtureRunner\.Run accepts no context\.Context`
+
+// RunContext threads a context and is clean.
+func (FixtureRunner) RunContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// run is unexported and exempt from the execution-method rule.
+func (FixtureRunner) run(n int) int { return n }
+
+// Name is exported but not an execution method; exempt.
+func (FixtureRunner) Name() string { return "fixture" }
+
+// Widget is not an execution type, so its Run is exempt.
+type Widget struct{}
+
+// Run on a non-execution type is clean.
+func (Widget) Run() {}

@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// Deadline reads the wall clock for an operational timeout; the allow
+// directive (with its mandatory reason) suppresses the diagnostic.
+func Deadline() time.Time {
+	//xrlint:allow determinism -- fixture: operational deadline, not measurement data
+	return time.Now().Add(time.Second)
+}
+
+// Trailing suppresses with the directive on the flagged line itself.
+func Trailing() time.Time {
+	return time.Now() //xrlint:allow determinism -- fixture: trailing-directive form
+}

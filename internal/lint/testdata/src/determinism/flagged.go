@@ -1,0 +1,39 @@
+// Package fixture exercises the determinism analyzer: the harness
+// loads it under an in-scope import path, so wall clocks and the
+// global rand source are flagged while seeded generators stay clean.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample mixes banned and sanctioned randomness on the fixture's
+// measurement path.
+func Sample() (int, float64) {
+	n := rand.Intn(10)                              // want `global rand\.Intn on the measurement/report path`
+	f := rand.Float64()                             // want `global rand\.Float64 on the measurement/report path`
+	rand.Shuffle(n, func(i, j int) { _, _ = i, j }) // want `global rand\.Shuffle on the measurement/report path`
+	return n, f
+}
+
+// Stamp reads the wall clock three banned ways.
+func Stamp() time.Duration {
+	start := time.Now()    // want `time\.Now on the measurement/report path`
+	d := time.Since(start) // want `time\.Since on the measurement/report path`
+	d += time.Until(start) // want `time\.Until on the measurement/report path`
+	return d
+}
+
+// Seeded draws from an explicitly seeded generator: the constructors
+// and the generator's methods are the sanctioned path and stay clean.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// Pause waits without reading the clock into a value; time.Sleep is not
+// banned.
+func Pause() {
+	time.Sleep(time.Millisecond)
+}

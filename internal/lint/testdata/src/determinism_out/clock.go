@@ -1,0 +1,11 @@
+// Package fixture sits outside DeterminismScope when loaded under an
+// out-of-scope import path: operational code may read the wall clock
+// freely, so nothing below carries a want comment.
+package fixture
+
+import "time"
+
+// Uptime reads the wall clock outside the measurement path.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

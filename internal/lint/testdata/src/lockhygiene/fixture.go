@@ -1,0 +1,95 @@
+// Package fixture exercises the lockhygiene analyzer: operations that
+// can block indefinitely are flagged between a mutex Lock and its
+// Unlock in the same function body.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Guard owns the fixture's locked state.
+type Guard struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// SendUnderLock sends on a channel while the lock is held.
+func (g *Guard) SendUnderLock(v int) {
+	g.mu.Lock()
+	g.ch <- v // want `channel send while g\.mu is held`
+	g.mu.Unlock()
+}
+
+// RecvUnderDefer receives while a deferred Unlock keeps the lock held.
+func (g *Guard) RecvUnderDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while g\.mu is held`
+}
+
+// FileUnderLock performs file I/O under the lock.
+func (g *Guard) FileUnderLock(path string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return os.ReadFile(path) // want `os\.ReadFile \(file I/O\) while g\.mu is held`
+}
+
+// SleepUnderLock sleeps under the lock.
+func (g *Guard) SleepUnderLock() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g\.mu is held`
+	g.mu.Unlock()
+}
+
+// SelectUnderLock parks in a default-less select under the lock.
+func (g *Guard) SelectUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select without a default while g\.mu is held`
+	case v := <-g.ch:
+		return v
+	case g.ch <- 1:
+		return 1
+	}
+}
+
+// AfterUnlock releases the lock before the send; clean.
+func (g *Guard) AfterUnlock(v int) {
+	g.mu.Lock()
+	g.n = v
+	g.mu.Unlock()
+	g.ch <- v
+}
+
+// NonBlockingSelect has a default clause, so nothing can park; clean.
+func (g *Guard) NonBlockingSelect() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		return v
+	default:
+		return g.n
+	}
+}
+
+// SpawnUnderLock starts a goroutine under the lock; the literal's body
+// runs without the caller's lock and is a separate analysis scope.
+func (g *Guard) SpawnUnderLock(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- v
+	}()
+}
+
+// PureUnderLock does CPU-bound work under the lock; clean.
+func (g *Guard) PureUnderLock(v int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n += v
+	return g.n
+}

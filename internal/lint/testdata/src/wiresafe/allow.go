@@ -1,0 +1,9 @@
+package fixture
+
+// WireLegacy keeps a scratch field off the wire deliberately; the
+// allow directive above the field records the decision.
+type WireLegacy struct {
+	ID int64
+	//xrlint:allow wiresafe -- fixture: scratch buffer intentionally not serialized
+	scratch []byte
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the wiresafe analyzer. The harness loads
+// it under the testbed import path, so both the Wire* naming roots and
+// the Request root are active.
+package fixture
+
+// WireGood is fully codec-representable: every exported field is a
+// supported kind, the pointer cycle is fine, the map rides as JSON,
+// and the interface field is accepted (nil-only on the wire, gated at
+// runtime).
+type WireGood struct {
+	ID    int64
+	Name  string
+	Score float64
+	Raw   []byte
+	Next  *WireGood
+	Tags  map[string]int
+	Cause error
+}
+
+// WireBad collects every kind the frame codec cannot carry.
+type WireBad struct {
+	hidden int          // want `unexported field hidden`
+	Fn     func() error // want `is a func`
+	Ch     chan int     // want `is a channel`
+	Arr    [4]byte      // want `fixed array`
+	F32    float32      // want `encodes only float64`
+	Ptr    uintptr      // want `uintptr`
+}
+
+// payload is reached from WireDeep through a slice of pointers and is
+// checked transitively.
+type payload struct {
+	OK   bool
+	Done chan struct{} // want `is a channel`
+}
+
+// WireDeep reaches payload indirectly.
+type WireDeep struct {
+	Items []*payload
+}
+
+// payloadKey cannot render as a JSON object key.
+type payloadKey struct{ A, B int }
+
+// WireKeys carries a map whose key type JSON cannot encode.
+type WireKeys struct {
+	ByPair map[payloadKey]int // want `non-string, non-integer key`
+}
+
+// Request is a root by name under the testbed import path, so its
+// unexported field is flagged even without the Wire prefix.
+type Request struct {
+	Seed   int64
+	notify func() // want `unexported field notify`
+}
+
+// local is reachable from no wire root; its channel field is exempt.
+type local struct {
+	Ch chan int
+}

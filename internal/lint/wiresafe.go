@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireSafe proves, at build time, that every struct handed to the
+// testbed frame codecs round-trips completely. The binary codec
+// (internal/testbed/codec_binary.go) walks structs reflectively and
+// *silently skips* what it cannot represent — an unexported field or an
+// unsupported kind does not error, it just vanishes from the wire, and
+// the bug surfaces later as a mismatched report on the far side.
+//
+// Roots are every package-scope struct type named Wire* plus
+// testbed.Request and testbed.SessionConfig (the payloads embedded in
+// wire batches); the analyzer walks all field types reachable from
+// them.
+//
+// Rules, mirrored from the codec:
+//
+//   - unexported fields are flagged: the codec drops them without error;
+//   - func, chan, array, complex, float32, uintptr and unsafe.Pointer
+//     fields are flagged: the codec has no encoding for them;
+//   - maps ride the wire as embedded JSON, so keys must be strings or
+//     integers and values are checked recursively;
+//   - interface fields are accepted silently: the codec encodes only nil
+//     interfaces, and non-nil values are rejected at runtime by the
+//     Request.WireSafe() gate, which is the right layer for a
+//     value-dependent rule.
+var WireSafe = &Analyzer{
+	Name: "wiresafe",
+	Doc: `verifies every struct reachable from the frame-codec roots
+(Wire* types, testbed.Request, testbed.SessionConfig) carries only
+codec-representable exported fields; the binary codec silently drops
+anything else, corrupting reports across the wire instead of failing
+fast`,
+	Run: runWireSafe,
+}
+
+func runWireSafe(pass *Pass) {
+	w := &wireWalker{pass: pass, visited: map[*types.Named]bool{}}
+	scope := pass.Pkg.Scope()
+	var roots []string
+	for _, name := range scope.Names() {
+		if strings.HasPrefix(name, "Wire") {
+			roots = append(roots, name)
+		}
+	}
+	if pass.PkgPath == "repro/internal/testbed" {
+		roots = append(roots, "Request", "SessionConfig")
+	}
+	for _, name := range roots {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		w.walkNamed(named)
+	}
+}
+
+// wireWalker walks the type graph reachable from the wire roots once.
+type wireWalker struct {
+	pass    *Pass
+	visited map[*types.Named]bool
+}
+
+// walkNamed checks every field of a named struct, recursing into field
+// types.
+func (w *wireWalker) walkNamed(named *types.Named) {
+	if w.visited[named] {
+		return
+	}
+	w.visited[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	tname := named.Obj().Name()
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			w.pass.Reportf(field.Pos(),
+				"wire struct %s has unexported field %s: the frame codec silently drops it, so the value never crosses the wire",
+				tname, field.Name())
+			continue
+		}
+		w.checkType(field.Type(), tname+"."+field.Name(), field.Pos(), false)
+	}
+}
+
+// checkType verifies t is codec-representable, reporting at pos with
+// path naming the offending field. inJSON marks map-value context,
+// where the payload is carried as JSON rather than by the binary codec.
+func (w *wireWalker) checkType(t types.Type, path string, pos token.Pos, inJSON bool) {
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.Bool, types.String, types.Float64,
+			types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64:
+			return
+		case types.Float32:
+			w.pass.Reportf(pos,
+				"wire field %s has type float32: the frame codec encodes only float64; widen the field", path)
+		case types.Uintptr:
+			w.pass.Reportf(pos,
+				"wire field %s has type uintptr: pointer-sized integers are not wire data", path)
+		case types.Complex64, types.Complex128:
+			w.pass.Reportf(pos,
+				"wire field %s has complex type %s: the frame codec has no encoding for it", path, t)
+		case types.UnsafePointer:
+			w.pass.Reportf(pos,
+				"wire field %s is an unsafe.Pointer: it cannot cross the wire", path)
+		default:
+			w.pass.Reportf(pos,
+				"wire field %s has non-representable basic type %s", path, t)
+		}
+	case *types.Pointer:
+		w.checkType(t.Elem(), path, pos, inJSON)
+	case *types.Slice:
+		w.checkType(t.Elem(), path, pos, inJSON)
+	case *types.Array:
+		if inJSON {
+			// encoding/json handles fixed arrays; the binary codec does not.
+			w.checkType(t.Elem(), path, pos, true)
+			return
+		}
+		w.pass.Reportf(pos,
+			"wire field %s is a fixed array: the frame codec encodes only slices; use %s", path, types.NewSlice(t.Elem()))
+	case *types.Map:
+		// Maps ride the wire as embedded JSON: keys must render as JSON
+		// object keys, values must themselves serialize.
+		if !jsonKeyOK(t.Key()) {
+			w.pass.Reportf(pos,
+				"wire field %s is a map with non-string, non-integer key type %s: it cannot render as a JSON object on the wire", path, t.Key())
+		}
+		w.checkType(t.Elem(), path, pos, true)
+	case *types.Signature:
+		w.pass.Reportf(pos,
+			"wire field %s is a func: behavior cannot cross the wire; carry the data it derives from instead", path)
+	case *types.Chan:
+		w.pass.Reportf(pos,
+			"wire field %s is a channel: it cannot cross the wire", path)
+	case *types.Interface:
+		// Accepted: the codec encodes nil interfaces only, and non-nil
+		// values are rejected at runtime by the WireSafe() request gate.
+	case *types.Named:
+		if _, ok := t.Underlying().(*types.Struct); ok {
+			w.walkNamed(t)
+			return
+		}
+		w.checkType(t.Underlying(), path, pos, inJSON)
+	default:
+		w.pass.Reportf(pos,
+			"wire field %s has type %s, which the frame codec cannot represent", path, t)
+	}
+}
+
+// jsonKeyOK reports whether k can be a JSON object key (string or
+// integer kinds, matching encoding/json's map-key rules minus
+// TextMarshaler).
+func jsonKeyOK(k types.Type) bool {
+	basic, ok := k.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.String,
+		types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64:
+		return true
+	}
+	return false
+}

@@ -206,6 +206,7 @@ func (s netSource) acquire(cctx context.Context) (batchTransport, error) {
 			return nil, &terminalError{err: cctx.Err()}
 		}
 		if retryable(err) {
+			//xrlint:allow determinism -- quarantine backoff clock for node health, never measurement data
 			node.health.failure(time.Now(), err)
 		}
 		return nil, err
@@ -218,7 +219,7 @@ func (s netSource) acquire(cctx context.Context) (batchTransport, error) {
 // node poisoned it returns the poison error (the first node's reason
 // wrapped, so errors.Is sees through to e.g. ErrVersionMismatch).
 func (r *NetRunner) pickNode() (*netNode, time.Duration, error) {
-	now := time.Now()
+	now := time.Now() //xrlint:allow determinism -- quarantine-release comparison clock, never measurement data
 	start := int(r.rr.Add(1))
 	soonest := time.Duration(-1)
 	var poisons []error
@@ -279,6 +280,7 @@ func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error)
 		return nil, &workerFailure{fmt.Errorf("dial node %s: %w", nd.addr, err)}
 	}
 	c := &netConn{runner: r, node: nd, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	//xrlint:allow determinism -- connection read deadline, operational timeout rather than measurement data
 	_ = conn.SetReadDeadline(time.Now().Add(r.timeout))
 	h, err := testbed.ReadHello(c.br)
 	switch {
@@ -415,6 +417,7 @@ func (t *netTransport) corrupt(format string, args ...any) error {
 func (t *netTransport) park() { t.r.release(t.c) }
 
 func (t *netTransport) fail(cause error) {
+	//xrlint:allow determinism -- quarantine backoff clock for node health, never measurement data
 	t.c.node.health.failure(time.Now(), cause)
 	t.c.destroy()
 }

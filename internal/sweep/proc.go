@@ -111,6 +111,7 @@ func (p *ProcRunner) init() error {
 	p.lifeCtx, p.stop = context.WithCancel(context.Background())
 	p.pool = make(chan *workerProc, p.procs)
 	for i := 0; i < p.procs; i++ {
+		//xrlint:allow lockhygiene -- filling a freshly made buffered channel to its exact capacity; cannot block
 		p.pool <- nil // nil slot: a worker is spawned at checkout
 	}
 	return nil
@@ -170,6 +171,7 @@ func (s procSource) acquire(cctx context.Context) (batchTransport, error) {
 		if w != nil {
 			return &procTransport{p: p, w: w}, nil
 		}
+		//xrlint:allow determinism -- quarantine-release comparison clock, never measurement data
 		if wait := p.health.quarantinedFor(time.Now()); wait > 0 {
 			p.pool <- nil
 			// Carry the failure that caused the quarantine: with the
@@ -185,6 +187,7 @@ func (s procSource) acquire(cctx context.Context) (batchTransport, error) {
 		nw, err := p.startWorker()
 		if err != nil {
 			p.pool <- nil
+			//xrlint:allow determinism -- quarantine backoff clock for spawn health, never measurement data
 			p.health.failure(time.Now(), err)
 			return nil, &terminalError{err: err}
 		}
@@ -194,6 +197,7 @@ func (s procSource) acquire(cctx context.Context) (batchTransport, error) {
 			if cctx.Err() != nil {
 				return nil, &terminalError{err: cctx.Err()}
 			}
+			//xrlint:allow determinism -- quarantine backoff clock for handshake health, never measurement data
 			p.health.failure(time.Now(), err)
 			if errors.Is(err, testbed.ErrVersionMismatch) {
 				return nil, &terminalError{err: err}
@@ -360,6 +364,7 @@ func (t *procTransport) corrupt(format string, args ...any) error {
 func (t *procTransport) park() { t.p.pool <- t.w }
 
 func (t *procTransport) fail(cause error) {
+	//xrlint:allow determinism -- quarantine backoff clock for worker health, never measurement data
 	t.p.health.failure(time.Now(), cause)
 	t.w.destroy()
 	t.p.pool <- nil

@@ -189,6 +189,8 @@ func NewExecutor(bench *Bench) *Executor {
 }
 
 // Do executes one request.
+//
+//xrlint:allow ctxfirst -- compatibility wrapper; cancelable callers use DoContext
 func (e *Executor) Do(req Request) (Measurement, error) {
 	return e.DoContext(context.Background(), req)
 }

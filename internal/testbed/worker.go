@@ -321,6 +321,8 @@ func Serve(r io.Reader, w io.Writer) error {
 
 // ServeFrames runs the transport-agnostic worker loop on the executor
 // with default options.
+//
+//xrlint:allow ctxfirst -- serve loop ends on transport EOF/close, not ctx; dispatchers cancel by closing the conn
 func (e *Executor) ServeFrames(r io.Reader, w io.Writer) error {
 	return e.ServeFramesOpts(r, w, ServeOptions{})
 }
@@ -336,6 +338,8 @@ func (e *Executor) ServeFrames(r io.Reader, w io.Writer) error {
 // worker's observations for seeded requests match any other process's
 // bit for bit — which is what lets one serve loop back pipes and
 // sockets interchangeably.
+//
+//xrlint:allow ctxfirst -- serve loop ends on transport EOF/close, not ctx; dispatchers cancel by closing the conn
 func (e *Executor) ServeFramesOpts(r io.Reader, w io.Writer, opts ServeOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
