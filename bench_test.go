@@ -12,6 +12,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/experiments"
@@ -291,12 +292,10 @@ func BenchmarkSweepCached(b *testing.B) {
 	benchSweepGrid(b, sweep.NewCachedRunner(&sweep.PoolRunner{}))
 }
 
-// BenchmarkSweepNet runs the same grid through a loopback serve node,
-// pinning the network backend's dispatch, framing, and TCP round-trip
-// overhead against the pool and proc backends on identical work. The
-// connections are warmed before timing starts, so the number tracks
-// per-sweep wire cost rather than the one-time dial+handshake.
-func BenchmarkSweepNet(b *testing.B) {
+// benchServeNode starts one loopback serve node torn down with the
+// benchmark, returning its dialable address.
+func benchServeNode(b *testing.B) string {
+	b.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -307,14 +306,56 @@ func BenchmarkSweepNet(b *testing.B) {
 		defer close(done)
 		_ = testbed.ServeListener(ctx, ln, nil)
 	}()
-	defer func() {
+	b.Cleanup(func() {
 		cancel()
 		<-done
-	}()
-	nr := &sweep.NetRunner{Nodes: []string{ln.Addr().String()}}
+	})
+	return ln.Addr().String()
+}
+
+// BenchmarkSweepNet runs the same grid through a loopback serve node,
+// pinning the network backend's dispatch, framing, and TCP round-trip
+// overhead against the pool and proc backends on identical work. The
+// connections are warmed before timing starts, so the number tracks
+// per-sweep wire cost rather than the one-time dial+handshake.
+func BenchmarkSweepNet(b *testing.B) {
+	nr := &sweep.NetRunner{Nodes: []string{benchServeNode(b)}}
 	defer nr.Close()
 	warmSweepRunner(b, nr)
 	benchSweepGrid(b, nr)
+}
+
+// BenchmarkSweepNetSkewed runs the grid on a three-node fleet where one
+// node answers through a frame-delaying proxy roughly 10× slower than
+// its peers — the elastic-fleet headline case. With stealing on (the
+// default) the idle fast nodes repark the slow node's queued batches,
+// so the sweep finishes near the fast nodes' pace; the NoSteal variant
+// below pins what the same skew costs under plain weighted dealing.
+// The steal count is reported as a metric so the perf trail shows the
+// mechanism actually fired rather than the fleet just dodging the slow
+// node.
+func BenchmarkSweepNetSkewed(b *testing.B) { benchSweepNetSkewed(b, false) }
+
+// BenchmarkSweepNetSkewedNoSteal is the control: identical fleet and
+// skew, stealing disabled. The gap between this and SweepNetSkewed is
+// the benefit of work stealing on an asymmetric fleet.
+func BenchmarkSweepNetSkewedNoSteal(b *testing.B) { benchSweepNetSkewed(b, true) }
+
+func benchSweepNetSkewed(b *testing.B, noSteal bool) {
+	slow, err := sweep.NewChaosProxy(benchServeNode(b), sweep.ChaosConfig{FrameDelay: 25 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer slow.Close()
+	nr := &sweep.NetRunner{
+		Nodes:      []string{slow.Addr(), benchServeNode(b), benchServeNode(b)},
+		Batch:      2,
+		StealAfter: time.Millisecond,
+		NoSteal:    noSteal,
+	}
+	defer nr.Close()
+	benchSweepGrid(b, nr)
+	b.ReportMetric(float64(nr.Steals()), "steals")
 }
 
 // BenchmarkAblationPaperVsFitted quantifies the DESIGN.md "re-fit, don't

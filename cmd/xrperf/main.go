@@ -33,10 +33,17 @@
 // not traces.
 // The proc backend shards measurements across `xrperf worker`
 // subprocesses speaking a length-delimited JSON protocol; the net
-// backend dispatches the same protocol over TCP to `xrperf serve` nodes
-// (-nodes host:port,...), rejecting nodes whose handshake reports a
-// different protocol or physics version and re-dispatching shards away
-// from crashed nodes. Every backend runs under a memoizing measurement
+// backend dispatches the same protocol over TCP to `xrperf serve` nodes,
+// rejecting nodes whose handshake reports a different protocol or
+// physics version and re-dispatching shards away from crashed nodes.
+// Fleet membership comes from exactly one source: -nodes host:port,...
+// (static), -nodes-file FILE (reloaded on SIGHUP), or -fleet-register
+// ADDR (a coordinator that `xrperf serve -register` nodes dial to join
+// and leave by disconnecting). Membership may change mid-run — joiners
+// are admitted, leavers drain — and dispatch is capacity-weighted, with
+// idle nodes stealing queued batches from slow ones (-no-steal disables);
+// none of it changes output bytes, because measurements are pure
+// functions of (request, seed). Every backend runs under a memoizing measurement
 // cache, whose counters are reported on stderr. -cache-dir persists
 // measured cells on disk, so a warm re-run of the same configuration —
 // by any backend, or a fleet of dispatchers sharing the directory —
@@ -72,6 +79,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/job"
 	"repro/internal/pipeline"
 	"repro/internal/scenario"
@@ -139,15 +147,23 @@ func runWorker(out io.Writer) error {
 }
 
 // runServe runs a worker-fleet node: accept dispatcher connections on
-// -listen and answer measurement requests until SIGINT/SIGTERM. All
+// -listen and answer measurement requests until SIGINT/SIGTERM. With
+// -register the node also dials the named coordinator and registers its
+// -advertise address (default: the bound listen address), joining an
+// elastic fleet for as long as the registration connection lives. All
 // operational output goes to stderr; stdout stays clean like every
 // other subcommand's.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7600", "TCP address to accept dispatcher connections on")
 	jsonOnly := fs.Bool("json-only", false, "advertise only the JSON codec (exercise mixed-fleet negotiation)")
+	register := fs.String("register", "", "dial this coordinator (host:port) and register as a fleet member until shutdown")
+	advertise := fs.String("advertise", "", "address to register with the coordinator (default: the bound -listen address)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *advertise != "" && *register == "" {
+		return fmt.Errorf("serve: -advertise is only meaningful with -register")
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -159,7 +175,22 @@ func runServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "xrperf serve: "+format+"\n", a...)
 	}
 	logf("listening on %s (protocol %d, physics %d)", ln.Addr(), testbed.ProtocolVersion, testbed.PhysicsVersion)
-	if err := testbed.ServeListenerOpts(ctx, ln, logf, testbed.ServeOptions{JSONOnly: *jsonOnly}); err != nil {
+	// The registration handshake and the serve loop share one options
+	// value so the hello frame dialed to the coordinator carries the same
+	// capacity hints (cores, measured cells/s) dispatchers see.
+	opts := testbed.ServeOptions{JSONOnly: *jsonOnly, Meter: &testbed.RateMeter{}}
+	if *register != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		go func() {
+			if err := fleet.RegisterLoop(ctx, *register, adv, opts.Hello, logf); err != nil && ctx.Err() == nil {
+				logf("registration: %v", err)
+			}
+		}()
+	}
+	if err := testbed.ServeListenerOpts(ctx, ln, logf, opts); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	logf("shutting down")
@@ -224,10 +255,11 @@ func runSubmit(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7700", "job server address")
 	jobFile := fs.String("job", "", "job document (JSON) to submit; \"-\" reads stdin; empty builds the job from flags")
-	kind := fs.String("kind", "sweep", "job kind when building from flags: sweep or report")
+	kind := fs.String("kind", "sweep", "job kind when building from flags: sweep, report, or population")
 	format := fs.String("format", "table", "sweep output format: table or csv")
 	stats := fs.Bool("stats", false, "print the server's introspection snapshot (JSON) instead of submitting a job")
 	gridOf := registerGridFlags(fs)
+	pop := registerPopulationFlags(fs)
 	spec := job.Default()
 	spec.RegisterFlags(fs)
 	spec.RegisterSuiteFlags(fs)
@@ -257,12 +289,15 @@ func runSubmit(args []string, out io.Writer) error {
 		}
 	default:
 		jb = job.Job{Kind: job.Kind(*kind), Spec: spec, Format: *format}
-		if jb.Kind == job.KindSweep {
+		switch jb.Kind {
+		case job.KindSweep:
 			grid, err := gridOf()
 			if err != nil {
 				return err
 			}
 			jb.Grid = &grid
+		case job.KindPopulation:
+			jb.Population = pop
 		}
 	}
 	// Validate client-side first: a bad job fails here with the exact
@@ -303,19 +338,21 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "                               -stream emits each section as soon as it completes")
 	fmt.Fprintln(out, "  worker                       serve measurement requests over stdin/stdout")
 	fmt.Fprintln(out, "                               (spawned by -backend proc; length-delimited JSON)")
-	fmt.Fprintln(out, "  serve [-listen ADDR] [-json-only]")
+	fmt.Fprintln(out, "  serve [-listen ADDR] [-json-only] [-register ADDR [-advertise ADDR]]")
 	fmt.Fprintln(out, "                               run a worker-fleet node: answer measurement")
 	fmt.Fprintln(out, "                               requests over TCP for -backend net dispatchers")
-	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions")
-	fmt.Fprintln(out, "                               and negotiates the frame codec; -json-only opts")
-	fmt.Fprintln(out, "                               the node out of the binary codec)")
+	fmt.Fprintln(out, "                               (handshake carries protocol + physics versions,")
+	fmt.Fprintln(out, "                               capacity hints, and the codec advertisement;")
+	fmt.Fprintln(out, "                               -json-only opts the node out of the binary codec;")
+	fmt.Fprintln(out, "                               -register dials a -fleet-register coordinator and")
+	fmt.Fprintln(out, "                               joins its fleet until shutdown)")
 	fmt.Fprintln(out, "  server [-listen ADDR] [-max-active N] [-queue N] [-job-timeout D]")
 	fmt.Fprintln(out, "         [backend flags]       run a long-lived job server: execute submitted")
 	fmt.Fprintln(out, "                               jobs on one shared measurement cache (overlapping")
 	fmt.Fprintln(out, "                               client grids measure each unique cell once) and")
 	fmt.Fprintln(out, "                               stream canonical output back; bounded queue with")
 	fmt.Fprintln(out, "                               busy rejection when full")
-	fmt.Fprintln(out, "  submit [-addr ADDR] [-job FILE|-] [-kind sweep|report] [-stats]")
+	fmt.Fprintln(out, "  submit [-addr ADDR] [-job FILE|-] [-kind sweep|report|population] [-stats]")
 	fmt.Fprintln(out, "         [sweep/suite flags]   submit one job to a server and print the stream —")
 	fmt.Fprintln(out, "                               byte-identical to the one-shot subcommand; -stats")
 	fmt.Fprintln(out, "                               prints the server's queue/cache/λµ snapshot")
@@ -329,6 +366,13 @@ func printUsage(out io.Writer) {
 	fmt.Fprintln(out, "                               measurements so warm re-runs dispatch nothing;")
 	fmt.Fprintln(out, "                               -batch/-pipeline tune the proc/net wire batching")
 	fmt.Fprintln(out, "                               and window depth without changing output)")
+	fmt.Fprintln(out, "  Fleet flags (-backend net; exactly one membership source):")
+	fmt.Fprintln(out, "                               -nodes host:port,... (static inline fleet)")
+	fmt.Fprintln(out, "                               -nodes-file FILE (one address per line, # comments,")
+	fmt.Fprintln(out, "                               reloaded on SIGHUP) | -fleet-register ADDR (listen")
+	fmt.Fprintln(out, "                               for `xrperf serve -register` nodes dialing home);")
+	fmt.Fprintln(out, "                               -no-steal disables work stealing between nodes —")
+	fmt.Fprintln(out, "                               membership and stealing never change output bytes")
 }
 
 func runDevices(out io.Writer) error {
@@ -394,24 +438,20 @@ func printStats(st sweep.CacheStats) {
 // and sweeps their sessions on the selected backend, reporting merged
 // latency/energy distributions per cohort. Stdout carries only the report
 // — byte-identical for any backend, worker count, or shard size — so CI
-// can diff backends directly.
+// can diff backends directly. The flags assemble a population job
+// document, the exact structure `xrperf submit -kind population` ships
+// to a server, and both render through job.Run — so the two front doors
+// cannot drift.
 func runPopulation(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("population", flag.ContinueOnError)
-	name := fs.String("scenario", "vehicular", "scenario generator: "+strings.Join(scenario.Names(), ", "))
-	users := fs.Int("users", 10000, "total simulated users, split across the scenario's cohorts")
-	frames := fs.Int("frames", 120, "frames per user session")
-	shard := fs.Int("shard", sweep.DefaultShardUsers, "sessions per request shard (output identical for any value)")
+	pop := registerPopulationFlags(fs)
 	spec := job.Default()
 	spec.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cohorts, err := scenario.Generate(*name, scenario.Params{
-		Users:  *users,
-		Frames: *frames,
-		Seed:   spec.Seed,
-	})
-	if err != nil {
+	jb := job.Job{Kind: job.KindPopulation, Spec: spec, Population: pop}
+	if err := jb.Validate(); err != nil {
 		return err
 	}
 	runner, cleanup, err := spec.BuildRunner()
@@ -419,19 +459,29 @@ func runPopulation(args []string, out io.Writer) error {
 		return err
 	}
 	defer cleanup()
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	res, err := sweep.RunPopulation(ctx, runner, cohorts, sweep.PopulationOptions{ShardUsers: *shard})
+	suite, err := jb.SuiteFor(runner)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "xrperf population: %s: %d users x %d frames across %d shards\n",
-		*name, res.Total.Users, *frames, res.Shards)
-	if _, err := fmt.Fprint(out, res.Render()); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := jb.Run(ctx, suite, out); err != nil {
 		return err
 	}
 	printStats(runner.Stats())
 	return nil
+}
+
+// registerPopulationFlags registers the population workload flags on fs,
+// bound to the returned value — the same structure a submit client ships
+// to a server.
+func registerPopulationFlags(fs *flag.FlagSet) *job.Population {
+	pop := &job.Population{}
+	fs.StringVar(&pop.Scenario, "scenario", "vehicular", "scenario generator: "+strings.Join(scenario.Names(), ", "))
+	fs.IntVar(&pop.Users, "users", 10000, "total simulated users, split across the scenario's cohorts")
+	fs.IntVar(&pop.Frames, "frames", 120, "frames per user session")
+	fs.IntVar(&pop.Shard, "shard", sweep.DefaultShardUsers, "sessions per request shard (output identical for any value)")
+	return pop
 }
 
 func runFit(args []string, out io.Writer) error {

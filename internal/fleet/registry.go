@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// RegisterProtocolVersion identifies the registration wire protocol: one
+// JSON WireRegister frame from the node, one JSON WireRegisterAck frame
+// back, then silence until whichever side disconnects. Bump it on any
+// incompatible change.
+const RegisterProtocolVersion = 1
+
+// WireRegister is the one frame a dial-home node sends the coordinator:
+// which address its serve listener answers on, and the same handshake it
+// would give a dispatcher, so the coordinator can reject incompatible
+// nodes before a sweep ever dials them. Membership is the connection —
+// the node stays registered for exactly as long as this connection
+// lives.
+type WireRegister struct {
+	// Proto is the registration protocol version.
+	Proto int `json:"proto"`
+	// Addr is the node's serve address (host:port) as dispatchers should
+	// dial it.
+	Addr string `json:"addr"`
+	// Node is the node's dispatcher-facing handshake.
+	Node testbed.WireHello `json:"node"`
+}
+
+// errBadAddr classifies registrations whose serve address is missing or
+// not a dialable host:port.
+var errBadAddr = errors.New("fleet: bad registration address")
+
+// Check validates a registration frame against this binary.
+func (r WireRegister) Check() error {
+	if r.Proto != RegisterProtocolVersion {
+		return fmt.Errorf("%w: node speaks registration protocol %d, this binary speaks %d",
+			testbed.ErrVersionMismatch, r.Proto, RegisterProtocolVersion)
+	}
+	if r.Addr == "" {
+		return fmt.Errorf("%w: registration without a serve address", errBadAddr)
+	}
+	if _, _, err := net.SplitHostPort(r.Addr); err != nil {
+		return fmt.Errorf("%w: %q: %v", errBadAddr, r.Addr, err)
+	}
+	return r.Node.Check()
+}
+
+// ReadRegister reads and validates one registration frame. On a
+// validation failure the decoded frame is returned alongside the error,
+// so the coordinator can name the node it is rejecting.
+func ReadRegister(r io.Reader) (WireRegister, error) {
+	var reg WireRegister
+	if err := testbed.ReadFrame(r, &reg); err != nil {
+		return WireRegister{}, err
+	}
+	return reg, reg.Check()
+}
+
+// WireRegisterAck answers a WireRegister. An empty Err means the node is
+// in the fleet; a non-empty Err explains the rejection, and the
+// coordinator closes the connection after writing it.
+type WireRegisterAck struct {
+	Err string `json:"err,omitempty"`
+}
+
+// registerTimeout bounds how long the coordinator waits for a dialer's
+// registration frame, and how long a node waits for its ack.
+const registerTimeout = 10 * time.Second
+
+// Registry is the coordinator side of register mode: it accepts
+// dial-home connections on a listener, admits nodes whose registration
+// frame checks out, and evicts each node when its connection drops. It
+// is a Source — the membership feed is the set of currently connected,
+// compatible nodes.
+type Registry struct {
+	*members
+	ln   net.Listener
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	refs   map[string]int
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewRegistry starts a coordinator on ln; Close stops it.
+func NewRegistry(ln net.Listener, logf func(format string, args ...any)) *Registry {
+	reg := &Registry{
+		members: newMembers(nil),
+		ln:      ln,
+		logf:    logf,
+		refs:    make(map[string]int),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	reg.wg.Add(1)
+	go reg.accept()
+	return reg
+}
+
+// Addr returns the coordinator's listen address.
+func (reg *Registry) Addr() string { return reg.ln.Addr().String() }
+
+// Close stops accepting registrations, disconnects every registered
+// node, and waits for the handler goroutines to drain.
+func (reg *Registry) Close() error {
+	err := reg.ln.Close()
+	reg.mu.Lock()
+	reg.closed = true
+	for c := range reg.conns {
+		_ = c.Close()
+	}
+	reg.mu.Unlock()
+	reg.wg.Wait()
+	return err
+}
+
+func (reg *Registry) log(format string, args ...any) {
+	if reg.logf != nil {
+		reg.logf(format, args...)
+	}
+}
+
+func (reg *Registry) accept() {
+	defer reg.wg.Done()
+	for {
+		conn, err := reg.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		reg.mu.Lock()
+		if reg.closed {
+			reg.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		reg.conns[conn] = struct{}{}
+		reg.wg.Add(1)
+		reg.mu.Unlock()
+		go reg.handle(conn)
+	}
+}
+
+func (reg *Registry) handle(conn net.Conn) {
+	defer reg.wg.Done()
+	defer func() {
+		reg.mu.Lock()
+		delete(reg.conns, conn)
+		reg.mu.Unlock()
+		_ = conn.Close()
+	}()
+	_ = conn.SetReadDeadline(time.Now().Add(registerTimeout))
+	var r WireRegister
+	if err := testbed.ReadFrame(conn, &r); err != nil {
+		reg.log("fleet: registration from %s unreadable: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if err := r.Check(); err != nil {
+		reg.log("fleet: rejecting node %s: %v", r.Addr, err)
+		_ = testbed.WriteFrame(conn, WireRegisterAck{Err: err.Error()})
+		return
+	}
+	if err := testbed.WriteFrame(conn, WireRegisterAck{}); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	reg.add(r.Addr)
+	reg.log("node %s joined (%d member(s))", r.Addr, reg.size())
+	// Membership is the connection: camp on it until the node goes away.
+	// Nothing legitimate arrives after the registration frame, so any
+	// read result — bytes, EOF, reset — ends the membership.
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	reg.release(r.Addr)
+	reg.log("node %s left (%d member(s))", r.Addr, reg.size())
+}
+
+// add admits addr, refcounted so a node that re-registers over a second
+// connection (e.g. across a restart racing its old TCP teardown) stays a
+// single member until its last connection drops. The membership is
+// published while reg.mu is held, so concurrent joins and leaves cannot
+// apply their snapshots out of order.
+func (reg *Registry) add(addr string) {
+	reg.mu.Lock()
+	reg.refs[addr]++
+	reg.set(reg.addrList())
+	reg.mu.Unlock()
+}
+
+func (reg *Registry) release(addr string) {
+	reg.mu.Lock()
+	if reg.refs[addr]--; reg.refs[addr] <= 0 {
+		delete(reg.refs, addr)
+	}
+	reg.set(reg.addrList())
+	reg.mu.Unlock()
+}
+
+// addrList rebuilds the registered addresses in stable (join) order:
+// surviving members keep their position, the at-most-one new address an
+// add() introduced is appended. Callers hold reg.mu.
+func (reg *Registry) addrList() []string {
+	cur, _ := reg.Snapshot()
+	out := make([]string, 0, len(cur)+1)
+	for _, a := range cur { // keep join order for survivors
+		if reg.refs[a] > 0 {
+			out = append(out, a)
+		}
+	}
+	for a := range reg.refs {
+		if !contains(out, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (reg *Registry) size() int {
+	addrs, _ := reg.Snapshot()
+	return len(addrs)
+}
+
+// registerBackoffMax caps the redial backoff of a node whose coordinator
+// is down.
+const registerBackoffMax = 15 * time.Second
+
+// RegisterLoop is the node side of register mode: dial the coordinator,
+// register addr with the given handshake, and hold the connection open —
+// membership lasts as long as the connection. A dropped coordinator is
+// redialed with exponential backoff; a rejection (version mismatch) is
+// permanent and ends the loop, since redialing cannot fix an
+// incompatible binary. The loop returns when ctx is canceled or on
+// permanent rejection.
+func RegisterLoop(ctx context.Context, coordinator, addr string, hello func() testbed.WireHello, logf func(format string, args ...any)) error {
+	log := func(format string, args ...any) {
+		if logf != nil {
+			logf(format, args...)
+		}
+	}
+	backoff := 250 * time.Millisecond
+	for {
+		err := registerOnce(ctx, coordinator, addr, hello)
+		if err == nil {
+			backoff = 250 * time.Millisecond // healthy session ended; coordinator went away cleanly
+		}
+		var rej *rejectedError
+		if errors.As(err, &rej) {
+			log("coordinator %s rejected this node permanently: %s", coordinator, rej.reason)
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			log("registration with %s failed (%v), retrying in %v", coordinator, err, backoff)
+		} else {
+			log("coordinator %s disconnected, re-registering in %v", coordinator, backoff)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > registerBackoffMax {
+			backoff = registerBackoffMax
+		}
+	}
+}
+
+// rejectedError marks a coordinator's explicit, permanent rejection.
+type rejectedError struct{ reason string }
+
+func (e *rejectedError) Error() string { return "fleet: registration rejected: " + e.reason }
+
+func registerOnce(ctx context.Context, coordinator, addr string, hello func() testbed.WireHello) error {
+	d := net.Dialer{Timeout: registerTimeout}
+	conn, err := d.DialContext(ctx, "tcp", coordinator)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+	if err := testbed.WriteFrame(conn, WireRegister{
+		Proto: RegisterProtocolVersion,
+		Addr:  addr,
+		Node:  hello(),
+	}); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(registerTimeout))
+	var ack WireRegisterAck
+	if err := testbed.ReadFrame(conn, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return &rejectedError{reason: ack.Err}
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	// Registered: hold the membership open until either side goes away.
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if errors.Is(err, io.EOF) || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+	}
+}

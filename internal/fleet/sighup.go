@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Reloader is anything whose membership can be re-read in place;
+// FileSource is the one that ships.
+type Reloader interface {
+	Reload() error
+}
+
+// WatchSIGHUP reloads r each time the process receives SIGHUP, until the
+// returned stop function is called. Reload failures are reported through
+// logf (if non-nil) and the previous membership stays in force — an
+// operator who fat-fingers the nodes file loses nothing.
+func WatchSIGHUP(r Reloader, logf func(format string, args ...any)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				if err := r.Reload(); err != nil {
+					if logf != nil {
+						logf("SIGHUP reload failed, keeping previous membership: %v", err)
+					}
+				} else if logf != nil {
+					logf("membership reloaded on SIGHUP")
+				}
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Source is a live membership feed. Snapshot returns the current member
+// addresses alongside a generation number that increases whenever
+// membership changes; Changed returns a channel that is closed once
+// membership has moved past the given generation (immediately, if it
+// already has). A nil Changed result means membership is frozen and the
+// caller need not watch.
+//
+// The sweep dispatcher consumes this through its own structurally
+// identical MemberSource interface, so sweep does not import fleet.
+type Source interface {
+	Snapshot() (addrs []string, gen uint64)
+	Changed(gen uint64) <-chan struct{}
+}
+
+// members is the shared generation-stamped membership core behind
+// FileSource and Registry.
+type members struct {
+	mu     sync.Mutex
+	addrs  []string
+	gen    uint64
+	change chan struct{}
+}
+
+func newMembers(addrs []string) *members {
+	m := &members{gen: 1, change: make(chan struct{})}
+	m.addrs = dedupe(addrs)
+	return m
+}
+
+func dedupe(addrs []string) []string {
+	out := make([]string, 0, len(addrs))
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// set replaces the membership; if it actually changed, the generation
+// bumps and the current change channel is closed to wake watchers.
+func (m *members) set(addrs []string) {
+	addrs = dedupe(addrs)
+	m.mu.Lock()
+	if equalStrings(addrs, m.addrs) {
+		m.mu.Unlock()
+		return
+	}
+	m.addrs = addrs
+	m.gen++
+	close(m.change)
+	m.change = make(chan struct{})
+	m.mu.Unlock()
+}
+
+func (m *members) Snapshot() ([]string, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.addrs))
+	copy(out, m.addrs)
+	return out, m.gen
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func (m *members) Changed(gen uint64) <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gen != gen {
+		return closedChan
+	}
+	return m.change
+}
+
+// static is a frozen membership: the inline -nodes fleet.
+type static struct {
+	addrs []string
+}
+
+// Static wraps a fixed address list as a Source whose membership never
+// changes.
+func Static(addrs ...string) Source {
+	return static{addrs: dedupe(addrs)}
+}
+
+func (s static) Snapshot() ([]string, uint64) {
+	out := make([]string, len(s.addrs))
+	copy(out, s.addrs)
+	return out, 1
+}
+
+func (s static) Changed(uint64) <-chan struct{} { return nil }
+
+// FileSource reads membership from a nodes file: one address per line,
+// blank lines and #-comments ignored, commas and whitespace both accepted
+// as separators so a single-line "a:1,b:2" file works too. Reload —
+// typically driven by WatchSIGHUP — re-reads the file; a read or parse
+// failure keeps the previous membership.
+type FileSource struct {
+	path string
+	*members
+}
+
+// NewFileSource loads the nodes file now; the initial load must succeed.
+func NewFileSource(path string) (*FileSource, error) {
+	addrs, err := loadNodesFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{path: path, members: newMembers(addrs)}, nil
+}
+
+// Path returns the nodes file path backing this source.
+func (f *FileSource) Path() string { return f.path }
+
+// Reload re-reads the nodes file and publishes the new membership. On
+// error the previous membership is kept and the error returned.
+func (f *FileSource) Reload() error {
+	addrs, err := loadNodesFile(f.path)
+	if err != nil {
+		return err
+	}
+	f.set(addrs)
+	return nil
+}
+
+func loadNodesFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: nodes file: %w", err)
+	}
+	addrs, err := ParseNodes(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: nodes file %s: %w", path, err)
+	}
+	return addrs, nil
+}
+
+// ParseNodes parses a nodes-file body: addresses separated by newlines,
+// commas, or whitespace, with #-to-end-of-line comments. An empty body
+// is legal (an empty fleet the dispatcher waits on), garbage is not.
+func ParseNodes(body string) ([]string, error) {
+	var addrs []string
+	for _, line := range strings.Split(body, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			if !strings.Contains(tok, ":") {
+				return nil, fmt.Errorf("not a host:port address: %q", tok)
+			}
+			addrs = append(addrs, tok)
+		}
+	}
+	return dedupe(addrs), nil
+}

@@ -22,6 +22,13 @@ func FuzzJobSpecJSON(f *testing.F) {
 	f.Add([]byte(`{"kind":"sweep","format":"xml","spec":{"seed":1}}`)) // bad format
 	f.Add([]byte(`{"spec":{"seed":9223372036854775807}}`))             // extreme seed
 	f.Add([]byte("{\"spec\":{\"backend\":\"\\u0000\"}}"))
+	f.Add([]byte(`{"spec":{"backend":"net","fleet":{"nodes_file":"/tmp/f","no_steal":true}}}`))
+	f.Add([]byte(`{"spec":{"backend":"net","fleet":{"register":"127.0.0.1:7900"}}}`))
+	f.Add([]byte(`{"spec":{"backend":"net","nodes":["a:1"],"fleet":{"nodes_file":"/tmp/f"}}}`)) // two sources
+	f.Add([]byte(`{"spec":{"backend":"pool","fleet":{"no_steal":true}}}`))                      // fleet without net
+	f.Add([]byte(`{"kind":"population","spec":{"seed":7},"population":{"scenario":"offload","users":12,"frames":5}}`))
+	f.Add([]byte(`{"kind":"population","spec":{"seed":7},"population":{"users":-1}}`))
+	f.Add([]byte(`{"kind":"population","format":"csv","spec":{"seed":7}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		j, err := Decode(data)
 		if err != nil {

@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sweep"
 )
 
@@ -28,8 +30,16 @@ type Spec struct {
 	Backend string `json:"backend,omitempty"`
 	// Procs is the proc backend's subprocess count (0 = GOMAXPROCS).
 	Procs int `json:"procs,omitempty"`
-	// Nodes lists the net backend's serve-node addresses.
+	// Nodes lists the net backend's serve-node addresses. It is sugar
+	// for Fleet.Nodes — the inline membership source — kept as a flat
+	// field so existing -nodes flags and job documents keep working.
 	Nodes []string `json:"nodes,omitempty"`
+	// Fleet describes the net backend's worker fleet beyond an inline
+	// node list: a nodes file reloaded on SIGHUP, or a registration
+	// coordinator that `xrperf serve -register` nodes dial into, plus
+	// dispatch tuning (NoSteal). Exactly one membership source — Nodes
+	// (either spelling), NodesFile, or Register — must be set.
+	Fleet *fleet.Spec `json:"fleet,omitempty"`
 	// Workers sizes the dispatcher-side worker pool (0 = GOMAXPROCS;
 	// output is byte-identical for any value).
 	Workers int `json:"workers,omitempty"`
@@ -78,6 +88,22 @@ func (s *Spec) RegisterFlags(fs *flag.FlagSet) {
 		}
 		return nil
 	})
+	fs.Func("nodes-file", "net backend: file of serve-node addresses (one per line, # comments), reloaded on SIGHUP", func(v string) error {
+		s.ensureFleet().NodesFile = v
+		return nil
+	})
+	fs.Func("fleet-register", "net backend: coordinator listen address; `xrperf serve -register` nodes dial it to join the fleet and leave by disconnecting", func(v string) error {
+		s.ensureFleet().Register = v
+		return nil
+	})
+	fs.BoolFunc("no-steal", "net backend: disable work stealing between nodes (a batch committed to a slow node stays there; output is identical either way)", func(v string) error {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return err
+		}
+		s.ensureFleet().NoSteal = b
+		return nil
+	})
 	fs.StringVar(&s.CacheDir, "cache-dir", s.CacheDir, "persist measured cells on disk so warm re-runs dispatch nothing (empty = in-memory cache only)")
 	fs.IntVar(&s.Batch, "batch", s.Batch, "proc/net backends: requests per wire frame (0 = auto; output identical for any value)")
 	fs.IntVar(&s.Pipeline, "pipeline", s.Pipeline, "proc/net backends: outstanding batches per worker (0 = auto; output identical for any value)")
@@ -99,10 +125,35 @@ func (s Spec) backend() string {
 	return s.Backend
 }
 
+// ensureFleet returns the fleet spec, allocating it on first use — the
+// fleet flags share one lazily created value so a spec that never uses
+// them serializes without a "fleet" key.
+func (s *Spec) ensureFleet() *fleet.Spec {
+	if s.Fleet == nil {
+		s.Fleet = &fleet.Spec{}
+	}
+	return s.Fleet
+}
+
+// fleetSpec folds the -nodes sugar into the effective fleet description:
+// an inline node list is one membership source whether it arrived as the
+// flat nodes field or inside the fleet document.
+func (s Spec) fleetSpec() fleet.Spec {
+	var fl fleet.Spec
+	if s.Fleet != nil {
+		fl = *s.Fleet
+	}
+	if len(s.Nodes) > 0 {
+		fl.Nodes = append(append([]string(nil), s.Nodes...), fl.Nodes...)
+	}
+	return fl
+}
+
 // Validate checks the specification. Zero means "use the default" for
 // every count (workers, procs, trials, rows), so only negatives — which
-// no default resolves — are rejected; the backend/nodes combination must
-// be coherent both ways (net needs nodes, nodes need net).
+// no default resolves — are rejected; the backend/fleet combination must
+// be coherent both ways (net needs exactly one membership source, fleet
+// options need net).
 func (s Spec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("job: -workers must be >= 0, have %d", s.Workers)
@@ -130,9 +181,16 @@ func (s Spec) Validate() error {
 		if len(s.Nodes) > 0 {
 			return fmt.Errorf("job: -nodes is only meaningful with -backend net, have -backend %s", s.backend())
 		}
+		if s.Fleet != nil && !s.Fleet.Empty() {
+			return fmt.Errorf("job: fleet options (-nodes-file, -fleet-register, -no-steal) are only meaningful with -backend net, have -backend %s", s.backend())
+		}
 	case "net":
-		if len(s.Nodes) == 0 {
-			return fmt.Errorf("job: -backend net requires -nodes (host:port,...)")
+		fl := s.fleetSpec()
+		if fl.SourceCount() == 0 {
+			return fmt.Errorf("job: -backend net requires a fleet: -nodes (host:port,...), -nodes-file, or -fleet-register")
+		}
+		if fl.SourceCount() > 1 {
+			return fmt.Errorf("job: -nodes, -nodes-file, and -fleet-register are mutually exclusive; set exactly one membership source")
 		}
 	default:
 		return fmt.Errorf("job: unknown -backend %q (pool, proc, or net)", s.Backend)
@@ -174,9 +232,19 @@ func (s Spec) BuildRunner() (runner *sweep.CachedRunner, cleanup func(), err err
 		backend = pr
 		cleanup = func() { _ = pr.Close() }
 	case "net":
-		nr := &sweep.NetRunner{Nodes: s.Nodes, Batch: s.Batch, Pipeline: s.Pipeline}
+		fl := s.fleetSpec()
+		src, stop, err := fl.Open(func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "xrperf fleet: "+format+"\n", a...)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nr := &sweep.NetRunner{Members: src, Batch: s.Batch, Pipeline: s.Pipeline, NoSteal: fl.NoSteal}
 		backend = nr
-		cleanup = func() { _ = nr.Close() }
+		cleanup = func() {
+			_ = nr.Close()
+			stop()
+		}
 	}
 	return sweep.NewCachedRunner(backend, sweep.WithDiskCache(s.openDiskCache())), cleanup, nil
 }

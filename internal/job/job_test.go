@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/pipeline"
 	"repro/internal/sweep"
 	"repro/internal/testbed"
@@ -32,6 +33,8 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 			CacheDir:  "/tmp/cells",
 		},
 		{Backend: "proc", Procs: 4, Seed: 42},
+		{Backend: "net", Fleet: &fleet.Spec{NodesFile: "/tmp/nodes", NoSteal: true}, Seed: 1},
+		{Backend: "net", Fleet: &fleet.Spec{Register: "127.0.0.1:7900"}, Seed: 2},
 	}
 	for _, want := range specs {
 		b, err := json.Marshal(want)
@@ -75,6 +78,42 @@ func TestSpecFlagsMatchJSON(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fromFlags, fromJSON) {
 		t.Fatalf("flag parse and JSON disagree:\nflags %+v\njson  %+v", fromFlags, fromJSON)
+	}
+}
+
+// TestSpecFleetFlagsMatchJSON extends the two-front-doors check to the
+// fleet surface: the -nodes-file/-fleet-register/-no-steal flags build
+// the same Spec as the equivalent fleet JSON document.
+func TestSpecFleetFlagsMatchJSON(t *testing.T) {
+	cases := []struct {
+		name  string
+		flags []string
+		wire  string
+	}{
+		{"nodes file with stealing off",
+			[]string{"-backend", "net", "-nodes-file", "/tmp/fleet.txt", "-no-steal", "-seed", "3"},
+			`{"backend":"net","fleet":{"nodes_file":"/tmp/fleet.txt","no_steal":true},"seed":3}`},
+		{"registration coordinator",
+			[]string{"-backend", "net", "-fleet-register", "127.0.0.1:7900", "-seed", "3"},
+			`{"backend":"net","fleet":{"register":"127.0.0.1:7900"},"seed":3}`},
+	}
+	for _, tc := range cases {
+		var fromFlags Spec
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fromFlags.RegisterFlags(fs)
+		if err := fs.Parse(tc.flags); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var fromJSON Spec
+		if err := json.Unmarshal([]byte(tc.wire), &fromJSON); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(fromFlags, fromJSON) {
+			t.Errorf("%s: flag parse and JSON disagree:\nflags %+v\njson  %+v", tc.name, fromFlags, fromJSON)
+		}
+		if err := fromFlags.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -26,7 +27,45 @@ const (
 	// KindReport regenerates the full Markdown evaluation report (the
 	// `xrperf report` workload).
 	KindReport Kind = "report"
+	// KindPopulation simulates a population of XR sessions (the `xrperf
+	// population` workload): a named scenario expanded into cohorts,
+	// swept on the job's backend, folded into mergeable summaries.
+	KindPopulation Kind = "population"
 )
+
+// Population parameterizes the population workload. Like Grid it is
+// plain data: the scenario name resolves at Run time through the same
+// generator the one-shot CLI uses, so an unknown name fails with the
+// generator's own message on both front doors.
+type Population struct {
+	// Scenario names the generator (see scenario.Names); empty means
+	// vehicular.
+	Scenario string `json:"scenario,omitempty"`
+	// Users is the total simulated population, split across the
+	// scenario's cohorts (0 = 10000).
+	Users int `json:"users,omitempty"`
+	// Frames is the per-user session length (0 = 120).
+	Frames int `json:"frames,omitempty"`
+	// Shard caps sessions per request shard (0 = sweep.DefaultShardUsers;
+	// output is byte-identical for any value).
+	Shard int `json:"shard,omitempty"`
+}
+
+// withDefaults resolves the zero values to the CLI flag defaults, so a
+// minimal JSON document runs the same population the bare subcommand
+// does.
+func (p Population) withDefaults() Population {
+	if p.Scenario == "" {
+		p.Scenario = "vehicular"
+	}
+	if p.Users == 0 {
+		p.Users = 10000
+	}
+	if p.Frames == 0 {
+		p.Frames = 120
+	}
+	return p
+}
 
 // Grid is the serializable form of a sweep grid: catalog names and
 // numeric axes, resolvable in any process. It is the wire twin of
@@ -146,6 +185,9 @@ type Job struct {
 	Spec Spec `json:"spec"`
 	// Grid is the sweep workload (KindSweep only).
 	Grid *Grid `json:"grid,omitempty"`
+	// Population is the population workload (KindPopulation only); nil
+	// runs the default scenario at the default scale.
+	Population *Population `json:"population,omitempty"`
 	// Format is the sweep output format: "table" (default) or "csv".
 	Format string `json:"format,omitempty"`
 	// Stream emits output as grid/report prefixes complete instead of
@@ -168,6 +210,14 @@ func (j Job) format() string {
 	return j.Format
 }
 
+func (j Job) population() Population {
+	var p Population
+	if j.Population != nil {
+		p = *j.Population
+	}
+	return p.withDefaults()
+}
+
 // Validate checks the job document: the spec in full, the kind, and the
 // workload fields the kind requires. Grid names resolve at Run time,
 // through the same catalogs the CLI uses.
@@ -186,8 +236,25 @@ func (j Job) Validate() error {
 			return fmt.Errorf("-format: unknown format %q (table or csv)", j.Format)
 		}
 	case KindReport:
+	case KindPopulation:
+		var p Population
+		if j.Population != nil {
+			p = *j.Population
+		}
+		if p.Users < 0 {
+			return fmt.Errorf("job: -users must be >= 0, have %d", p.Users)
+		}
+		if p.Frames < 0 {
+			return fmt.Errorf("job: -frames must be >= 0, have %d", p.Frames)
+		}
+		if p.Shard < 0 {
+			return fmt.Errorf("job: -shard must be >= 0, have %d", p.Shard)
+		}
+		if j.format() != "table" {
+			return fmt.Errorf("-format: population renders table output only, have %q", j.Format)
+		}
 	default:
-		return fmt.Errorf("job: unknown kind %q (sweep or report)", j.Kind)
+		return fmt.Errorf("job: unknown kind %q (sweep, report, or population)", j.Kind)
 	}
 	return nil
 }
@@ -225,8 +292,48 @@ func (j Job) Run(ctx context.Context, suite *experiments.Suite, out io.Writer) e
 			return suite.StreamReport(ctx, out)
 		}
 		return suite.WriteReport(out)
+	case KindPopulation:
+		return runPopulation(ctx, suite, j.population(), j.Spec.Seed, out)
 	}
-	return fmt.Errorf("job: unknown kind %q (sweep or report)", j.Kind)
+	return fmt.Errorf("job: unknown kind %q (sweep, report, or population)", j.Kind)
+}
+
+// SuiteFor assembles the suite the job's workload runs on, sharing the
+// caller's runner. Sweep and report workloads need the full suite —
+// fitted regression models, catalogs — built by BuildSuiteOn; a
+// population job only measures sessions, so it skips the regression fit
+// and binds the runner directly. The server routes every submitted job
+// through here, and the one-shot population subcommand does too, so both
+// front doors build identical machinery.
+func (j Job) SuiteFor(runner *sweep.CachedRunner) (*experiments.Suite, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if j.kind() == KindPopulation {
+		return &experiments.Suite{Seed: j.Spec.Seed, Runner: runner}, nil
+	}
+	return j.Spec.BuildSuiteOn(runner)
+}
+
+// runPopulation expands the scenario into cohorts, sweeps their sessions
+// on the suite's runner, and renders the merged per-cohort report. The
+// report depends only on (cohorts, seed) — shard size, backend, and
+// fleet shape never change a byte.
+func runPopulation(ctx context.Context, suite *experiments.Suite, p Population, seed int64, out io.Writer) error {
+	cohorts, err := scenario.Generate(p.Scenario, scenario.Params{
+		Users:  p.Users,
+		Frames: p.Frames,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := sweep.RunPopulation(ctx, suite.Runner, cohorts, sweep.PopulationOptions{ShardUsers: p.Shard})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, res.Render())
+	return err
 }
 
 // runSweepTable renders the sweep as the human-readable table. With

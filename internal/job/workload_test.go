@@ -7,6 +7,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // TestSpecValidateTable covers every invalid field combination Validate
@@ -20,6 +25,13 @@ func TestSpecValidateTable(t *testing.T) {
 		{Backend: "pool"},
 		{Backend: "proc", Procs: 4},
 		{Backend: "net", Nodes: []string{"a:1"}},
+		{Backend: "net", Fleet: &fleet.Spec{Nodes: []string{"a:1"}}},
+		{Backend: "net", Fleet: &fleet.Spec{NodesFile: "/tmp/nodes"}},
+		{Backend: "net", Fleet: &fleet.Spec{Register: "127.0.0.1:0", NoSteal: true}},
+		// The flat field and fleet.nodes are the same inline source, not
+		// two competing ones.
+		{Backend: "net", Nodes: []string{"a:1"}, Fleet: &fleet.Spec{Nodes: []string{"b:2"}, NoSteal: true}},
+		{Backend: "pool", Fleet: &fleet.Spec{}}, // empty fleet document is inert
 		{Workers: 8, Trials: 9, TrainRows: 10, TestRows: 11},
 	}
 	for i, s := range valid {
@@ -35,14 +47,24 @@ func TestSpecValidateTable(t *testing.T) {
 	}{
 		{"unknown backend", Spec{Backend: "teleport"},
 			`job: unknown -backend "teleport" (pool, proc, or net)`},
-		{"net without nodes", Spec{Backend: "net"},
-			"job: -backend net requires -nodes (host:port,...)"},
+		{"net without a fleet", Spec{Backend: "net"},
+			"job: -backend net requires a fleet: -nodes (host:port,...), -nodes-file, or -fleet-register"},
+		{"net with an empty fleet", Spec{Backend: "net", Fleet: &fleet.Spec{NoSteal: true}},
+			"job: -backend net requires a fleet: -nodes (host:port,...), -nodes-file, or -fleet-register"},
 		{"nodes without net (pool)", Spec{Backend: "pool", Nodes: []string{"a:1"}},
 			"job: -nodes is only meaningful with -backend net, have -backend pool"},
 		{"nodes without net (proc)", Spec{Backend: "proc", Nodes: []string{"a:1"}},
 			"job: -nodes is only meaningful with -backend net, have -backend proc"},
 		{"nodes without net (implicit pool)", Spec{Nodes: []string{"a:1"}},
 			"job: -nodes is only meaningful with -backend net, have -backend pool"},
+		{"fleet without net", Spec{Fleet: &fleet.Spec{NodesFile: "/tmp/nodes"}},
+			"job: fleet options (-nodes-file, -fleet-register, -no-steal) are only meaningful with -backend net, have -backend pool"},
+		{"no-steal without net", Spec{Backend: "proc", Fleet: &fleet.Spec{NoSteal: true}},
+			"job: fleet options (-nodes-file, -fleet-register, -no-steal) are only meaningful with -backend net, have -backend proc"},
+		{"two membership sources", Spec{Backend: "net", Nodes: []string{"a:1"}, Fleet: &fleet.Spec{NodesFile: "/tmp/nodes"}},
+			"job: -nodes, -nodes-file, and -fleet-register are mutually exclusive; set exactly one membership source"},
+		{"three membership sources", Spec{Backend: "net", Fleet: &fleet.Spec{Nodes: []string{"a:1"}, NodesFile: "f", Register: "r:1"}},
+			"job: -nodes, -nodes-file, and -fleet-register are mutually exclusive; set exactly one membership source"},
 		{"negative workers", Spec{Workers: -1},
 			"job: -workers must be >= 0, have -1"},
 		{"negative procs", Spec{Procs: -2},
@@ -141,6 +163,9 @@ func TestJobValidate(t *testing.T) {
 		{Kind: KindSweep, Spec: Default(), Grid: grid, Format: "csv"},
 		{Kind: KindReport, Spec: Default()},
 		{Kind: KindReport, Spec: Default(), Stream: true},
+		{Kind: KindPopulation, Spec: Default()}, // nil workload = default scenario
+		{Kind: KindPopulation, Spec: Default(), Format: "table",
+			Population: &Population{Scenario: "offload", Users: 12, Frames: 5, Shard: 4}},
 	}
 	for i, j := range good {
 		if err := j.Validate(); err != nil {
@@ -155,9 +180,17 @@ func TestJobValidate(t *testing.T) {
 		{Job{Spec: Default(), Grid: grid, Format: "xml"},
 			`-format: unknown format "xml" (table or csv)`},
 		{Job{Kind: "dance", Spec: Default()},
-			`job: unknown kind "dance" (sweep or report)`},
+			`job: unknown kind "dance" (sweep, report, or population)`},
 		{Job{Spec: Spec{Backend: "net"}, Grid: grid},
-			"job: -backend net requires -nodes (host:port,...)"},
+			"job: -backend net requires a fleet: -nodes (host:port,...), -nodes-file, or -fleet-register"},
+		{Job{Kind: KindPopulation, Spec: Default(), Population: &Population{Users: -1}},
+			"job: -users must be >= 0, have -1"},
+		{Job{Kind: KindPopulation, Spec: Default(), Population: &Population{Frames: -2}},
+			"job: -frames must be >= 0, have -2"},
+		{Job{Kind: KindPopulation, Spec: Default(), Population: &Population{Shard: -3}},
+			"job: -shard must be >= 0, have -3"},
+		{Job{Kind: KindPopulation, Spec: Default(), Format: "csv"},
+			`-format: population renders table output only, have "csv"`},
 	}
 	for _, tc := range bad {
 		if err := tc.job.Validate(); err == nil || err.Error() != tc.want {
@@ -171,17 +204,23 @@ func TestJobValidate(t *testing.T) {
 // the kind/format defaults apply on the wire just as they do for flags.
 func TestJobJSONRoundTrip(t *testing.T) {
 	grid := &Grid{Devices: []string{"XR1", "XR2"}, Modes: []string{"remote"}, CNNs: []string{"M1"}, Sizes: []float64{300, 700}, Freqs: []float64{1.5}}
-	want := Job{Kind: KindSweep, Spec: Default(), Grid: grid, Format: "csv", Stream: true}
-	b, err := json.Marshal(want)
-	if err != nil {
-		t.Fatal(err)
+	jobs := []Job{
+		{Kind: KindSweep, Spec: Default(), Grid: grid, Format: "csv", Stream: true},
+		{Kind: KindPopulation, Spec: Default(),
+			Population: &Population{Scenario: "multiplayer", Users: 500, Frames: 60, Shard: 100}},
 	}
-	got, err := Decode(b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("round trip changed the job:\n got %+v\nwant %+v", got, want)
+	for _, want := range jobs {
+		b, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip changed the job:\n got %+v\nwant %+v", got, want)
+		}
 	}
 
 	if _, err := Decode([]byte("{not json")); err == nil ||
@@ -195,6 +234,68 @@ func TestJobJSONRoundTrip(t *testing.T) {
 	}
 	if err := minimal.Validate(); err != nil {
 		t.Fatalf("minimal sweep document invalid: %v", err)
+	}
+}
+
+// TestPopulationJobMatchesDirectRun pins the population-jobs satellite:
+// a population job routed through SuiteFor + Run — the server's path,
+// and now the CLI's too — renders byte-identically to driving the sweep
+// layer directly, and a nil workload means the documented defaults.
+func TestPopulationJobMatchesDirectRun(t *testing.T) {
+	spec := Spec{Seed: 11}
+	render := func(p *Population) string {
+		t.Helper()
+		jb := Job{Kind: KindPopulation, Spec: spec, Population: p}
+		runner, cleanup, err := spec.BuildRunner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		suite, err := jb.SuiteFor(runner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := jb.Run(context.Background(), suite, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	got := render(&Population{Scenario: "offload", Users: 10, Frames: 4, Shard: 3})
+
+	cohorts, err := scenario.Generate("offload", scenario.Params{Users: 10, Frames: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, cleanup, err := spec.BuildRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	res, err := sweep.RunPopulation(context.Background(), runner, cohorts, sweep.PopulationOptions{ShardUsers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Render(); got != want {
+		t.Fatalf("job path diverges from direct sweep:\n job  %q\ndirect %q", got, want)
+	}
+
+	// Shard size never changes bytes, and an explicit spelling of the
+	// defaults matches the nil workload.
+	if a, b := render(&Population{Scenario: "offload", Users: 10, Frames: 4, Shard: 3}),
+		render(&Population{Scenario: "offload", Users: 10, Frames: 4, Shard: 7}); a != b {
+		t.Fatalf("shard size changed population bytes:\n%q\n%q", a, b)
+	}
+	if got, want := (Job{Kind: KindPopulation}).population(),
+		(Population{Scenario: "vehicular", Users: 10000, Frames: 120}); got != want {
+		t.Fatalf("nil population workload resolves to %+v, want %+v", got, want)
+	}
+
+	// An unknown scenario fails with the generator's own message.
+	jb := Job{Kind: KindPopulation, Spec: spec, Population: &Population{Scenario: "bogus"}}
+	if err := jb.Run(context.Background(), &experiments.Suite{}, new(bytes.Buffer)); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown scenario error: %v", err)
 	}
 }
 

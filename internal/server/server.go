@@ -325,7 +325,7 @@ func (s *Server) runJob(ctx context.Context, conn net.Conn, codec string, doc js
 		defer tcancel()
 	}
 
-	suite, err := jb.Spec.BuildSuiteOn(s.cfg.Runner)
+	suite, err := jb.SuiteFor(s.cfg.Runner)
 	if err != nil {
 		s.finish(id, admittedAt, admittedAt, err)
 		return writeErr(conn, codec, err)

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/testbed"
 )
@@ -49,12 +50,24 @@ const (
 // batchJob is one batch of contiguous requests on its way through the
 // dispatcher. Its tag (id) doubles as the grid offset of reqs[0], so a
 // result frame identifies both its window slot and its output indices.
+//
+// With work stealing a job can be in flight on two transports at once
+// (the slow victim's copy and the thief's); claimed arbitrates exactly
+// one delivery. Ownership — who retries and requeues the job — stays
+// unique throughout: a steal transfers it, so attempts/lastErr need no
+// lock.
 type batchJob struct {
 	id       int
 	off      int
 	reqs     []testbed.Request
 	attempts int
 	lastErr  error
+	// claimed flips exactly once, by the first result that answers this
+	// job; a duplicate answer (the batch was stolen) is discarded.
+	// Measurements are pure functions of (request, seed), so the two
+	// answers carry identical bytes and the winner's identity is
+	// irrelevant to output.
+	claimed atomic.Bool
 }
 
 // terminalError marks an acquire failure that fails the pulled batch —
@@ -75,6 +88,12 @@ func (e *terminalError) Unwrap() error { return e.err }
 // errAllCooling reports an acquire that waited out a fully quarantined
 // fleet: the attempt is consumed but carries no new failure cause.
 var errAllCooling = errors.New("every node quarantined after repeated failures")
+
+// errStandby reports an acquire that stood down without dispatching —
+// an empty elastic fleet waiting for its first member, or a membership
+// change worth re-evaluating. The batch is requeued without consuming
+// one of its attempts: standing by is not a dispatch failure.
+var errStandby = errors.New("standing by for fleet membership")
 
 // batchSource checks out transports for the dispatcher. Attempt-level
 // failures (a crashed spawn handshake, an unreachable node) return plain
@@ -112,6 +131,14 @@ type batchTransport interface {
 	destroy()
 }
 
+// batchObserver is optionally implemented by transports that fold
+// observed batch latency into capacity weights (the net backend). The
+// dispatcher reports each first-answer delivery: how many requests,
+// how long from send to receive.
+type batchObserver interface {
+	observe(cells int, elapsed time.Duration)
+}
+
 // batchConfig parameterizes one dispatch run.
 type batchConfig struct {
 	sessions int // concurrent worker sessions (procs, or nodes×conns)
@@ -120,6 +147,22 @@ type batchConfig struct {
 	budget   int // attempts per batch before givingUp
 	source   batchSource
 	givingUp func(j *batchJob) error
+	// watch, when set, runs alongside the sessions for the length of the
+	// dispatch: stop closes when the work is delivered or canceled, and
+	// spawn adds worker sessions mid-run — how an elastic fleet's
+	// joiners get lanes of their own. spawn is only valid until watch
+	// returns.
+	watch func(stop <-chan struct{}, spawn func(n int))
+	// stealAfter enables work stealing when positive: an idle session
+	// may re-dispatch another session's unstarted batch once it has been
+	// in flight that long. Zero disables stealing (the proc backend:
+	// its transports come from a bounded slot pool, and an idle lane
+	// camping on a transport could hold the slot a blocked acquire
+	// needs).
+	stealAfter time.Duration
+	// onSteal, when set, is called once per successful steal (metrics
+	// and test observability).
+	onSteal func()
 }
 
 // splitBatches carves the request slice into contiguous batch jobs of at
@@ -167,11 +210,27 @@ type batchDispatcher struct {
 	cancel  context.CancelFunc
 	queue   chan *batchJob
 	results chan indexed[testbed.Measurement]
+	// queueDone closes when every batch has been delivered. The queue
+	// channel itself is never closed: with stealing, a retry can race
+	// the final delivery, and a send on a closed channel is a panic
+	// where a send raced against queueDone is just a no-op.
+	queueDone chan struct{}
+	doneOnce  sync.Once
 
 	remaining atomic.Int64
 
+	// drives registers every live transport session's in-flight window
+	// so idle sessions can steal from loaded ones.
+	drivesMu sync.Mutex
+	drives   map[*driveState]struct{}
+
 	errMu    sync.Mutex
 	firstErr *pointError
+}
+
+// finish marks all batches delivered, waking pullers and campers.
+func (d *batchDispatcher) finish() {
+	d.doneOnce.Do(func() { close(d.queueDone) })
 }
 
 // runBatches evaluates reqs across the source's transports and invokes
@@ -191,11 +250,13 @@ func runBatches(ctx context.Context, reqs []testbed.Request, cfg batchConfig, em
 
 	jobs := splitBatches(reqs, cfg.sessions, cfg.batch, cfg.depth)
 	d := &batchDispatcher{
-		cfg:     cfg,
-		cctx:    cctx,
-		cancel:  cancel,
-		queue:   make(chan *batchJob, len(jobs)),
-		results: make(chan indexed[testbed.Measurement], n),
+		cfg:       cfg,
+		cctx:      cctx,
+		cancel:    cancel,
+		queue:     make(chan *batchJob, len(jobs)),
+		results:   make(chan indexed[testbed.Measurement], n),
+		queueDone: make(chan struct{}),
+		drives:    make(map[*driveState]struct{}),
 	}
 	for _, j := range jobs {
 		d.queue <- j
@@ -207,11 +268,32 @@ func runBatches(ctx context.Context, reqs []testbed.Request, cfg batchConfig, em
 		sessions = len(jobs)
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < sessions; i++ {
+	spawn := func(k int) {
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.session()
+			}()
+		}
+	}
+	spawn(sessions)
+	if cfg.watch != nil {
+		// The watcher holds a WaitGroup slot of its own, so its spawn
+		// calls always run while the counter is positive — no Add-after-
+		// Wait race with the results close below.
+		stop := make(chan struct{})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			d.session()
+			cfg.watch(stop, spawn)
+		}()
+		go func() {
+			select {
+			case <-d.queueDone:
+			case <-cctx.Done():
+			}
+			close(stop)
 		}()
 	}
 	go func() {
@@ -278,21 +360,54 @@ func (d *batchDispatcher) report(idx int, err error) {
 	d.cancel()
 }
 
-// pull takes the next batch job, or reports done when the queue closed
-// (all batches delivered) or the sweep canceled.
+// pull takes the next batch job, or reports done when every batch has
+// been delivered or the sweep canceled. With stealing enabled an empty
+// queue does not block: pull returns (nil, true) so the session checks
+// out a transport anyway and goes poaching — the only way a node that
+// joined after the queue drained can help finish work that was already
+// in flight when it arrived.
 func (d *batchDispatcher) pull() (*batchJob, bool) {
 	select {
-	case j, ok := <-d.queue:
-		return j, ok
+	case j := <-d.queue:
+		return j, true
+	case <-d.queueDone:
+		return nil, false
+	case <-d.cctx.Done():
+		return nil, false
+	default:
+	}
+	if d.cfg.stealAfter > 0 {
+		return nil, true
+	}
+	select {
+	case j := <-d.queue:
+		return j, true
+	case <-d.queueDone:
+		return nil, false
 	case <-d.cctx.Done():
 		return nil, false
 	}
 }
 
+// requeue puts a batch back on the queue without charging an attempt —
+// the standby path, where nothing was actually dispatched.
+func (d *batchDispatcher) requeue(j *batchJob) {
+	select {
+	case d.queue <- j:
+	case <-d.queueDone:
+	case <-d.cctx.Done():
+	}
+}
+
 // retry charges one attempt against the batch and requeues it, or gives
 // up through cfg.givingUp when the budget is spent. A nil cause (a
-// quarantine wait) leaves the recorded last failure untouched.
+// quarantine wait) leaves the recorded last failure untouched. A batch
+// whose result already arrived on another transport (it was stolen) is
+// dropped: its delivery is done, there is nothing to retry.
 func (d *batchDispatcher) retry(j *batchJob, cause error) {
+	if j.claimed.Load() {
+		return
+	}
 	if cause != nil {
 		j.lastErr = cause
 	}
@@ -301,14 +416,12 @@ func (d *batchDispatcher) retry(j *batchJob, cause error) {
 		d.report(j.off, d.cfg.givingUp(j))
 		return
 	}
-	select {
-	case d.queue <- j:
-	case <-d.cctx.Done():
-	}
+	d.requeue(j)
 }
 
-// session is one worker lane: pull a batch, check out a transport, and
-// drive it until the transport dies or the work runs out.
+// session is one worker lane: pull a batch (or, in stealing mode, a
+// nil poaching ticket), check out a transport, and drive it until the
+// transport dies or the work runs out.
 func (d *batchDispatcher) session() {
 	for {
 		j, ok := d.pull()
@@ -319,12 +432,37 @@ func (d *batchDispatcher) session() {
 		if err != nil {
 			var te *terminalError
 			if errors.As(err, &te) {
+				if j == nil {
+					// A jobless poacher owes nothing: every batch is on
+					// some other session's drive, and that session will do
+					// the reporting if the fleet is truly gone.
+					return
+				}
 				e := te.err
 				if te.needsIdx {
 					e = noHealthySource(j.off, te.err, j.lastErr)
 				}
 				d.report(j.off, e)
 				return
+			}
+			if errors.Is(err, errStandby) {
+				if j != nil {
+					d.requeue(j)
+				}
+				continue
+			}
+			if j == nil {
+				// No transport and no batch charged: wait a beat before
+				// rechecking the fleet, so a flapping node cannot spin
+				// this lane hot.
+				select {
+				case <-time.After(d.cfg.stealAfter):
+				case <-d.queueDone:
+					return
+				case <-d.cctx.Done():
+					return
+				}
+				continue
 			}
 			if errors.Is(err, errAllCooling) {
 				err = nil
@@ -336,41 +474,134 @@ func (d *batchDispatcher) session() {
 	}
 }
 
+// inflightEntry is one sent-but-unanswered batch in a drive's FIFO.
+type inflightEntry struct {
+	j *batchJob
+	// sentAt stamps the send, for the steal age criterion.
+	sentAt time.Time
+	// stolen marks an entry another session has re-dispatched: ownership
+	// moved to the thief, so this drive must not retry it on death. The
+	// entry stays in the FIFO — the victim's worker will still answer it
+	// in order, and that answer must be consumed (and discarded via the
+	// claim) to keep FIFO matching exact.
+	stolen bool
+}
+
+// driveState is one transport session's in-flight window, registered
+// with the dispatcher so idle sessions can steal from it.
+type driveState struct {
+	mu      sync.Mutex
+	entries []inflightEntry
+}
+
+func (ds *driveState) push(j *batchJob, sentAt time.Time) {
+	ds.mu.Lock()
+	ds.entries = append(ds.entries, inflightEntry{j: j, sentAt: sentAt})
+	ds.mu.Unlock()
+}
+
+func (ds *driveState) pop() (inflightEntry, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if len(ds.entries) == 0 {
+		return inflightEntry{}, false
+	}
+	e := ds.entries[0]
+	ds.entries = ds.entries[1:]
+	return e, true
+}
+
+func (ds *driveState) unpop(e inflightEntry) {
+	ds.mu.Lock()
+	ds.entries = append([]inflightEntry{e}, ds.entries...)
+	ds.mu.Unlock()
+}
+
+// pendingOnlyStolen reports whether the drive still awaits answers and
+// every one of them is for an entry whose delivery is someone else's:
+// stolen (a thief owns it) or already claimed (a duplicate answered).
+func (ds *driveState) pendingOnlyStolen() bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if len(ds.entries) == 0 {
+		return false
+	}
+	for _, e := range ds.entries {
+		if !e.stolen && !e.j.claimed.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// steal re-dispatches one batch from the most loaded other session: the
+// newest unanswered, unstolen, unclaimed entry at least stealAfter old.
+// A session's head entry is held to a 4× stiffer age bar — its worker
+// is most likely midway through measuring it, and duplicating that
+// compute is only worth it once the batch has gone unanswered long
+// enough to look like a genuine straggler (a slow node whose every
+// in-flight batch is a singleton head is exactly the case stealing
+// exists to rescue). Returns nil when nothing qualifies.
+func (d *batchDispatcher) steal(me *driveState, now time.Time) *batchJob {
+	d.drivesMu.Lock()
+	defer d.drivesMu.Unlock()
+	var victim *driveState
+	var best int
+	for ds := range d.drives {
+		if ds == me {
+			continue
+		}
+		ds.mu.Lock()
+		n := len(ds.entries)
+		ds.mu.Unlock()
+		if n > best {
+			victim, best = ds, n
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	for i := len(victim.entries) - 1; i >= 0; i-- {
+		e := &victim.entries[i]
+		age := now.Sub(e.sentAt)
+		if e.stolen || e.j.claimed.Load() || age < d.cfg.stealAfter {
+			continue
+		}
+		if i == 0 && age < 4*d.cfg.stealAfter {
+			continue
+		}
+		e.stolen = true
+		if d.cfg.onSteal != nil {
+			d.cfg.onSteal()
+		}
+		return e.j
+	}
+	return nil
+}
+
 // drive runs one transport's send/receive session: the calling goroutine
 // sends batch frames with up to depth outstanding, while a receiver
 // goroutine matches result frames to the in-flight FIFO and delivers
 // items. Responses come back in send order on a connection (the worker
 // loop is sequential), so FIFO matching is exact; the echoed batch tag
 // is checked as a corruption guard. On transport death every unanswered
-// batch is collected and re-dispatched through retry.
+// batch this drive still owns is collected and re-dispatched through
+// retry; entries stolen by other sessions are theirs to finish.
 func (d *batchDispatcher) drive(t batchTransport, first *batchJob) {
 	stop := context.AfterFunc(d.cctx, t.destroy)
 	defer stop()
 
-	var (
-		mu       sync.Mutex
-		inflight []*batchJob
-	)
-	push := func(j *batchJob) {
-		mu.Lock()
-		inflight = append(inflight, j)
-		mu.Unlock()
-	}
-	pop := func() *batchJob {
-		mu.Lock()
-		defer mu.Unlock()
-		if len(inflight) == 0 {
-			return nil
-		}
-		j := inflight[0]
-		inflight = inflight[1:]
-		return j
-	}
-	unpop := func(j *batchJob) {
-		mu.Lock()
-		inflight = append([]*batchJob{j}, inflight...)
-		mu.Unlock()
-	}
+	me := &driveState{}
+	d.drivesMu.Lock()
+	d.drives[me] = struct{}{}
+	d.drivesMu.Unlock()
+	defer func() {
+		d.drivesMu.Lock()
+		delete(d.drives, me)
+		d.drivesMu.Unlock()
+	}()
 
 	// sem bounds the window; tokens hands sent batches to the receiver.
 	// Tokens in flight never exceed held window slots, so the token send
@@ -391,25 +622,40 @@ func (d *batchDispatcher) drive(t batchTransport, first *batchJob) {
 				recvDone <- err
 				return
 			}
-			j := pop()
-			if j == nil {
+			e, ok := me.pop()
+			if !ok {
 				recvDone <- t.corrupt("answered with no batch in flight")
 				return
 			}
+			j := e.j
 			if res.Err != "" {
-				unpop(j)
+				me.unpop(e)
 				recvDone <- t.corrupt("rejected the stream: %s", sanitizeLine(res.Err))
 				return
 			}
 			if res.ID != j.id {
-				unpop(j)
+				me.unpop(e)
 				recvDone <- t.corrupt("answered batch %d to batch %d", res.ID, j.id)
 				return
 			}
 			if len(res.Items) != len(j.reqs) {
-				unpop(j)
+				me.unpop(e)
 				recvDone <- t.corrupt("answered %d items to a %d-request batch", len(res.Items), len(j.reqs))
 				return
+			}
+			if !j.claimed.CompareAndSwap(false, true) {
+				// The batch was stolen and the other copy answered first.
+				// The worker was healthy and the bytes identical — only
+				// the delivery is already done. Window accounting only.
+				t.success()
+				<-sem
+				if outstanding.Add(-1) == 0 {
+					select {
+					case drained <- struct{}{}:
+					default:
+					}
+				}
+				continue
 			}
 			bad := -1
 			for i, it := range res.Items {
@@ -428,8 +674,12 @@ func (d *batchDispatcher) drive(t batchTransport, first *batchJob) {
 				return
 			}
 			t.success()
+			if bo, ok := t.(batchObserver); ok {
+				//xrlint:allow determinism -- batch latency feeds capacity weights (dispatch steering), never measurement data
+				bo.observe(len(j.reqs), time.Since(e.sentAt))
+			}
 			if d.remaining.Add(-1) == 0 {
-				close(d.queue)
+				d.finish()
 			}
 			<-sem
 			if outstanding.Add(-1) == 0 {
@@ -447,35 +697,27 @@ func (d *batchDispatcher) drive(t batchTransport, first *batchJob) {
 	recvSeen := false
 send:
 	for {
-		if j == nil {
+		for j == nil {
+			// Fast path: take queued work if immediately available.
 			select {
-			case jj, ok := <-d.queue:
-				if !ok {
-					break send
-				}
-				j = jj
+			case j = <-d.queue:
+				continue
+			case <-d.queueDone:
+				break send
 			case <-d.cctx.Done():
 				break send
 			case rerr = <-recvDone:
 				recvSeen = true
 				break send
 			default:
-				if outstanding.Load() == 0 {
-					// Nothing queued and nothing in flight. Holding the
-					// transport against the queue here can deadlock: with
-					// concurrent dispatchers over one shared source, the next
-					// batch may be in the hands of a session blocked in
-					// acquire, waiting for exactly this slot. Release the
-					// transport instead; the session loop re-acquires when
-					// more work arrives.
-					break send
-				}
+			}
+			if outstanding.Load() > 0 {
+				// The window is still working; block until something
+				// changes.
 				select {
-				case jj, ok := <-d.queue:
-					if !ok {
-						break send
-					}
-					j = jj
+				case j = <-d.queue:
+				case <-d.queueDone:
+					break send
 				case <-d.cctx.Done():
 					break send
 				case rerr = <-recvDone:
@@ -483,9 +725,48 @@ send:
 					break send
 				case <-drained:
 					// The window just emptied; re-evaluate idleness.
-					continue
 				}
+				continue
 			}
+			// Idle: nothing queued and nothing in flight.
+			if d.cfg.stealAfter <= 0 {
+				// Holding the transport against the queue here can
+				// deadlock: with concurrent dispatchers over one shared
+				// bounded source, the next batch may be in the hands of a
+				// session blocked in acquire, waiting for exactly this
+				// slot. Release the transport instead; the session loop
+				// re-acquires when more work arrives.
+				break send
+			}
+			// Stealing enabled — transports are unbounded connections,
+			// so camping here starves no one. Re-dispatch the most loaded
+			// session's freshest unstarted batch, or wait for one to age
+			// past the threshold.
+			//xrlint:allow determinism -- steal age clock for dispatch steering, never measurement data
+			if sj := d.steal(me, time.Now()); sj != nil {
+				j = sj
+				continue
+			}
+			wait := d.cfg.stealAfter / 2
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			select {
+			case j = <-d.queue:
+			case <-d.queueDone:
+				break send
+			case <-d.cctx.Done():
+				break send
+			case rerr = <-recvDone:
+				recvSeen = true
+				break send
+			case <-time.After(wait):
+			}
+		}
+		if j.claimed.Load() {
+			// Answered elsewhere while it sat queued; nothing to send.
+			j = nil
+			continue
 		}
 		select {
 		case sem <- struct{}{}:
@@ -495,17 +776,32 @@ send:
 			recvSeen = true
 			break send
 		}
+		//xrlint:allow determinism -- send timestamp for steal age and latency weights, never measurement data
+		sentAt := time.Now()
 		if err := t.send(testbed.WireBatch{ID: j.id, Reqs: j.reqs}); err != nil {
 			sendFail = err
 			break send
 		}
-		push(j)
+		me.push(j, sentAt)
 		outstanding.Add(1)
 		tokens <- struct{}{}
 		j = nil
 	}
 	close(tokens)
 	if !recvSeen {
+		select {
+		case <-d.queueDone:
+			// The sweep is complete. If every answer this drive still
+			// expects was delivered by a thief, the slow pipe has nothing
+			// left to say worth waiting for: sacrifice the connection
+			// instead of draining it, so the sweep returns at the fast
+			// nodes' pace — which is the entire point of stealing.
+			if (j == nil || j.claimed.Load()) && me.pendingOnlyStolen() {
+				t.abort()
+				return
+			}
+		default:
+		}
 		// Wait the receiver out: it exits on the closed token stream, or
 		// on the recv error cancelation's transport destroy provokes.
 		if r := <-recvDone; rerr == nil {
@@ -513,12 +809,19 @@ send:
 		}
 	}
 
+	// Collect the batches this drive still owns: stolen entries belong
+	// to their thief now, and claimed ones were already delivered by a
+	// duplicate answer.
 	var orphans []*batchJob
-	mu.Lock()
-	orphans = append(orphans, inflight...)
-	inflight = nil
-	mu.Unlock()
-	if j != nil {
+	me.mu.Lock()
+	for _, e := range me.entries {
+		if !e.stolen && !e.j.claimed.Load() {
+			orphans = append(orphans, e.j)
+		}
+	}
+	me.entries = nil
+	me.mu.Unlock()
+	if j != nil && !j.claimed.Load() {
 		orphans = append(orphans, j)
 	}
 

@@ -41,7 +41,9 @@ type ChaosConfig struct {
 	// connections; once spent, the proxy passes traffic through
 	// untouched. Negative means unlimited.
 	MaxCrashes int
-	// FrameDelay sleeps before relaying each node→client frame.
+	// FrameDelay sleeps before relaying each node→client answer frame.
+	// The handshake (first) frame passes undelayed: the model is a slow
+	// worker behind a healthy connection, not a slow network.
 	FrameDelay time.Duration
 }
 
@@ -176,7 +178,7 @@ func (p *ChaosProxy) proxy(client net.Conn, target string) {
 			return
 		}
 		frames++
-		if p.cfg.FrameDelay > 0 {
+		if p.cfg.FrameDelay > 0 && frames > 1 {
 			time.Sleep(p.cfg.FrameDelay)
 		}
 		if p.cfg.CrashAfterFrames > 0 && frames >= p.cfg.CrashAfterFrames && p.crashBudget.Add(-1) >= 0 {

@@ -1,0 +1,286 @@
+package sweep
+
+// Elastic-fleet chaos tests: membership changing under a live sweep —
+// joiners admitted mid-run, leavers drained on SIGHUP, queued batches
+// stolen off a slow node — each pinned against the same invariant as
+// every other fault test in this package: the output bytes never move.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/testbed"
+)
+
+// slowProxy fronts a real serve node with a frame-delaying chaos proxy,
+// making the node's answers slow without making them wrong.
+func slowProxy(t *testing.T, delay time.Duration) *ChaosProxy {
+	t.Helper()
+	proxy, err := NewChaosProxy(startServeNode(t), ChaosConfig{FrameDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return proxy
+}
+
+// nodesFile seeds a membership file and opens it as a fleet source.
+func nodesFile(t *testing.T, addrs ...string) (string, *fleet.FileSource) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "nodes")
+	writeNodesFile(t, path, addrs...)
+	src, err := fleet.NewFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, src
+}
+
+func writeNodesFile(t *testing.T, path string, addrs ...string) {
+	t.Helper()
+	body := "# fleet membership\n"
+	for _, a := range addrs {
+		body += a + "\n"
+	}
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetRunnerElasticJoinMidSweep pins mid-run admission: a sweep
+// starts on a single slow node, a second node joins through a nodes-file
+// reload while batches are in flight, the joiner picks up real work, and
+// the output stays byte-identical to the pool backend.
+func TestNetRunnerElasticJoinMidSweep(t *testing.T) {
+	reqs := testRequests(t, 4)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := slowProxy(t, 15*time.Millisecond)
+	joiner, err := NewChaosProxy(startServeNode(t), ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	path, src := nodesFile(t, slow.Addr())
+	nr := &NetRunner{Members: src, Batch: 1, Pipeline: 2}
+	defer nr.Close()
+
+	joined := false
+	next := 0
+	err = nr.Stream(context.Background(), reqs, func(idx int, m testbed.Measurement) error {
+		if idx != next {
+			return fmt.Errorf("emitted %d, want %d", idx, next)
+		}
+		if m != want[idx] {
+			return fmt.Errorf("point %d diverged after elastic join", idx)
+		}
+		next++
+		if !joined {
+			// First delivery: most of the sweep is still queued on the
+			// slow node. Grow the fleet under it.
+			joined = true
+			writeNodesFile(t, path, slow.Addr(), joiner.Addr())
+			if err := src.Reload(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != len(reqs) {
+		t.Fatalf("delivered %d of %d", next, len(reqs))
+	}
+	if joiner.Conns() == 0 {
+		t.Fatal("mid-sweep joiner was never dialed")
+	}
+}
+
+// TestNetRunnerSIGHUPDrainsLeaver pins the operator workflow end to end:
+// membership lives in a file watched via SIGHUP, and shrinking the fleet
+// mid-sweep — the slow node is removed while it still holds in-flight
+// batches — drains the leaver without losing, duplicating, or reordering
+// a single result.
+func TestNetRunnerSIGHUPDrainsLeaver(t *testing.T) {
+	reqs := testRequests(t, 4)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := slowProxy(t, 15*time.Millisecond)
+	fast := startServeNode(t)
+
+	path, src := nodesFile(t, slow.Addr(), fast)
+	stop := fleet.WatchSIGHUP(src, nil)
+	defer stop()
+
+	nr := &NetRunner{Members: src, Batch: 1, Pipeline: 2}
+	defer nr.Close()
+
+	_, gen0 := src.Snapshot()
+	signaled := false
+	next := 0
+	err = nr.Stream(context.Background(), reqs, func(idx int, m testbed.Measurement) error {
+		if m != want[idx] {
+			return fmt.Errorf("point %d diverged across SIGHUP membership change", idx)
+		}
+		next++
+		if !signaled {
+			signaled = true
+			writeNodesFile(t, path, fast)
+			if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+				return err
+			}
+			// Wait for the asynchronous reload so the shrink really lands
+			// mid-sweep, not after it.
+			for i := 0; ; i++ {
+				if _, gen := src.Snapshot(); gen != gen0 {
+					break
+				}
+				if i > 5000 {
+					return fmt.Errorf("SIGHUP reload never landed")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != len(reqs) {
+		t.Fatalf("delivered %d of %d", next, len(reqs))
+	}
+	if addrs, _ := src.Snapshot(); len(addrs) != 1 || addrs[0] != fast {
+		t.Fatalf("membership after SIGHUP = %v", addrs)
+	}
+}
+
+// TestNetRunnerStealsFromSlowNode pins the work-stealing path under real
+// asymmetry: one node answers through a delaying proxy, the other at
+// loopback speed. The idle fast node must repark queued batches off the
+// slow one — observable through the steal counter — and the stolen work
+// must change nothing about the output.
+func TestNetRunnerStealsFromSlowNode(t *testing.T) {
+	base := testRequests(t, 4)
+	reqs := append(append([]testbed.Request{}, base...), base...) // 12 batches at Batch:1
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(noSteal bool) *NetRunner {
+		t.Helper()
+		slow := slowProxy(t, 30*time.Millisecond)
+		fast := startServeNode(t)
+		nr := &NetRunner{
+			Nodes:        []string{slow.Addr(), fast},
+			ConnsPerNode: 1,
+			Batch:        1,
+			Pipeline:     4,
+			StealAfter:   2 * time.Millisecond,
+			NoSteal:      noSteal,
+		}
+		t.Cleanup(func() { nr.Close() })
+		got, err := nr.Run(context.Background(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("noSteal=%v: point %d diverged from pool", noSteal, i)
+			}
+		}
+		return nr
+	}
+
+	if nr := run(false); nr.Steals() == 0 {
+		t.Fatal("idle fast node never stole from the slow node")
+	}
+	if nr := run(true); nr.Steals() != 0 {
+		t.Fatal("NoSteal runner stole anyway")
+	}
+}
+
+// TestNetRunnerStandbyUntilFirstJoin pins the empty-elastic-fleet start:
+// a dispatcher opened on a membership feed with zero nodes parks in
+// standby instead of failing, and completes normally once the first
+// node arrives.
+func TestNetRunnerStandbyUntilFirstJoin(t *testing.T) {
+	reqs := testRequests(t, 4)
+	want, err := (&PoolRunner{Workers: 2}).Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	node := startServeNode(t)
+	path, src := nodesFile(t) // legal: an empty fleet, for now
+	nr := &NetRunner{Members: src, Batch: 2}
+	defer nr.Close()
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		writeNodesFile(t, path, node)
+		_ = src.Reload()
+	}()
+
+	got, err := nr.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d diverged after standby start", i)
+		}
+	}
+}
+
+// TestNetNodeWeightPrecedence pins the capacity model: observed EWMA
+// throughput outranks the handshake's advertised rate, which outranks
+// the core count, which outranks the know-nothing default of 1 — and
+// degenerate samples never poison the estimate.
+func TestNetNodeWeightPrecedence(t *testing.T) {
+	nd := &netNode{}
+	if w := nd.weight(); w != 1 {
+		t.Fatalf("unknown node weight = %v, want 1", w)
+	}
+	if _, known := nd.estimate(); known {
+		t.Fatal("un-dialed node claims a known estimate")
+	}
+	nd.hinted(testbed.WireHello{Cores: 8})
+	if w := nd.weight(); w != 8 {
+		t.Fatalf("cores-only weight = %v, want 8", w)
+	}
+	if _, known := nd.estimate(); !known {
+		t.Fatal("hinted node claims no estimate")
+	}
+	nd.hinted(testbed.WireHello{Cores: 8, CellsPerSec: 120.5})
+	if w := nd.weight(); w != 120.5 {
+		t.Fatalf("advertised-rate weight = %v, want 120.5", w)
+	}
+	nd.observe(100, 500*time.Millisecond) // 200 cells/s, first sample sticks
+	if w := nd.weight(); w != 200 {
+		t.Fatalf("first observed weight = %v, want 200", w)
+	}
+	nd.observe(100, time.Second) // EWMA: 0.7*200 + 0.3*100
+	if w := nd.weight(); w != 170 {
+		t.Fatalf("EWMA weight = %v, want 170", w)
+	}
+	nd.observe(0, time.Second)
+	nd.observe(10, 0)
+	if w := nd.weight(); w != 170 {
+		t.Fatalf("degenerate samples moved the weight to %v", w)
+	}
+}

@@ -59,6 +59,43 @@ type sourceHealth struct {
 	until       time.Time
 	lastErr     error
 	poison      error
+	// jitterKey/jitterN drive the deterministic backoff jitter: the key
+	// identifies the source (a node address; zero for anonymous sources),
+	// the counter sequences the draws. Seeded rather than random so two
+	// runs of the same fleet land the same windows — the determinism
+	// contract covers timing-free output, but reproducible schedules keep
+	// failures debuggable.
+	jitterKey uint64
+	jitterN   uint64
+}
+
+// seedJitter keys this source's jitter stream to a stable identity.
+func (h *sourceHealth) seedJitter(key string) {
+	// FNV-1a over the key.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	v := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		v ^= uint64(key[i])
+		v *= prime64
+	}
+	h.mu.Lock()
+	h.jitterKey = v
+	h.mu.Unlock()
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche over 64 bits,
+// turning (key, draw counter) into an evenly spread jitter fraction with
+// no clock and no global rand — xrlint's determinism contract holds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // failure records one worker failure and its cause, starting or
@@ -84,6 +121,15 @@ func (h *sourceHealth) failure(now time.Time, cause error) {
 	if d > backoffMax {
 		d = backoffMax
 	}
+	// Jitter the window into [d/2, d): unjittered exponential backoff
+	// synchronizes every dispatcher benching the same node, so all of
+	// them re-probe in the same instant and thundering-herd a node that
+	// was recovering. The jitter is deterministic — keyed per source,
+	// sequenced per draw — so the desynchronization costs none of the
+	// reproducibility.
+	h.jitterN++
+	frac := float64(mix64(h.jitterKey^h.jitterN*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+	d = d/2 + time.Duration(frac*float64(d/2))
 	h.until = now.Add(d)
 }
 

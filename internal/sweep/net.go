@@ -28,7 +28,39 @@ const (
 	// connections, so a silently vanished node (power loss, network
 	// partition) surfaces as a read error instead of a wedged socket.
 	netKeepAlive = 30 * time.Second
+	// netStealAfter is the default age before an idle session may steal
+	// another session's unstarted batch: long enough that a healthy
+	// fleet in steady state steals nothing (a batch is normally answered
+	// in well under this), short enough that one slow node never gates a
+	// sweep for more than a beat.
+	netStealAfter = 50 * time.Millisecond
+	// netStandbyPoll bounds how long an empty elastic fleet waits
+	// between membership checks when no change notification arrives.
+	netStandbyPoll = 250 * time.Millisecond
 )
+
+// MemberSource is a live fleet membership feed: a generation-stamped
+// snapshot of node addresses plus a channel that closes once membership
+// moves past that generation (nil when membership is frozen). It is
+// structurally identical to fleet.Source — defined here too so the
+// dispatch engine does not depend on the fleet package; any fleet.Source
+// satisfies it directly.
+type MemberSource interface {
+	Snapshot() (addrs []string, gen uint64)
+	Changed(gen uint64) <-chan struct{}
+}
+
+// staticMembers freezes an address list as a MemberSource (the -nodes
+// fleet).
+type staticMembers []string
+
+func (s staticMembers) Snapshot() ([]string, uint64) {
+	out := make([]string, len(s))
+	copy(out, s)
+	return out, 1
+}
+
+func (s staticMembers) Changed(uint64) <-chan struct{} { return nil }
 
 // NetRunner executes requests across a fleet of serve nodes — processes
 // running `xrperf serve` (testbed.ServeListener) — over TCP, speaking
@@ -51,8 +83,15 @@ const (
 // content and the deterministic hidden physics, so any healthy node
 // produces the same bytes and re-dispatch never changes the output.
 type NetRunner struct {
-	// Nodes lists the serve-node addresses (host:port). Required.
+	// Nodes lists the serve-node addresses (host:port). Required unless
+	// Members is set.
 	Nodes []string
+	// Members, when set, is a live membership feed (any fleet.Source):
+	// nodes that join mid-run are admitted and dialed, nodes that leave
+	// are drained — their in-flight batches finish, their idle
+	// connections close, and no new work is dealt to them. Overrides
+	// Nodes.
+	Members MemberSource
 	// ConnsPerNode bounds concurrent connections per node; 0 or
 	// negative means netConnsPerNode.
 	ConnsPerNode int
@@ -70,15 +109,33 @@ type NetRunner struct {
 	// codec a node does not speak poisons that node like a version
 	// mismatch.
 	Codec string
+	// StealAfter is how long a dispatched batch may sit unanswered
+	// before an idle session re-dispatches it to another node; 0 means
+	// netStealAfter, negative disables stealing. NoSteal is the
+	// spec-friendly way to disable it.
+	StealAfter time.Duration
+	// NoSteal disables work stealing: a batch committed to a slow node
+	// stays there (uniform dealing). Output bytes are identical either
+	// way; only completion time differs.
+	NoSteal bool
 
 	mu       sync.Mutex
 	started  bool
 	startErr error
 	closed   bool
-	nodes    []*netNode
 	conns    int
 	timeout  time.Duration
 	rr       atomic.Int64
+
+	// nodesMu guards the live membership view. byAddr keeps every node
+	// ever seen, so a leaver that rejoins keeps its health history
+	// (quarantine, poison) instead of getting a clean slate.
+	nodesMu sync.Mutex
+	nodes   []*netNode // current members, feed order
+	byAddr  map[string]*netNode
+	memGen  uint64
+
+	steals atomic.Int64
 
 	liveMu     sync.Mutex
 	liveClosed bool
@@ -86,13 +143,75 @@ type NetRunner struct {
 }
 
 // netNode is the dispatcher's view of one serve node: its address, its
-// health, and a stack of idle connections ready for the next batch.
+// health, its capacity estimate, and a stack of idle connections ready
+// for the next batch.
 type netNode struct {
 	addr   string
 	health sourceHealth
+	// left marks a node the membership feed no longer lists: no new
+	// checkouts, and connections returning from flight are destroyed
+	// instead of idled.
+	left atomic.Bool
+	// busy counts checked-out transports, the load half of the
+	// weighted-checkout score.
+	busy atomic.Int64
+
+	// wmu guards the capacity estimate: the handshake's static hints and
+	// the EWMA over latencies this dispatcher observed itself.
+	wmu        sync.Mutex
+	ewmaCPS    float64
+	helloCPS   float64
+	helloCores int
 
 	mu   sync.Mutex
 	idle []*netConn
+}
+
+// estimate returns the node's capacity estimate in cells/s (or core
+// count as a stand-in), preferring what this dispatcher has observed
+// over what the node advertised, and reports whether anything is known
+// at all — a node never dialed has no hints yet.
+func (nd *netNode) estimate() (float64, bool) {
+	nd.wmu.Lock()
+	defer nd.wmu.Unlock()
+	switch {
+	case nd.ewmaCPS > 0:
+		return nd.ewmaCPS, true
+	case nd.helloCPS > 0:
+		return nd.helloCPS, true
+	case nd.helloCores > 0:
+		return float64(nd.helloCores), true
+	}
+	return 1, false
+}
+
+// weight is estimate with the know-nothing default of 1.
+func (nd *netNode) weight() float64 {
+	w, _ := nd.estimate()
+	return w
+}
+
+// observe folds one answered batch into the node's observed throughput.
+func (nd *netNode) observe(cells int, elapsed time.Duration) {
+	if cells <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(cells) / elapsed.Seconds()
+	nd.wmu.Lock()
+	if nd.ewmaCPS == 0 {
+		nd.ewmaCPS = sample
+	} else {
+		nd.ewmaCPS = 0.7*nd.ewmaCPS + 0.3*sample
+	}
+	nd.wmu.Unlock()
+}
+
+// hinted records the capacity hints from a fresh handshake.
+func (nd *netNode) hinted(h testbed.WireHello) {
+	nd.wmu.Lock()
+	nd.helloCores = h.Cores
+	nd.helloCPS = h.CellsPerSec
+	nd.wmu.Unlock()
 }
 
 // init resolves the configuration once.
@@ -106,18 +225,18 @@ func (r *NetRunner) init() error {
 		return r.startErr
 	}
 	r.started = true
-	if len(r.Nodes) == 0 {
-		r.startErr = errors.New("sweep: net runner needs at least one node address")
-		return r.startErr
+	if r.Members == nil {
+		if len(r.Nodes) == 0 {
+			r.startErr = errors.New("sweep: net runner needs at least one node address")
+			return r.startErr
+		}
+		r.Members = staticMembers(r.Nodes)
 	}
 	if r.Codec != "" && !testbed.KnownCodec(r.Codec) {
 		r.startErr = fmt.Errorf("sweep: unknown frame codec %q", r.Codec)
 		return r.startErr
 	}
-	r.nodes = make([]*netNode, len(r.Nodes))
-	for i, addr := range r.Nodes {
-		r.nodes[i] = &netNode{addr: addr}
-	}
+	r.byAddr = make(map[string]*netNode)
 	r.conns = r.ConnsPerNode
 	if r.conns <= 0 {
 		r.conns = netConnsPerNode
@@ -127,8 +246,66 @@ func (r *NetRunner) init() error {
 		r.timeout = netDialTimeout
 	}
 	r.live = make(map[*netConn]struct{})
+	r.syncMembers()
 	return nil
 }
+
+// syncMembers reconciles the node view with the membership feed: new
+// addresses get nodes (and jitter seeds), returning addresses get their
+// old node back with its health history, and dropped addresses are
+// marked left and their idle connections destroyed. In-flight batches to
+// leavers finish normally — draining, not severing — because their
+// results are as good as anyone's.
+func (r *NetRunner) syncMembers() {
+	addrs, gen := r.Members.Snapshot()
+	r.nodesMu.Lock()
+	if gen == r.memGen && r.memGen != 0 {
+		r.nodesMu.Unlock()
+		return
+	}
+	r.memGen = gen
+	want := make(map[string]bool, len(addrs))
+	nodes := make([]*netNode, 0, len(addrs))
+	for _, a := range addrs {
+		want[a] = true
+		nd := r.byAddr[a]
+		if nd == nil {
+			nd = &netNode{addr: a}
+			nd.health.seedJitter(a)
+			r.byAddr[a] = nd
+		}
+		nd.left.Store(false)
+		nodes = append(nodes, nd)
+	}
+	var evict []*netConn
+	for a, nd := range r.byAddr {
+		if !want[a] && !nd.left.Load() {
+			nd.left.Store(true)
+			nd.mu.Lock()
+			evict = append(evict, nd.idle...)
+			nd.idle = nil
+			nd.mu.Unlock()
+		}
+	}
+	r.nodes = nodes
+	r.nodesMu.Unlock()
+	for _, c := range evict {
+		c.destroy()
+	}
+}
+
+// memberView snapshots the current node list.
+func (r *NetRunner) memberView() []*netNode {
+	r.nodesMu.Lock()
+	defer r.nodesMu.Unlock()
+	out := make([]*netNode, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Steals reports how many batches have been re-dispatched off slow
+// nodes by work stealing since the runner started.
+func (r *NetRunner) Steals() int64 { return r.steals.Load() }
 
 // Run implements Runner.
 func (r *NetRunner) Run(ctx context.Context, reqs []testbed.Request) ([]testbed.Measurement, error) {
@@ -153,9 +330,29 @@ func (r *NetRunner) Stream(ctx context.Context, reqs []testbed.Request, emit fun
 	if err := r.init(); err != nil {
 		return err
 	}
-	attempts := 2 * len(r.nodes)
+	members := r.memberView()
+	elastic := r.Members.Changed(0) != nil // a frozen feed returns nil
+	attempts := 2 * len(members)
+	if elastic && attempts < 8 {
+		// An elastic fleet may be small (or empty) right now and grow;
+		// give each batch headroom to outlive a few joins and failures.
+		attempts = 8
+	}
+	sessions := len(members) * r.conns
+	if sessions == 0 {
+		// An empty elastic fleet: park lanes in standby; the watcher
+		// spawns more as members register.
+		sessions = r.conns
+	}
+	stealAfter := r.StealAfter
+	if stealAfter == 0 {
+		stealAfter = netStealAfter
+	}
+	if r.NoSteal || stealAfter < 0 {
+		stealAfter = 0
+	}
 	cfg := batchConfig{
-		sessions: len(r.nodes) * r.conns,
+		sessions: sessions,
 		batch:    r.Batch,
 		depth:    r.Pipeline,
 		budget:   attempts,
@@ -166,8 +363,36 @@ func (r *NetRunner) Stream(ctx context.Context, reqs []testbed.Request, emit fun
 				last = errors.New("every node quarantined after repeated failures")
 			}
 			return fmt.Errorf("sweep: shard %d failed after %d dispatch attempts across %d node(s): %w",
-				j.off, attempts, len(r.nodes), last)
+				j.off, attempts, len(r.memberView()), last)
 		},
+		stealAfter: stealAfter,
+		onSteal:    func() { r.steals.Add(1) },
+	}
+	if elastic {
+		// Follow the membership feed for the sweep's duration: when the
+		// fleet grows, give the joiners sessions of their own (sessions
+		// never shrink — a lane whose node left simply checks out a
+		// different node's connection next time).
+		cfg.watch = func(stop <-chan struct{}, spawn func(n int)) {
+			have := sessions
+			for {
+				addrs, gen := r.Members.Snapshot()
+				r.syncMembers()
+				if want := len(addrs) * r.conns; want > have {
+					spawn(want - have)
+					have = want
+				}
+				ch := r.Members.Changed(gen)
+				if ch == nil {
+					return
+				}
+				select {
+				case <-stop:
+					return
+				case <-ch:
+				}
+			}
+		}
 	}
 	return runBatches(ctx, reqs, cfg, emit)
 }
@@ -178,9 +403,10 @@ type netSource struct{ r *NetRunner }
 // acquire picks a usable node and pops or dials a connection to it. A
 // fully poisoned fleet is terminal (every node rejected the handshake);
 // a fully quarantined one waits out the soonest release and consumes an
-// attempt; everything else — dial failures, broken handshakes, a poison
-// discovered on this very dial — consumes an attempt and lets the
-// dispatcher route the batch elsewhere.
+// attempt; an empty elastic fleet stands by for members without
+// consuming anything; everything else — dial failures, broken
+// handshakes, a poison discovered on this very dial — consumes an
+// attempt and lets the dispatcher route the batch elsewhere.
 func (s netSource) acquire(cctx context.Context) (batchTransport, error) {
 	r := s.r
 	if err := cctx.Err(); err != nil {
@@ -191,11 +417,29 @@ func (s netSource) acquire(cctx context.Context) (batchTransport, error) {
 		return nil, &terminalError{err: err, needsIdx: true}
 	}
 	if node == nil {
+		// A membership change can end the wait early in either case: a
+		// joiner is more useful than a quarantine release, and on a
+		// frozen feed Changed is nil, which never fires in a select.
+		_, gen := r.Members.Snapshot()
+		changed := r.Members.Changed(gen)
+		if wait < 0 {
+			// The elastic fleet is empty right now: stand by for members
+			// without burning the batch's dispatch attempts.
+			select {
+			case <-changed:
+			case <-time.After(netStandbyPoll):
+			case <-cctx.Done():
+				return nil, &terminalError{err: cctx.Err()}
+			}
+			return nil, errStandby
+		}
 		// Every node is cooling off; wait out the soonest quarantine
 		// (costing one attempt) instead of failing a recoverable fleet.
 		select {
 		case <-time.After(wait):
 			return nil, errAllCooling
+		case <-changed:
+			return nil, errStandby
 		case <-cctx.Done():
 			return nil, &terminalError{err: cctx.Err()}
 		}
@@ -211,20 +455,44 @@ func (s netSource) acquire(cctx context.Context) (batchTransport, error) {
 		}
 		return nil, err
 	}
+	node.busy.Add(1)
 	return &netTransport{r: r, c: c}, nil
 }
 
-// pickNode returns the next usable node in round-robin order. With every
-// node quarantined it returns (nil, soonest release, nil); with every
+// pickNode returns the best usable node by weighted checkout — lowest
+// (busy+1)/weight, ties broken in rotating order — so a node estimated
+// twice as fast carries roughly twice the in-flight batches. It syncs
+// the membership feed first, which is how joiners enter and leavers
+// exit the dispatch path mid-run. With every node quarantined it
+// returns (nil, soonest release, nil); with no members at all (an
+// elastic fleet between nodes) it returns (nil, -1, nil); with every
 // node poisoned it returns the poison error (the first node's reason
 // wrapped, so errors.Is sees through to e.g. ErrVersionMismatch).
 func (r *NetRunner) pickNode() (*netNode, time.Duration, error) {
+	r.syncMembers()
+	nodes := r.memberView()
+	if len(nodes) == 0 {
+		return nil, -1, nil
+	}
 	now := time.Now() //xrlint:allow determinism -- quarantine-release comparison clock, never measurement data
 	start := int(r.rr.Add(1))
 	soonest := time.Duration(-1)
 	var poisons []error
-	for k := 0; k < len(r.nodes); k++ {
-		nd := r.nodes[(start+k)%len(r.nodes)]
+	// Two passes: collect the usable nodes and the largest known capacity
+	// estimate first, so a node nothing is known about yet — a joiner
+	// this dispatcher has never dialed — borrows that estimate instead of
+	// the know-nothing default of 1. Without the optimism a fresh node
+	// could never win a checkout against established nodes advertising
+	// hundreds of cells/s, and would never be explored at all.
+	type candidate struct {
+		nd    *netNode
+		w     float64
+		known bool
+	}
+	cands := make([]candidate, 0, len(nodes))
+	maxKnown := 1.0
+	for k := 0; k < len(nodes); k++ {
+		nd := nodes[(start+k)%len(nodes)]
 		if err := nd.health.poisoned(); err != nil {
 			poisons = append(poisons, err)
 			continue
@@ -235,9 +503,28 @@ func (r *NetRunner) pickNode() (*netNode, time.Duration, error) {
 			}
 			continue
 		}
-		return nd, 0, nil
+		w, known := nd.estimate()
+		if known && w > maxKnown {
+			maxKnown = w
+		}
+		cands = append(cands, candidate{nd, w, known})
 	}
-	if len(poisons) == len(r.nodes) {
+	var best *netNode
+	var bestScore float64
+	for _, c := range cands {
+		w := c.w
+		if !c.known {
+			w = maxKnown
+		}
+		score := float64(c.nd.busy.Load()+1) / w
+		if best == nil || score < bestScore {
+			best, bestScore = c.nd, score
+		}
+	}
+	if best != nil {
+		return best, 0, nil
+	}
+	if len(poisons) == len(nodes) {
 		err := fmt.Errorf("every node rejected: %w", poisons[0])
 		for _, p := range poisons[1:] {
 			err = fmt.Errorf("%w; %v", err, p)
@@ -293,6 +580,7 @@ func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error)
 		c.close()
 		return nil, &workerFailure{fmt.Errorf("node %s: no handshake: %w", nd.addr, err)}
 	}
+	nd.hinted(h)
 	codec := r.Codec
 	if codec == "" {
 		codec = h.PickCodec()
@@ -325,12 +613,14 @@ func (r *NetRunner) dialNode(ctx context.Context, nd *netNode) (*netConn, error)
 }
 
 // release returns a healthy connection to its node's idle stack (or
-// closes it when the runner has been closed meanwhile).
+// closes it when the runner has been closed, or the node has left the
+// fleet — the drain half of elastic membership: the connection finished
+// its in-flight work, and no new work follows it).
 func (r *NetRunner) release(c *netConn) {
 	r.liveMu.Lock()
 	closed := r.liveClosed
 	r.liveMu.Unlock()
-	if closed {
+	if closed || c.node.left.Load() {
 		c.destroy()
 		return
 	}
@@ -358,7 +648,10 @@ func (r *NetRunner) Close() error {
 	}
 	r.live = nil
 	r.liveMu.Unlock()
-	for _, nd := range r.nodes {
+	r.nodesMu.Lock()
+	byAddr := r.byAddr
+	r.nodesMu.Unlock()
+	for _, nd := range byAddr {
 		nd.mu.Lock()
 		nd.idle = nil
 		nd.mu.Unlock()
@@ -380,8 +673,21 @@ type netConn struct {
 
 // netTransport adapts one fleet connection to the batch dispatcher.
 type netTransport struct {
-	r *NetRunner
-	c *netConn
+	r    *NetRunner
+	c    *netConn
+	done sync.Once
+}
+
+// end releases the transport's busy slot exactly once, whichever of
+// park/fail/abort retires it.
+func (t *netTransport) end() {
+	t.done.Do(func() { t.c.node.busy.Add(-1) })
+}
+
+// observe implements batchObserver: answered-batch latency feeds the
+// node's capacity weight.
+func (t *netTransport) observe(cells int, elapsed time.Duration) {
+	t.c.node.observe(cells, elapsed)
 }
 
 func (t *netTransport) send(b testbed.WireBatch) error {
@@ -414,15 +720,22 @@ func (t *netTransport) corrupt(format string, args ...any) error {
 	return &workerFailure{fmt.Errorf("node %s %s", t.c.node.addr, fmt.Sprintf(format, args...))}
 }
 
-func (t *netTransport) park() { t.r.release(t.c) }
+func (t *netTransport) park() {
+	t.end()
+	t.r.release(t.c)
+}
 
 func (t *netTransport) fail(cause error) {
+	t.end()
 	//xrlint:allow determinism -- quarantine backoff clock for node health, never measurement data
 	t.c.node.health.failure(time.Now(), cause)
 	t.c.destroy()
 }
 
-func (t *netTransport) abort() { t.c.destroy() }
+func (t *netTransport) abort() {
+	t.end()
+	t.c.destroy()
+}
 
 func (t *netTransport) destroy() { t.c.destroy() }
 

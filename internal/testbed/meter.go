@@ -1,0 +1,49 @@
+package testbed
+
+import (
+	"sync"
+	"time"
+)
+
+// RateMeter tracks a worker's recent measurement throughput as an EWMA
+// of cells per second. Serve nodes feed it from their batch loop and
+// advertise the rate in their handshake (WireHello.CellsPerSec), giving
+// dispatchers a capacity hint that reflects the machine as it actually
+// performs — thermal state, co-tenants and all — rather than a static
+// core count. The meter is advisory: it steers shard sizing, never
+// measurement values, so it lives outside the determinism contract.
+type RateMeter struct {
+	mu   sync.Mutex
+	rate float64 // cells/s EWMA; 0 until the first observation
+}
+
+// meterAlpha weights a new throughput sample against the running EWMA:
+// heavy enough that a node's advertised rate tracks a load change within
+// a few batches, light enough that one cache-warm batch doesn't spike it.
+const meterAlpha = 0.3
+
+// Observe folds one batch into the rate: cells answered in elapsed time.
+// Degenerate samples (no cells, non-positive elapsed) are dropped.
+func (m *RateMeter) Observe(cells int, elapsed time.Duration) {
+	if m == nil || cells <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(cells) / elapsed.Seconds()
+	m.mu.Lock()
+	if m.rate == 0 {
+		m.rate = sample
+	} else {
+		m.rate = (1-meterAlpha)*m.rate + meterAlpha*sample
+	}
+	m.mu.Unlock()
+}
+
+// Rate returns the current cells/s EWMA, 0 before any observation.
+func (m *RateMeter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate
+}

@@ -34,6 +34,12 @@ func ServeListener(ctx context.Context, ln net.Listener, logf func(format string
 // path.
 func ServeListenerOpts(ctx context.Context, ln net.Listener, logf func(format string, args ...any), opts ServeOptions) error {
 	exec := NewExecutor(nil)
+	if opts.Meter == nil {
+		// One meter across every connection: each dispatcher sees the
+		// node's whole-machine throughput in its handshake, not the rate
+		// of whichever connection it happens to hold.
+		opts.Meter = &RateMeter{}
+	}
 	var (
 		mu   sync.Mutex
 		live = make(map[net.Conn]struct{})

@@ -86,6 +86,15 @@ func TestServeListenerHandshakeAndMeasure(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s handshake: %v", codec, err)
 		}
+		// The dynamic throughput hint is zero on a cold node and primed by
+		// the first codec round's batches; everything else is static.
+		if codec == CodecJSON && hello.CellsPerSec != 0 {
+			t.Fatalf("cold node advertises throughput %v", hello.CellsPerSec)
+		}
+		if codec == CodecBinary && hello.CellsPerSec <= 0 {
+			t.Fatalf("warm node advertises no throughput hint: %+v", hello)
+		}
+		hello.CellsPerSec = 0
 		if hello != Hello() {
 			t.Fatalf("%s hello = %+v", codec, hello)
 		}

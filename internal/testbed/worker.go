@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 )
 
 // WorkerEnv is the environment marker the proc sweep backend sets on its
@@ -140,12 +142,26 @@ type WireHello struct {
 	// comma-separated (e.g. "binary"). Empty means JSON only. Kept a
 	// string, not a slice, so WireHello stays comparable.
 	Codecs string `json:"codecs,omitempty"`
+	// Cores is the worker's GOMAXPROCS: a static capacity hint for
+	// weighted dispatch. Optional — zero (an old node, or a worker that
+	// declines to advertise) means "no hint" and old-node handshake
+	// bytes are unchanged.
+	Cores int `json:"cores,omitempty"`
+	// CellsPerSec is the worker's recently observed measurement
+	// throughput (cells/s EWMA, see RateMeter): the dynamic capacity
+	// hint, preferred over Cores when present. Optional like Cores.
+	CellsPerSec float64 `json:"cps,omitempty"`
 }
 
 // Hello returns this binary's handshake frame, advertising every codec
-// it speaks.
+// it speaks and its core count as a static capacity hint.
 func Hello() WireHello {
-	return WireHello{Protocol: ProtocolVersion, Physics: PhysicsVersion, Codecs: CodecBinary}
+	return WireHello{
+		Protocol: ProtocolVersion,
+		Physics:  PhysicsVersion,
+		Codecs:   CodecBinary,
+		Cores:    runtime.GOMAXPROCS(0),
+	}
 }
 
 // JSONHello returns the handshake frame of a worker restricted to the
@@ -300,13 +316,23 @@ type ServeOptions struct {
 	// (and mixed-fleet test fixture) for running a node on the baseline
 	// codec.
 	JSONOnly bool
+	// Meter, when set, is fed each batch's throughput and its EWMA is
+	// advertised in the handshake (WireHello.CellsPerSec). Serve nodes
+	// share one meter across connections so every dispatcher sees the
+	// node's whole-machine rate.
+	Meter *RateMeter
 }
 
-func (o ServeOptions) hello() WireHello {
+// Hello returns the handshake frame these options produce, capacity
+// hints included — the same frame a dispatcher (or a registration
+// coordinator, in fleet register mode) would read from this worker.
+func (o ServeOptions) Hello() WireHello {
+	h := Hello()
 	if o.JSONOnly {
-		return JSONHello()
+		h.Codecs = ""
 	}
-	return Hello()
+	h.CellsPerSec = o.Meter.Rate()
+	return h
 }
 
 // Serve runs the worker loop on a fresh executor: write the handshake,
@@ -343,7 +369,7 @@ func (e *Executor) ServeFrames(r io.Reader, w io.Writer) error {
 func (e *Executor) ServeFramesOpts(r io.Reader, w io.Writer, opts ServeOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
-	if err := WriteFrame(bw, opts.hello()); err != nil {
+	if err := WriteFrame(bw, opts.Hello()); err != nil {
 		return fmt.Errorf("worker hello: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -372,7 +398,11 @@ func (e *Executor) ServeFramesOpts(r io.Reader, w io.Writer, opts ServeOptions) 
 			}
 			return fmt.Errorf("worker read: %w", err)
 		}
+		//xrlint:allow determinism -- batch wall time feeds the capacity meter (dispatch steering), never measurement data
+		began := time.Now()
 		res := WireBatchResult{ID: b.ID, Items: e.DoBatch(context.Background(), b.Reqs)}
+		//xrlint:allow determinism -- batch wall time feeds the capacity meter (dispatch steering), never measurement data
+		opts.Meter.Observe(len(b.Reqs), time.Since(began))
 		if err := WriteFrameCodec(bw, codec, res); err != nil {
 			return fmt.Errorf("worker write: %w", err)
 		}
